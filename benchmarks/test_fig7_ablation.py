@@ -1,0 +1,39 @@
+"""Figure 7: feature ablation of the UDF representation.
+
+The paper trains five model variants on 19 datasets and evaluates on the
+unseen genome dataset (actual cards): median Q-error improves
+monotonically 2.05 -> 1.41 -> 1.26 -> 1.20 -> 1.13 as structure nodes,
+the on-udf filter flag, LOOP_END nodes, and the residual LOOP edge are
+added.
+
+Shape checks: the full representation (step 5) clearly beats the
+black-box RET-only baseline (step 1), and adding structure (step 2) never
+hurts the median by much.
+"""
+
+from repro.eval.experiments import ABLATION_STEPS, run_ablation
+
+from conftest import print_header
+
+
+def test_fig7(benchmark, scale):
+    results = run_ablation(scale)
+    view = benchmark(lambda: dict(results))
+
+    print_header("Fig. 7 — feature ablation (paper: 2.05 -> 1.41 -> 1.26 -> 1.20 -> 1.13)")
+    for step, _ in ABLATION_STEPS:
+        summary = view[step]
+        print(f"  {step:32s} median={summary['median']:6.2f} "
+              f"p95={summary['p95']:8.2f} p99={summary['p99']:8.2f}")
+
+    first = view[ABLATION_STEPS[0][0]]
+    structured = view[ABLATION_STEPS[1][0]]
+    full = view[ABLATION_STEPS[-1][0]]
+
+    # The full representation must beat the black-box baseline.
+    assert full["median"] < first["median"], (
+        f"full representation {full['median']:.2f} did not beat "
+        f"RET-only {first['median']:.2f}"
+    )
+    # Structure information is the big first win (paper: 2.05 -> 1.41).
+    assert structured["median"] <= first["median"] * 1.05

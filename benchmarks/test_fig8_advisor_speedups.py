@@ -1,0 +1,45 @@
+"""Figure 8: per-dataset advisor speedups per strategy.
+
+The paper shows consistent, close-to-optimal speedups across the 20
+datasets, with "airline"/"baseball" as the challenged outliers.
+
+Shape checks: per dataset, no strategy beats the optimum; the cost-mode
+variant (actual cards + true selectivity) reaches a large fraction of the
+optimal speedup on most datasets.
+"""
+
+from repro.eval.experiments import fig8_view
+
+from conftest import print_header
+
+
+def test_fig8(benchmark, fold_runs):
+    view = benchmark(lambda: fig8_view(fold_runs))
+    assert view, "no fold results"
+
+    print_header("Fig. 8 — per-dataset advisor total speedups")
+    strategies = sorted({k for per_ds in view.values() for k in per_ds})
+    header = f"  {'dataset':14s}" + "".join(f"{s[:18]:>20s}" for s in strategies)
+    print(header)
+    for dataset, per_ds in view.items():
+        row = f"  {dataset:14s}" + "".join(
+            f"{per_ds.get(s, float('nan')):20.3f}" for s in strategies
+        )
+        print(row)
+
+    reached = []
+    for dataset, per_ds in view.items():
+        optimum = per_ds.get("Optimum")
+        if optimum is None:
+            continue
+        for label, speedup in per_ds.items():
+            if label in ("Optimum", "No Pullup"):
+                continue
+            assert speedup <= optimum * 1.001, (
+                f"{label} beat the oracle on {dataset}"
+            )
+        if "GRACEFUL (Cost)" in per_ds and optimum > 1.05:
+            reached.append(per_ds["GRACEFUL (Cost)"] / optimum)
+    if reached:
+        # Cost mode captures a meaningful share of the available speedup.
+        assert max(reached) > 0.5

@@ -1,0 +1,45 @@
+"""Table II: statistics of the created benchmark.
+
+Prints the same metric rows the paper reports and checks the generated
+workload covers the paper's ranges (joins 1-5, UDF branches/loops 0-3,
+10-150 operations, filter + projection UDFs).
+"""
+
+import pytest
+
+from repro.bench import benchmark_statistics, load_or_build_dataset
+
+from conftest import print_header
+
+
+@pytest.fixture(scope="module")
+def benchmarks(scale):
+    return {
+        name: load_or_build_dataset(
+            name, scale.n_queries_per_db, scale.seed, use_cache=scale.use_cache
+        )
+        for name in scale.datasets
+    }
+
+
+def test_table2_statistics(benchmark, benchmarks):
+    stats = benchmark(lambda: benchmark_statistics(benchmarks))
+    print_header("Table II — benchmark statistics (paper: 93.8k queries, 20 DBs)")
+    print(f"  Number of Queries     : {stats['n_queries']} "
+          f"({stats['n_udf_filter_queries']} w/ UDF filters, "
+          f"{stats['n_udf_projection_queries']} w/ UDF projection)")
+    print(f"  Number of Databases   : {stats['n_databases']}")
+    print(f"  Total Runtime         : {stats['total_runtime_hours']:.3f} hours (simulated)")
+    print(f"  Query Complexity      : {stats['join_range'][0]}-{stats['join_range'][1]} joins, "
+          f"{stats['filter_range'][0]}-{stats['filter_range'][1]} filters")
+    print(f"  UDF Branches          : {stats['branch_range'][0]}-{stats['branch_range'][1]}")
+    print(f"  UDF Loops             : {stats['loop_range'][0]}-{stats['loop_range'][1]}")
+    print(f"  UDF Ops               : {stats['ops_range'][0]:.0f}-{stats['ops_range'][1]:.0f}")
+
+    # Shape checks against Table II.
+    assert stats["n_udf_filter_queries"] > stats["n_udf_projection_queries"] > 0
+    assert stats["join_range"][1] <= 5
+    assert stats["branch_range"] == (0, 3)
+    assert stats["loop_range"][0] == 0 and stats["loop_range"][1] <= 3
+    assert stats["ops_range"][1] <= 200
+    assert stats["total_runtime_hours"] > 0

@@ -1,0 +1,33 @@
+"""Table IV: GRACEFUL vs the FlatVector representation on a select-only
+workload (SELECT udf(col) FROM table WHERE filter).
+
+Paper numbers (median / 95th / 99th):
+  GRACEFUL  actual 1.29 /  3.58 /  5.17   deepdb 1.37 /  7.84 /  25.57
+  FlatVector actual 1.89 / 12.66 / 36.10  deepdb 2.01 / 17.90 / 344.87
+
+Shape check: the graph-based representation beats the flat representation
+for both cardinality sources, especially in the tails.
+"""
+
+from repro.eval.experiments import run_select_only
+
+from conftest import print_header
+
+
+def test_table4(benchmark, scale):
+    results = run_select_only(scale)
+    view = benchmark(lambda: dict(results))
+
+    print_header("Table IV — UDF representations on select-only workload")
+    print(f"{'Model/CardEst':24s}{'median':>8s}{'p95':>10s}{'p99':>10s}")
+    for key, summary in view.items():
+        print(f"{key:24s}{summary['median']:8.2f}{summary['p95']:10.2f}"
+              f"{summary['p99']:10.2f}")
+
+    for estimator in ("actual", "deepdb"):
+        graceful = view[f"GRACEFUL/{estimator}"]
+        flat = view[f"FlatVector/{estimator}"]
+        assert graceful["median"] <= flat["median"] * 1.1, (
+            f"graph representation should win on {estimator} cards"
+        )
+        assert graceful["p95"] <= flat["p95"] * 1.5

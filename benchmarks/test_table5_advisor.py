@@ -1,0 +1,59 @@
+"""Table V: pull-up advisor selection strategies, aggregated.
+
+Paper numbers (total speedup / median speedup / FP impact):
+  Optimal                      1.643 / 1.375 / -
+  GRACEFUL (Cost, actual)      1.574 / 1.370 / 0.037
+  GRACEFUL (Conservative)      1.463 / 1.331 / 0.058
+  GRACEFUL (AuC)               1.432 / 1.329 / 0.079
+  GRACEFUL (UBC)               1.408 / 1.316 / 0.098
+  No Pull-Up                   1.0
+
+Shape checks: every strategy beats the no-pull-up default in total
+runtime; the cost-mode (actual selectivity) strategy is the best learned
+variant; conservative has the lowest false-positive impact among the
+distribution strategies; nothing beats the optimum.
+"""
+
+from repro.eval.experiments import table5_view
+
+from conftest import print_header
+
+
+def test_table5(benchmark, fold_runs):
+    view = benchmark(lambda: table5_view(fold_runs))
+    assert view, "no advisor records"
+
+    print_header("Table V — advisor strategies over all test datasets")
+    print(f"{'Strategy':28s}{'TotalRt(s)':>11s}{'TotSpd':>8s}{'MedSpd':>8s}"
+          f"{'FP':>6s}{'FPImpact':>9s}{'Overhead':>9s}")
+    any_row = next(iter(view.values()))
+    print(f"{'Optimal':28s}{any_row['optimal_total_runtime_s']:11.2f}"
+          f"{any_row['optimal_total_speedup']:8.3f}"
+          f"{any_row['optimal_median_speedup']:8.3f}{'-':>6s}{'-':>9s}{'-':>9s}")
+    for label, outcome in view.items():
+        print(f"{label:28s}{outcome['total_runtime_s']:11.2f}"
+              f"{outcome['total_speedup']:8.3f}{outcome['median_speedup']:8.3f}"
+              f"{outcome['false_positives']:6.2f}{outcome['fp_impact']:9.3f}"
+              f"{outcome['optimization_overhead']:9.3f}")
+    print(f"{'No Pull-Up (default)':28s}"
+          f"{any_row['no_pullup_total_runtime_s']:11.2f}{1.0:8.3f}{1.0:8.3f}")
+
+    for label, outcome in view.items():
+        # No strategy may beat the oracle.
+        assert outcome["total_speedup"] <= outcome["optimal_total_speedup"] * 1.001
+        # Every strategy must improve on the DBMS default overall.
+        assert outcome["total_speedup"] > 1.0, f"{label} slower than no-pullup"
+
+    if "GRACEFUL (Cost)" in view and "GRACEFUL (UBC)" in view:
+        # Knowing the true selectivity cannot be worse than the most
+        # aggressive blind strategy (allowing small sampling slack).
+        assert (
+            view["GRACEFUL (Cost)"]["total_speedup"]
+            >= view["GRACEFUL (UBC)"]["total_speedup"] * 0.9
+        )
+    if "GRACEFUL (Conservative)" in view and "GRACEFUL (UBC)" in view:
+        # Conservative takes the least false-positive risk.
+        assert (
+            view["GRACEFUL (Conservative)"]["fp_impact"]
+            <= view["GRACEFUL (UBC)"]["fp_impact"] + 0.05
+        )

@@ -1,0 +1,42 @@
+"""GRACEFUL reproduction: a learned GNN cost estimator for SQL queries
+with UDFs (Wehrstein et al., ICDE 2025), built entirely from scratch.
+
+Quickstart::
+
+    from repro.bench import build_dataset_benchmark
+    from repro.eval import prepare_dataset_samples
+    from repro.model import GracefulModel
+
+    bench = build_dataset_benchmark("imdb", n_queries=50)
+    samples = prepare_dataset_samples(bench)
+    model = GracefulModel().fit(samples)
+    predictions = model.predict(samples)
+
+See README.md for the architecture overview and DESIGN.md for the system
+inventory and experiment index.
+"""
+
+__version__ = "1.0.0"
+
+from repro.exceptions import (
+    CFGError,
+    EstimationError,
+    ExecutionError,
+    ModelError,
+    PlanError,
+    ReproError,
+    SchemaError,
+    UDFError,
+)
+
+__all__ = [
+    "CFGError",
+    "EstimationError",
+    "ExecutionError",
+    "ModelError",
+    "PlanError",
+    "ReproError",
+    "SchemaError",
+    "UDFError",
+    "__version__",
+]

@@ -1,0 +1,16 @@
+"""Pull-up/push-down advisor built on the learned cost model (§IV)."""
+
+from repro.advisor.advisor import AdvisorDecision, PullUpAdvisor
+from repro.advisor.planner import LearnedPlanSelector
+from repro.advisor.strategies import SELECTIVITY_LEVELS, STRATEGIES, auc, conservative, ubc
+
+__all__ = [
+    "AdvisorDecision",
+    "LearnedPlanSelector",
+    "PullUpAdvisor",
+    "SELECTIVITY_LEVELS",
+    "STRATEGIES",
+    "auc",
+    "conservative",
+    "ubc",
+]

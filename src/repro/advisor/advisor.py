@@ -1,0 +1,110 @@
+"""The pull-up/push-down advisor (§IV).
+
+For a query with a UDF filter the advisor:
+
+1. builds the push-down plan and the pull-up plan,
+2. for each enumerated selectivity level, annotates the plans assuming
+   that UDF-filter selectivity (cardinalities above the filter are scaled
+   by it — Fig. 4's ``card = card * sel``),
+3. runs all annotated graphs through the trained cost model, yielding a
+   cost distribution per plan alternative,
+4. applies a decision strategy (UBC / AuC / Conservative), or — when the
+   true selectivity is known ("Cost" mode of Table V) — compares the two
+   point predictions directly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.advisor.strategies import SELECTIVITY_LEVELS, STRATEGIES
+from repro.core.joint_graph import JointGraphConfig, build_joint_graph
+from repro.exceptions import ModelError
+from repro.model.gnn import CostGNN
+from repro.model.training import predict_runtimes
+from repro.sql.optimizer import build_plan
+from repro.sql.plan import UDFFilter, find_nodes
+from repro.sql.query import Query, UDFPlacement, UDFRole
+from repro.stats.base import CardinalityEstimator
+from repro.stats.catalog import StatisticsCatalog
+
+
+@dataclass
+class AdvisorDecision:
+    """The advisor's verdict for one query."""
+
+    pull_up: bool
+    strategy: str
+    pullup_costs: np.ndarray
+    pushdown_costs: np.ndarray
+    selectivity_levels: np.ndarray
+    decision_seconds: float = 0.0
+
+    @property
+    def placement(self) -> UDFPlacement:
+        return UDFPlacement.PULL_UP if self.pull_up else UDFPlacement.PUSH_DOWN
+
+
+@dataclass
+class PullUpAdvisor:
+    """Cost-model-driven pull-up advisor for one database."""
+
+    model: CostGNN
+    catalog: StatisticsCatalog
+    estimator: CardinalityEstimator
+    strategy: str = "conservative"
+    selectivity_levels: tuple[float, ...] = SELECTIVITY_LEVELS
+    joint_config: JointGraphConfig = field(default_factory=JointGraphConfig)
+
+    def decide(self, query: Query, true_selectivity: float | None = None) -> AdvisorDecision:
+        """Decide pull-up vs push-down for ``query``.
+
+        With ``true_selectivity`` given, the advisor runs in "Cost" mode:
+        one annotated graph per alternative at the known selectivity (the
+        GRACEFUL (Cost) row of Table V). Otherwise it produces the full
+        cost distributions and applies the configured strategy.
+        """
+        if not query.has_udf or query.udf.role is not UDFRole.FILTER:
+            raise ModelError("the advisor only applies to UDF-filter queries")
+        start = time.perf_counter()
+        levels = (
+            np.asarray([true_selectivity])
+            if true_selectivity is not None
+            else np.asarray(self.selectivity_levels, dtype=np.float64)
+        )
+        costs: dict[UDFPlacement, np.ndarray] = {}
+        for placement in (UDFPlacement.PUSH_DOWN, UDFPlacement.PULL_UP):
+            graphs = []
+            for sel in levels:
+                plan = build_plan(query, placement)
+                for node in find_nodes(plan, UDFFilter):
+                    node.assumed_selectivity = float(sel)
+                graphs.append(
+                    build_joint_graph(plan, self.catalog, self.estimator, self.joint_config)
+                )
+            costs[placement] = predict_runtimes(self.model, graphs)
+
+        pullup_costs = costs[UDFPlacement.PULL_UP]
+        pushdown_costs = costs[UDFPlacement.PUSH_DOWN]
+        if true_selectivity is not None:
+            pull_up = bool(pullup_costs[0] < pushdown_costs[0])
+            strategy = "cost"
+        else:
+            strategy_fn = STRATEGIES.get(self.strategy)
+            if strategy_fn is None:
+                raise ModelError(
+                    f"unknown strategy {self.strategy!r}; choose from {sorted(STRATEGIES)}"
+                )
+            pull_up = strategy_fn(pullup_costs, pushdown_costs, levels)
+            strategy = self.strategy
+        return AdvisorDecision(
+            pull_up=pull_up,
+            strategy=strategy,
+            pullup_costs=pullup_costs,
+            pushdown_costs=pushdown_costs,
+            selectivity_levels=levels,
+            decision_seconds=time.perf_counter() - start,
+        )

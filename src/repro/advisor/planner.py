@@ -1,0 +1,63 @@
+"""Learned-cost plan selection (extension beyond the paper).
+
+Combines the two optimization axes the library supports:
+
+* join-order enumeration (:mod:`repro.sql.joinorder`) scored by the
+  trained GNN instead of a hand-crafted metric, and
+* UDF-filter placement via the pull-up advisor.
+
+``LearnedPlanSelector`` scores every candidate join order by the model's
+predicted runtime, which is exactly the "cost-based optimizations beyond
+pull-up/push-down" direction the paper's conclusion sketches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.joint_graph import JointGraphConfig, build_joint_graph
+from repro.exceptions import ModelError
+from repro.model.gnn import CostGNN
+from repro.model.training import predict_runtimes
+from repro.sql.joinorder import enumerate_join_orders, _finish_plan
+from repro.sql.plan import PlanNode
+from repro.sql.query import Query
+from repro.stats.base import CardinalityEstimator
+from repro.stats.catalog import StatisticsCatalog
+
+
+@dataclass
+class LearnedPlanSelector:
+    """Chooses among candidate join orders with the learned cost model."""
+
+    model: CostGNN
+    catalog: StatisticsCatalog
+    estimator: CardinalityEstimator
+    joint_config: JointGraphConfig = field(default_factory=JointGraphConfig)
+    max_plans: int = 64
+
+    def choose(self, query: Query) -> tuple[PlanNode, float, int]:
+        """The predicted-cheapest plan for ``query``.
+
+        Returns ``(plan, predicted_runtime, n_candidates)``. Queries with
+        a UDF filter should instead go through the pull-up advisor, which
+        owns the placement decision.
+        """
+        if query.has_udf:
+            raise ModelError(
+                "LearnedPlanSelector handles non-UDF queries; use "
+                "PullUpAdvisor for UDF-filter placement"
+            )
+        candidates = [
+            _finish_plan(query, tree)
+            for tree in enumerate_join_orders(query, max_plans=self.max_plans)
+        ]
+        graphs = [
+            build_joint_graph(plan, self.catalog, self.estimator, self.joint_config)
+            for plan in candidates
+        ]
+        predictions = predict_runtimes(self.model, graphs)
+        best = int(np.argmin(predictions))
+        return candidates[best], float(predictions[best]), len(candidates)

@@ -1,0 +1,52 @@
+"""Pull-up/push-down decision strategies (§IV-C).
+
+Each strategy consumes the two cost distributions (pull-up plan and
+push-down plan, evaluated at the enumerated UDF-filter selectivities) and
+answers one question: pull the UDF filter up, yes or no?
+
+* **UBC** (Upper-Bound Cardinality): compare costs at selectivity 1.0 —
+  the most aggressive strategy, highest regression risk.
+* **AuC** (Area under Curve): compare the integrals of the two cost
+  curves — optimal if the true selectivity were uniform.
+* **Conservative**: pull up only when the pull-up plan is strictly
+  cheaper at *every* selectivity — minimizes regressions (the paper's
+  recommendation for production systems).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+#: Selectivity levels enumerated by the advisor (§IV-B) plus the 1.0
+#: upper bound used by the UBC strategy.
+SELECTIVITY_LEVELS: tuple[float, ...] = (0.1, 0.3, 0.5, 0.7, 0.9, 1.0)
+
+StrategyFn = Callable[[np.ndarray, np.ndarray, np.ndarray], bool]
+
+
+def ubc(pullup: np.ndarray, pushdown: np.ndarray, levels: np.ndarray) -> bool:
+    """Pull up iff cheaper at the maximum selectivity (1.0)."""
+    top = int(np.argmax(levels))
+    return bool(pullup[top] < pushdown[top])
+
+
+def auc(pullup: np.ndarray, pushdown: np.ndarray, levels: np.ndarray) -> bool:
+    """Pull up iff the pull-up cost curve has the smaller area under it."""
+    order = np.argsort(levels)
+    area_up = float(np.trapezoid(pullup[order], levels[order]))
+    area_down = float(np.trapezoid(pushdown[order], levels[order]))
+    return area_up < area_down
+
+
+def conservative(pullup: np.ndarray, pushdown: np.ndarray, levels: np.ndarray) -> bool:
+    """Pull up only when strictly cheaper across the whole range."""
+    return bool(np.all(pullup < pushdown))
+
+
+STRATEGIES: dict[str, StrategyFn] = {
+    "ubc": ubc,
+    "auc": auc,
+    "conservative": conservative,
+}

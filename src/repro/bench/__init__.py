@@ -1,0 +1,26 @@
+"""Benchmark substrate: workload generation, execution, caching."""
+
+from repro.bench.builder import (
+    BenchmarkEntry,
+    DatasetBenchmark,
+    PlacementRun,
+    benchmark_statistics,
+    build_benchmark,
+    build_dataset_benchmark,
+    load_or_build_dataset,
+    prepare_full_database,
+)
+from repro.bench.workload import WorkloadConfig, WorkloadGenerator
+
+__all__ = [
+    "BenchmarkEntry",
+    "DatasetBenchmark",
+    "PlacementRun",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+    "benchmark_statistics",
+    "build_benchmark",
+    "build_dataset_benchmark",
+    "load_or_build_dataset",
+    "prepare_full_database",
+]

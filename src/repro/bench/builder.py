@@ -1,0 +1,257 @@
+"""Benchmark builder: queries + ground-truth runtimes (§V).
+
+For every generated query the builder executes the plan at each relevant
+UDF placement (push-down / intermediate / pull-up for UDF filters; the
+single natural plan otherwise) and records:
+
+* the simulated runtime (calibrated cost model + seeded noise),
+* its decomposition into UDF cost vs. plain-query cost (needed by the
+  split baselines Flat+Graph and Graph+Graph),
+* true cardinalities on every plan node,
+* UDF complexity metadata (branch/loop/COMP-node counts for Exp 2).
+
+Built benchmarks are pickled to a cache directory so experiments across
+processes (pytest benches) don't rebuild them.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.cfg.builder import build_udf_graph
+from repro.cfg.nodes import UDFNodeType
+from repro.sql.costmodel import COST_CONSTANTS
+from repro.sql.executor import Executor
+from repro.sql.optimizer import build_plan
+from repro.sql.plan import PlanNode
+from repro.sql.query import Query, UDFPlacement, UDFRole
+from repro.storage.database import Database
+from repro.storage.generator import (
+    DATASET_NAMES,
+    GeneratorConfig,
+    generate_database,
+    hash_name,
+)
+from repro.storage.table import Table
+from repro.udf.dataprep import fill_nulls
+from repro.bench.workload import WorkloadConfig, WorkloadGenerator
+
+#: bump when the on-disk format changes
+_CACHE_VERSION = "v1"
+
+
+@dataclass
+class PlacementRun:
+    """One executed plan variant of a benchmark query."""
+
+    placement: UDFPlacement
+    plan: PlanNode
+    runtime: float
+    udf_runtime: float
+    query_runtime: float
+
+
+@dataclass
+class BenchmarkEntry:
+    """One benchmark query with all executed placements."""
+
+    query: Query
+    dataset: str
+    runs: dict[UDFPlacement, PlacementRun]
+    udf_meta: dict = field(default_factory=dict)
+
+    @property
+    def has_udf_filter(self) -> bool:
+        return self.query.has_udf and self.query.udf.role is UDFRole.FILTER
+
+    def default_run(self) -> PlacementRun:
+        """The engine-default plan (push-down, the DBMS status quo)."""
+        if UDFPlacement.PUSH_DOWN in self.runs:
+            return self.runs[UDFPlacement.PUSH_DOWN]
+        return next(iter(self.runs.values()))
+
+
+@dataclass
+class DatasetBenchmark:
+    """All benchmark queries of one dataset, plus the prepared database."""
+
+    name: str
+    database: Database
+    entries: list[BenchmarkEntry]
+
+    @property
+    def n_queries(self) -> int:
+        return len(self.entries)
+
+
+def prepare_full_database(database: Database) -> Database:
+    """Fill NULLs in every column (the paper's data-adaptation step,
+    applied globally so one statistics catalog serves all queries)."""
+    tables = [
+        Table(t.name, [fill_nulls(c) for c in t.columns])
+        for t in database.tables.values()
+    ]
+    return Database(database.name, tables, database.foreign_keys)
+
+
+def _runtime_components(result) -> tuple[float, float]:
+    """Split a runtime into (udf_part, query_part) via the work counters."""
+    udf_cost = sum(
+        COST_CONSTANTS[key] * amount
+        for key, amount in result.counters.counts.items()
+        if key.startswith("udf_")
+    )
+    total_cost = result.counters.total_seconds()
+    if total_cost <= 0:
+        return 0.0, result.runtime
+    noise_factor = result.runtime / total_cost
+    udf_runtime = udf_cost * noise_factor
+    return udf_runtime, result.runtime - udf_runtime
+
+
+def _udf_metadata(query: Query) -> dict:
+    if not query.has_udf:
+        return {}
+    udf = query.udf.udf
+    graph = build_udf_graph(udf)
+    n_comp = sum(1 for n in graph.nodes if n.ntype is UDFNodeType.COMP)
+    return {
+        "n_branches": len(udf.branches),
+        "n_loops": len(udf.loops),
+        "n_comp_nodes": n_comp,
+        "graph_size": len(graph.nodes),
+        "total_static_ops": float(sum(udf.op_counts.values())),
+        "role": query.udf.role.value,
+    }
+
+
+def build_dataset_benchmark(
+    name: str,
+    n_queries: int,
+    seed: int = 0,
+    generator_config: GeneratorConfig | None = None,
+    workload_config: WorkloadConfig | None = None,
+) -> DatasetBenchmark:
+    """Generate, execute, and package the benchmark for one dataset."""
+    database = prepare_full_database(generate_database(name, config=generator_config))
+    workload = WorkloadGenerator(database, seed=seed, config=workload_config)
+    executor = Executor(database)
+    entries: list[BenchmarkEntry] = []
+    for query in workload.generate(n_queries):
+        runs: dict[UDFPlacement, PlacementRun] = {}
+        if query.has_udf and query.udf.role is UDFRole.FILTER and query.num_joins > 0:
+            placements = list(UDFPlacement)
+        else:
+            placements = [UDFPlacement.PUSH_DOWN]
+        for placement in placements:
+            plan = build_plan(query, placement)
+            noise_seed = hash_name(f"{name}/{query.query_id}/{placement.value}")
+            result = executor.execute(plan, noise_seed=noise_seed)
+            udf_runtime, query_runtime = _runtime_components(result)
+            runs[placement] = PlacementRun(
+                placement=placement,
+                plan=plan,
+                runtime=result.runtime,
+                udf_runtime=udf_runtime,
+                query_runtime=query_runtime,
+            )
+        entries.append(
+            BenchmarkEntry(
+                query=query,
+                dataset=name,
+                runs=runs,
+                udf_meta=_udf_metadata(query),
+            )
+        )
+    return DatasetBenchmark(name=name, database=database, entries=entries)
+
+
+# ----------------------------------------------------------------------
+def cache_dir() -> Path:
+    root = os.environ.get("REPRO_CACHE_DIR")
+    if root:
+        return Path(root)
+    return Path(__file__).resolve().parents[3] / ".bench_cache"
+
+
+def load_or_build_dataset(
+    name: str,
+    n_queries: int,
+    seed: int = 0,
+    use_cache: bool = True,
+    generator_config: GeneratorConfig | None = None,
+    workload_config: WorkloadConfig | None = None,
+) -> DatasetBenchmark:
+    """Disk-cached version of :func:`build_dataset_benchmark`."""
+    path = cache_dir() / f"{_CACHE_VERSION}_{name}_{n_queries}_{seed}.pkl"
+    if use_cache and path.exists():
+        with open(path, "rb") as fh:
+            return pickle.load(fh)
+    bench = build_dataset_benchmark(
+        name, n_queries, seed,
+        generator_config=generator_config, workload_config=workload_config,
+    )
+    if use_cache:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "wb") as fh:
+            pickle.dump(bench, fh)
+    return bench
+
+
+def build_benchmark(
+    names: tuple[str, ...] = DATASET_NAMES,
+    n_queries_per_db: int = 100,
+    seed: int = 0,
+    use_cache: bool = True,
+) -> dict[str, DatasetBenchmark]:
+    """The full multi-dataset benchmark keyed by dataset name."""
+    return {
+        name: load_or_build_dataset(name, n_queries_per_db, seed, use_cache)
+        for name in names
+    }
+
+
+def benchmark_statistics(benchmarks: dict[str, DatasetBenchmark]) -> dict:
+    """Aggregate statistics in the shape of Table II."""
+    n_queries = sum(b.n_queries for b in benchmarks.values())
+    n_udf_filter = sum(
+        1 for b in benchmarks.values() for e in b.entries
+        if e.query.has_udf and e.query.udf.role is UDFRole.FILTER
+    )
+    n_udf_proj = sum(
+        1 for b in benchmarks.values() for e in b.entries
+        if e.query.has_udf and e.query.udf.role is UDFRole.PROJECTION
+    )
+    joins = [e.query.num_joins for b in benchmarks.values() for e in b.entries]
+    filters = [len(e.query.filters) for b in benchmarks.values() for e in b.entries]
+    branches = [
+        e.udf_meta.get("n_branches", 0)
+        for b in benchmarks.values() for e in b.entries if e.query.has_udf
+    ]
+    loops = [
+        e.udf_meta.get("n_loops", 0)
+        for b in benchmarks.values() for e in b.entries if e.query.has_udf
+    ]
+    ops = [
+        e.udf_meta.get("total_static_ops", 0.0)
+        for b in benchmarks.values() for e in b.entries if e.query.has_udf
+    ]
+    total_runtime = sum(
+        run.runtime for b in benchmarks.values() for e in b.entries
+        for run in e.runs.values()
+    )
+    return {
+        "n_queries": n_queries,
+        "n_udf_filter_queries": n_udf_filter,
+        "n_udf_projection_queries": n_udf_proj,
+        "n_databases": len(benchmarks),
+        "total_runtime_hours": total_runtime / 3600.0,
+        "join_range": (min(joins), max(joins)) if joins else (0, 0),
+        "filter_range": (min(filters), max(filters)) if filters else (0, 0),
+        "branch_range": (min(branches), max(branches)) if branches else (0, 0),
+        "loop_range": (min(loops), max(loops)) if loops else (0, 0),
+        "ops_range": (min(ops), max(ops)) if ops else (0, 0),
+    }

@@ -1,0 +1,207 @@
+"""SQL workload generator (§V of the paper).
+
+Extends the methodology of Kipf et al. [23] / Hilprecht et al. [11]:
+random connected subsets of the FK join graph (1-5 joins), literal-based
+filters whose constants are drawn from actual column values, and — the new
+part — a scalar UDF per query, either as a filter predicate (~77% of the
+benchmark) or inside the projection/aggregation (~23%).
+
+UDF-filter literals are chosen by evaluating the UDF on a sample of its
+input rows and picking the output quantile matching a target selectivity
+drawn from Table II's range (1e-4 .. 1.0), so the benchmark covers the
+full selectivity spectrum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import SchemaError
+from repro.sql.expressions import ColumnRef, CompareOp
+from repro.sql.plan import AggFunc
+from repro.sql.query import AggSpec, FilterSpec, JoinSpec, Query, UDFRole, UDFSpec
+from repro.storage.database import Database
+from repro.storage.datatypes import DataType
+from repro.udf.generator import UDFGenerator, UDFGeneratorConfig
+
+_NUMERIC_FILTER_OPS = (
+    CompareOp.LT, CompareOp.LEQ, CompareOp.GT, CompareOp.GEQ, CompareOp.EQ,
+)
+
+
+@dataclass
+class WorkloadConfig:
+    """Workload-shape knobs (defaults match Table II)."""
+
+    max_joins: int = 5
+    join_weights: tuple[float, ...] = (0.1, 0.25, 0.25, 0.2, 0.12, 0.08)  # P(0..5)
+    max_filters_per_table: int = 3
+    filter_prob: float = 0.6
+    #: fraction of queries whose UDF sits in a filter (72k / 93.8k in Table II)
+    udf_filter_fraction: float = 0.77
+    #: fraction of queries without any UDF (the paper trains with <10%)
+    non_udf_fraction: float = 0.08
+    udf_filter_selectivity_range: tuple[float, float] = (1e-4, 1.0)
+    udf_sample_rows: int = 200
+    udf: UDFGeneratorConfig = field(default_factory=UDFGeneratorConfig)
+
+
+class WorkloadGenerator:
+    """Generates :class:`Query` objects for one database."""
+
+    def __init__(
+        self,
+        database: Database,
+        seed: int = 0,
+        config: WorkloadConfig | None = None,
+    ):
+        self.database = database
+        self.rng = np.random.default_rng(seed)
+        self.config = config or WorkloadConfig()
+        self._query_counter = 0
+
+    # ------------------------------------------------------------------
+    def generate(self, n_queries: int) -> list[Query]:
+        return [self.generate_one() for _ in range(n_queries)]
+
+    def generate_one(self) -> Query:
+        """One random SPJA query (with or without a UDF)."""
+        rng = self.rng
+        cfg = self.config
+        tables, joins = self._sample_join_tree()
+        filters = self._sample_filters(tables)
+        udf_spec = None
+        if rng.random() >= cfg.non_udf_fraction:
+            udf_spec = self._sample_udf(tables)
+        agg = AggSpec(func=AggFunc.COUNT)
+        query = Query(
+            dataset=self.database.name,
+            tables=tuple(tables),
+            joins=tuple(joins),
+            filters=tuple(filters),
+            udf=udf_spec,
+            agg=agg,
+            query_id=self._query_counter,
+        )
+        self._query_counter += 1
+        query.validate()
+        return query
+
+    # ------------------------------------------------------------------
+    def _sample_join_tree(self) -> tuple[list[str], list[JoinSpec]]:
+        """Random connected subtree of the FK graph."""
+        rng = self.rng
+        cfg = self.config
+        weights = np.asarray(cfg.join_weights[: cfg.max_joins + 1], dtype=np.float64)
+        weights /= weights.sum()
+        target_joins = int(rng.choice(len(weights), p=weights))
+
+        all_tables = self.database.table_names
+        start = str(all_tables[int(rng.integers(0, len(all_tables)))])
+        tables = [start]
+        joins: list[JoinSpec] = []
+        for _ in range(target_joins):
+            frontier = [
+                fk
+                for table in tables
+                for fk in self.database.joins_for(table)
+                if fk.other(table) not in tables
+            ]
+            if not frontier:
+                break
+            fk = frontier[int(rng.integers(0, len(frontier)))]
+            new_table = fk.child_table if fk.child_table not in tables else fk.parent_table
+            tables.append(new_table)
+            joins.append(
+                JoinSpec(
+                    ColumnRef(fk.child_table, fk.child_column),
+                    ColumnRef(fk.parent_table, fk.parent_column),
+                )
+            )
+        return tables, joins
+
+    def _sample_filters(self, tables: list[str]) -> list[FilterSpec]:
+        rng = self.rng
+        cfg = self.config
+        filters: list[FilterSpec] = []
+        for table_name in tables:
+            if rng.random() > cfg.filter_prob:
+                continue
+            table = self.database.table(table_name)
+            candidates = [
+                c for c in table.columns
+                if c.name != "id" and not c.name.endswith("_id")
+            ]
+            if not candidates:
+                continue
+            n_filters = int(rng.integers(1, cfg.max_filters_per_table + 1))
+            for _ in range(n_filters):
+                column = candidates[int(rng.integers(0, len(candidates)))]
+                spec = self._sample_predicate(table_name, column)
+                if spec is not None:
+                    filters.append(spec)
+        return filters
+
+    def _sample_predicate(self, table_name: str, column) -> FilterSpec | None:
+        rng = self.rng
+        values = column.non_null_values()
+        if len(values) == 0:
+            return None
+        ref = ColumnRef(table_name, column.name)
+        if column.dtype is DataType.STRING:
+            literal = str(values[int(rng.integers(0, len(values)))])
+            op = CompareOp.EQ if rng.random() < 0.8 else CompareOp.NEQ
+            return FilterSpec(ref, op, literal)
+        op = _NUMERIC_FILTER_OPS[int(rng.integers(0, len(_NUMERIC_FILTER_OPS)))]
+        quantile = float(rng.uniform(0.02, 0.98))
+        literal = float(np.quantile(values.astype(np.float64), quantile))
+        if column.dtype is DataType.INT:
+            literal = int(round(literal))
+        return FilterSpec(ref, op, literal)
+
+    # ------------------------------------------------------------------
+    def _sample_udf(self, tables: list[str]) -> UDFSpec:
+        rng = self.rng
+        cfg = self.config
+        input_table_name = tables[int(rng.integers(0, len(tables)))]
+        table = self.database.table(input_table_name)
+        udf, arg_columns = UDFGenerator(table, rng, cfg.udf).generate()
+        role = (
+            UDFRole.FILTER
+            if rng.random() < cfg.udf_filter_fraction
+            else UDFRole.PROJECTION
+        )
+        spec = UDFSpec(
+            udf=udf,
+            input_table=input_table_name,
+            input_columns=arg_columns,
+            role=role,
+        )
+        if role is UDFRole.FILTER:
+            spec.op, spec.literal = self._udf_filter_predicate(table, spec)
+        return spec
+
+    def _udf_filter_predicate(self, table, spec: UDFSpec) -> tuple[CompareOp, float]:
+        """Pick OP/literal hitting a random target selectivity (Table II)."""
+        rng = self.rng
+        cfg = self.config
+        n = min(len(table), cfg.udf_sample_rows)
+        if n == 0:
+            raise SchemaError(f"table {table.name!r} is empty; cannot sample UDF output")
+        sample_idx = rng.choice(len(table), size=n, replace=False)
+        rows = [
+            tuple(table.column(c).python_value(int(i)) for c in spec.input_columns)
+            for i in sample_idx
+        ]
+        outputs, _ = spec.udf.evaluate_batch(rows)
+        numeric = np.asarray([v for v in outputs if v is not None], dtype=np.float64)
+        lo, hi = cfg.udf_filter_selectivity_range
+        target = float(np.exp(rng.uniform(np.log(lo), np.log(hi))))
+        if len(numeric) == 0:
+            return CompareOp.LEQ, 0.0
+        op = CompareOp.LEQ if rng.random() < 0.5 else CompareOp.GEQ
+        quantile = target if op is CompareOp.LEQ else 1.0 - target
+        literal = float(np.quantile(numeric, min(max(quantile, 0.0), 1.0)))
+        return op, literal

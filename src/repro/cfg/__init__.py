@@ -1,0 +1,24 @@
+"""Control-flow-graph substrate: UDF source → transformed DAG."""
+
+from repro.cfg.builder import UDFGraphConfig, build_udf_graph
+from repro.cfg.nodes import (
+    CMP_VOCAB,
+    DTYPE_VOCAB,
+    LIB_VOCAB,
+    OPS_VOCAB,
+    UDFGraph,
+    UDFNode,
+    UDFNodeType,
+)
+
+__all__ = [
+    "CMP_VOCAB",
+    "DTYPE_VOCAB",
+    "LIB_VOCAB",
+    "OPS_VOCAB",
+    "UDFGraph",
+    "UDFGraphConfig",
+    "UDFNode",
+    "UDFNodeType",
+    "build_udf_graph",
+]

@@ -1,0 +1,326 @@
+"""Build the transformed UDF DAG from Python source (§III-A).
+
+The construction folds the paper's CFG transformations into one pass over
+the (structured) UDF AST:
+
+* single-statement CFG — every statement becomes its own node, and
+  library calls nested inside a statement are *split out* into their own
+  COMP nodes (arithmetic within one line stays fused, as in the paper);
+* loops become acyclic ``LOOP … body … LOOP_END`` segments, with a
+  ``loop_part`` flag on body nodes and an optional residual
+  LOOP→LOOP_END edge;
+* an ``INV`` node models invocation overhead, a ``RET`` node aggregates
+  everything (it is the DAG sink).
+
+:class:`UDFGraphConfig` switches individual transformations off — these
+are the knobs of the paper's ablation study (Fig. 7).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.cfg.nodes import (
+    CMP_VOCAB,
+    LIB_VOCAB,
+    UDFGraph,
+    UDFNode,
+    UDFNodeType,
+)
+from repro.exceptions import CFGError
+from repro.udf.udf import UDF
+
+
+@dataclass
+class UDFGraphConfig:
+    """Graph-construction knobs (ablation switches of Fig. 7)."""
+
+    #: (2) include LOOP/COMP/BRANCH/INV structure nodes. When False the
+    #: graph is a single RET node — the "black box" baseline (1).
+    include_structure: bool = True
+    #: (4) add explicit LOOP_END nodes.
+    include_loop_end: bool = True
+    #: (5) add the residual LOOP -> LOOP_END edge.
+    residual_loop_edge: bool = True
+    #: split library calls out of statements into separate COMP nodes.
+    single_statement_split: bool = True
+
+
+class _GraphBuilder:
+    def __init__(self, udf: UDF, config: UDFGraphConfig):
+        self.udf = udf
+        self.config = config
+        self.graph = UDFGraph(udf_name=udf.name)
+        self._next_id = 0
+        self._branch_counter = 0
+
+    def _new_node(self, ntype: UDFNodeType, **attrs) -> UDFNode:
+        node = UDFNode(node_id=self._next_id, ntype=ntype, **attrs)
+        self._next_id += 1
+        self.graph.add_node(node)
+        return node
+
+    # ------------------------------------------------------------------
+    def build(self) -> UDFGraph:
+        func = self._parse_function()
+        inv = self._new_node(
+            UDFNodeType.INV,
+            nr_params=self.udf.n_args,
+            in_dtypes=tuple(t.value for t in self.udf.arg_types),
+        )
+        ret = None
+        if self.config.include_structure:
+            tails = self._emit_block(func.body, [inv.node_id], loop_part=False,
+                                     branch_context=(), multiplier=1.0)
+        else:
+            tails = [inv.node_id]
+        ret = self._new_node(
+            UDFNodeType.RET, out_dtype=self.udf.return_type.value
+        )
+        for tail in tails:
+            self.graph.add_edge(tail, ret.node_id)
+        return self.graph
+
+    def _parse_function(self) -> ast.FunctionDef:
+        try:
+            tree = ast.parse(self.udf.source)
+        except SyntaxError as exc:
+            raise CFGError(f"UDF {self.udf.name!r} does not parse: {exc}") from exc
+        for node in tree.body:
+            if isinstance(node, ast.FunctionDef):
+                return node
+        raise CFGError(f"UDF {self.udf.name!r}: no function definition found")
+
+    # ------------------------------------------------------------------
+    def _emit_block(
+        self,
+        stmts: list[ast.stmt],
+        tails: list[int],
+        loop_part: bool,
+        branch_context: tuple[tuple[int, bool], ...],
+        multiplier: float,
+    ) -> list[int]:
+        """Emit nodes for a statement list; returns the new dangling tails."""
+        for stmt in stmts:
+            if isinstance(stmt, ast.If):
+                tails = self._emit_if(stmt, tails, loop_part, branch_context, multiplier)
+            elif isinstance(stmt, (ast.For, ast.While)):
+                tails = self._emit_loop(stmt, tails, branch_context, multiplier)
+            elif isinstance(stmt, ast.Return):
+                tails = self._emit_statement(stmt, tails, loop_part, branch_context, multiplier)
+            elif isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Expr)):
+                tails = self._emit_statement(stmt, tails, loop_part, branch_context, multiplier)
+            elif isinstance(stmt, (ast.Pass, ast.Break, ast.Continue)):
+                continue
+            else:
+                raise CFGError(
+                    f"unsupported statement in UDF graph: {type(stmt).__name__}"
+                )
+        return tails
+
+    def _emit_statement(
+        self, stmt, tails, loop_part, branch_context, multiplier
+    ) -> list[int]:
+        """One (possibly split) statement → chained COMP node(s)."""
+        lib_calls, ops = _analyze_expression(getattr(stmt, "value", None))
+        if isinstance(stmt, ast.AugAssign):
+            ops = ops + (_binop_symbol(stmt.op),)
+        nodes: list[UDFNode] = []
+        if self.config.single_statement_split:
+            for lib in lib_calls:
+                nodes.append(
+                    self._new_node(
+                        UDFNodeType.COMP,
+                        lib=lib,
+                        ops=(),
+                        loop_part=loop_part,
+                        iter_multiplier=multiplier,
+                        branch_context=branch_context,
+                        source_line=_source_line(stmt),
+                    )
+                )
+            nodes.append(
+                self._new_node(
+                    UDFNodeType.COMP,
+                    lib="none",
+                    ops=ops,
+                    loop_part=loop_part,
+                    iter_multiplier=multiplier,
+                    branch_context=branch_context,
+                    source_line=_source_line(stmt),
+                )
+            )
+        else:
+            nodes.append(
+                self._new_node(
+                    UDFNodeType.COMP,
+                    lib=lib_calls[0] if lib_calls else "none",
+                    ops=ops,
+                    loop_part=loop_part,
+                    iter_multiplier=multiplier,
+                    branch_context=branch_context,
+                    source_line=_source_line(stmt),
+                )
+            )
+        for node in nodes:
+            for tail in tails:
+                self.graph.add_edge(tail, node.node_id)
+            tails = [node.node_id]
+        return tails
+
+    def _emit_if(self, stmt: ast.If, tails, loop_part, branch_context, multiplier) -> list[int]:
+        branch_idx = self._branch_counter
+        self._branch_counter += 1
+        branch = self._new_node(
+            UDFNodeType.BRANCH,
+            cmop=_compare_symbol(stmt.test),
+            branch_index=branch_idx,
+            loop_part=loop_part,
+            iter_multiplier=multiplier,
+            branch_context=branch_context,
+            source_line=_source_line(stmt),
+        )
+        for tail in tails:
+            self.graph.add_edge(tail, branch.node_id)
+
+        then_ctx = branch_context + ((branch_idx, False),)
+        then_tails = self._emit_block(
+            stmt.body, [branch.node_id], loop_part, then_ctx, multiplier
+        )
+        if stmt.orelse:
+            else_ctx = branch_context + ((branch_idx, True),)
+            else_tails = self._emit_block(
+                stmt.orelse, [branch.node_id], loop_part, else_ctx, multiplier
+            )
+        else:
+            # The fall-through edge: control may skip the then-block.
+            else_tails = [branch.node_id]
+        return then_tails + else_tails
+
+    def _emit_loop(self, stmt, tails, branch_context, multiplier) -> list[int]:
+        loop_type = "for" if isinstance(stmt, ast.For) else "while"
+        nr_iter = _static_iterations(stmt, self.udf)
+        loop = self._new_node(
+            UDFNodeType.LOOP,
+            loop_type=loop_type,
+            nr_iterations=nr_iter,
+            loop_part=True,
+            iter_multiplier=multiplier,
+            branch_context=branch_context,
+            source_line=_source_line(stmt),
+        )
+        for tail in tails:
+            self.graph.add_edge(tail, loop.node_id)
+        body_tails = self._emit_block(
+            stmt.body, [loop.node_id], loop_part=True,
+            branch_context=branch_context, multiplier=multiplier * max(nr_iter, 1.0),
+        )
+        if not self.config.include_loop_end:
+            return body_tails
+        loop_end = self._new_node(
+            UDFNodeType.LOOP_END,
+            loop_type=loop_type,
+            nr_iterations=nr_iter,
+            loop_part=True,
+            iter_multiplier=multiplier,
+            branch_context=branch_context,
+        )
+        for tail in body_tails:
+            self.graph.add_edge(tail, loop_end.node_id)
+        if self.config.residual_loop_edge:
+            self.graph.add_edge(loop.node_id, loop_end.node_id)
+        return [loop_end.node_id]
+
+
+# ----------------------------------------------------------------------
+def _source_line(stmt: ast.stmt) -> str:
+    try:
+        return ast.unparse(stmt).splitlines()[0]
+    except Exception:  # pragma: no cover - unparse is best-effort
+        return ""
+
+
+def _binop_symbol(op: ast.operator) -> str:
+    return {
+        ast.Add: "+", ast.Sub: "-", ast.Mult: "*", ast.Div: "/",
+        ast.FloorDiv: "//", ast.Mod: "%", ast.Pow: "**",
+    }.get(type(op), "+")
+
+
+def _compare_symbol(test: ast.expr) -> str:
+    if isinstance(test, ast.Compare) and test.ops:
+        symbol = {
+            ast.Eq: "=", ast.NotEq: "!=", ast.Lt: "<", ast.LtE: "<=",
+            ast.Gt: ">", ast.GtE: ">=",
+        }.get(type(test.ops[0]))
+        if symbol in CMP_VOCAB:
+            return symbol
+    return "other"
+
+
+def _static_iterations(stmt, udf: UDF) -> float:
+    """Loop trip count: constant ``range`` arguments, else UDF metadata."""
+    if isinstance(stmt, ast.For) and isinstance(stmt.iter, ast.Call):
+        args = stmt.iter.args
+        constants = [a.value for a in args if isinstance(a, ast.Constant)]
+        if len(constants) == len(args) and constants:
+            if len(constants) == 1:
+                return float(constants[0])
+            step = constants[2] if len(constants) > 2 else 1
+            return float(max(0, (constants[1] - constants[0]) // max(1, step)))
+    # While loops / dynamic ranges: fall back to the generator's metadata.
+    if udf.loops:
+        return float(udf.loops[0].n_iterations)
+    return 10.0
+
+
+class _ExprAnalyzer(ast.NodeVisitor):
+    def __init__(self) -> None:
+        self.lib_calls: list[str] = []
+        self.ops: list[str] = []
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        self.ops.append(_binop_symbol(node.op))
+        self.generic_visit(node)
+
+    def visit_UnaryOp(self, node: ast.UnaryOp) -> None:
+        self.ops.append("neg")
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        self.ops.append("cmp")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if isinstance(func.value, ast.Name) and func.value.id == "math":
+                self.lib_calls.append(_vocab(f"math.{func.attr}"))
+            elif isinstance(func.value, ast.Name) and func.value.id in ("np", "numpy"):
+                self.lib_calls.append(_vocab(f"np.{func.attr}"))
+            else:
+                self.lib_calls.append(_vocab(f"str.{func.attr}"))
+        elif isinstance(func, ast.Name):
+            if func.id in ("abs", "min", "max", "len"):
+                self.ops.append(func.id)
+            elif func.id in ("int", "float", "round", "str"):
+                self.ops.append("cast")
+        self.generic_visit(node)
+
+
+def _vocab(name: str) -> str:
+    return name if name in LIB_VOCAB else "other"
+
+
+def _analyze_expression(expr: ast.expr | None) -> tuple[tuple[str, ...], tuple[str, ...]]:
+    """Library calls and fused arithmetic ops of one expression."""
+    analyzer = _ExprAnalyzer()
+    if expr is not None:
+        analyzer.visit(expr)
+    return tuple(analyzer.lib_calls), tuple(analyzer.ops)
+
+
+def build_udf_graph(udf: UDF, config: UDFGraphConfig | None = None) -> UDFGraph:
+    """Public entry point: UDF → transformed acyclic UDF graph."""
+    return _GraphBuilder(udf, config or UDFGraphConfig()).build()

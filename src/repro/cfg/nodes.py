@@ -1,0 +1,126 @@
+"""UDF graph node types and the symbolic feature schema (Table I)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class UDFNodeType(enum.Enum):
+    """The five (plus LOOP_END) node types of the UDF representation."""
+
+    INV = "INV"
+    COMP = "COMP"
+    BRANCH = "BRANCH"
+    LOOP = "LOOP"
+    LOOP_END = "LOOP_END"
+    RET = "RET"
+
+
+#: Fixed vocabulary of library calls (the "superset of ... library calls"
+#: of §III-A). Unknown calls map to "other".
+LIB_VOCAB: tuple[str, ...] = (
+    "none",
+    "math.sqrt", "math.log", "math.exp", "math.sin", "math.cos",
+    "math.atan", "math.pow", "math.fabs", "math.floor", "math.ceil",
+    "np.sqrt", "np.log", "np.log1p", "np.exp", "np.abs",
+    "np.sign", "np.tanh", "np.power",
+    "str.upper", "str.lower", "str.strip", "str.replace",
+    "str.startswith", "str.split",
+    "other",
+)
+
+#: Arithmetic / comparison operator vocabulary for COMP nodes' ``ops``.
+OPS_VOCAB: tuple[str, ...] = (
+    "+", "-", "*", "/", "//", "%", "**", "neg", "abs", "min", "max",
+    "len", "cast", "cmp",
+)
+
+#: Comparison-operator vocabulary for BRANCH nodes' ``cmop``.
+CMP_VOCAB: tuple[str, ...] = ("=", "!=", "<", "<=", ">", ">=", "like", "other")
+
+#: Python dtype slots for INV ``in_dts`` / RET ``out_dts`` vectors.
+DTYPE_VOCAB: tuple[str, ...] = ("int", "float", "string")
+
+
+@dataclass
+class UDFNode:
+    """One node of the (transformed) UDF control-flow DAG.
+
+    Symbolic features; numeric encoding happens in
+    :mod:`repro.core.encoding`. ``in_rows`` is written later by the
+    hit-ratio annotator (§III-B) — it defaults to ``None`` meaning
+    "not yet annotated".
+    """
+
+    node_id: int
+    ntype: UDFNodeType
+    loop_part: bool = False
+    #: Product of the iteration counts of all loops enclosing this node
+    #: (1.0 outside loops). ``in_rows * iter_multiplier`` is the number of
+    #: times the node's operation actually executes.
+    iter_multiplier: float = 1.0
+    #: Chain of (branch_index, on_else_side) contexts enclosing this node;
+    #: used by the hit-ratio annotator to scale ``in_rows``.
+    branch_context: tuple[tuple[int, bool], ...] = ()
+    #: Rows flowing into the node (float; estimated or actual).
+    in_rows: float | None = None
+
+    # COMP features
+    lib: str = "none"
+    ops: tuple[str, ...] = ()
+
+    # BRANCH features
+    cmop: str | None = None
+    branch_index: int | None = None  # index into UDF.branches metadata
+
+    # LOOP / LOOP_END features
+    loop_type: str | None = None  # "for" | "while"
+    nr_iterations: float | None = None
+
+    # INV features
+    nr_params: int | None = None
+    in_dtypes: tuple[str, ...] = ()
+
+    # RET features
+    out_dtype: str | None = None
+
+    #: source line (debugging / tests)
+    source_line: str = ""
+
+
+@dataclass
+class UDFGraph:
+    """The transformed, acyclic UDF graph (§III-A).
+
+    Edges point along control flow: INV → ... → RET, so the RET node is
+    the sink where message passing aggregates the whole UDF.
+    """
+
+    nodes: list[UDFNode] = field(default_factory=list)
+    edges: list[tuple[int, int]] = field(default_factory=list)
+    udf_name: str = ""
+
+    def add_node(self, node: UDFNode) -> int:
+        self.nodes.append(node)
+        return node.node_id
+
+    def add_edge(self, src: int, dst: int) -> None:
+        self.edges.append((src, dst))
+
+    @property
+    def inv_node(self) -> UDFNode:
+        return next(n for n in self.nodes if n.ntype is UDFNodeType.INV)
+
+    @property
+    def ret_node(self) -> UDFNode:
+        return next(n for n in self.nodes if n.ntype is UDFNodeType.RET)
+
+    def nodes_of_type(self, ntype: UDFNodeType) -> list[UDFNode]:
+        return [n for n in self.nodes if n.ntype is ntype]
+
+    def successors(self, node_id: int) -> list[int]:
+        return [dst for src, dst in self.edges if src == node_id]
+
+    def predecessors(self, node_id: int) -> list[int]:
+        return [src for src, dst in self.edges if dst == node_id]

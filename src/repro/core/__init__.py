@@ -1,0 +1,21 @@
+"""Core GRACEFUL components: joint graphs, hit ratios, feature encoding."""
+
+from repro.core.encoding import FEATURE_DIMS, NODE_TYPES
+from repro.core.hitratio import BranchHitRatios, estimate_hit_ratios
+from repro.core.joint_graph import (
+    JointGraph,
+    JointGraphConfig,
+    build_joint_graph,
+    build_udf_only_graph,
+)
+
+__all__ = [
+    "BranchHitRatios",
+    "FEATURE_DIMS",
+    "JointGraph",
+    "JointGraphConfig",
+    "NODE_TYPES",
+    "build_joint_graph",
+    "build_udf_only_graph",
+    "estimate_hit_ratios",
+]

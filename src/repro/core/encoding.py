@@ -1,0 +1,183 @@
+"""Numeric feature encoding for joint-graph nodes.
+
+Every node type has a fixed-size feature vector built only from
+*transferable* quantities (Table I of the paper): cardinalities are
+log-transformed, categorical values are one-hot encoded over fixed
+vocabularies, and nothing database-specific (column names, literals)
+enters the representation — the property that enables zero-shot
+generalization to unseen databases.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cfg.nodes import CMP_VOCAB, DTYPE_VOCAB, LIB_VOCAB, OPS_VOCAB
+
+#: All node types of the joint query-UDF graph.
+NODE_TYPES: tuple[str, ...] = (
+    # query-plan side
+    "TABLE", "COLUMN", "SCAN", "FILTER", "JOIN", "AGG",
+    "UDF_FILTER", "UDF_PROJECT", "AGG_UDF",
+    # UDF side
+    "INV", "COMP", "BRANCH", "LOOP", "LOOP_END", "RET",
+)
+
+_AGG_FUNCS: tuple[str, ...] = ("count", "sum", "avg", "min", "max")
+
+#: Feature dimensionality per node type (kept in sync with the builders).
+FEATURE_DIMS: dict[str, int] = {
+    "TABLE": 1,
+    "COLUMN": 3 + 2,
+    "SCAN": 1,
+    "FILTER": 3 + len(CMP_VOCAB),
+    "JOIN": 1,
+    "AGG": 1 + len(_AGG_FUNCS),
+    "UDF_FILTER": 1 + len(CMP_VOCAB),
+    "UDF_PROJECT": 1,
+    "AGG_UDF": 2,
+    "INV": 2 + len(DTYPE_VOCAB),
+    "COMP": 3 + len(LIB_VOCAB) + len(OPS_VOCAB),
+    "BRANCH": 3 + len(CMP_VOCAB),
+    "LOOP": 4 + 2,
+    "LOOP_END": 4 + 2,
+    "RET": 1 + len(DTYPE_VOCAB),
+}
+
+
+def _log(value: float | None) -> float:
+    return float(np.log1p(max(0.0, 0.0 if value is None else float(value))))
+
+
+def _onehot(value: str, vocab: tuple[str, ...]) -> np.ndarray:
+    vec = np.zeros(len(vocab))
+    try:
+        vec[vocab.index(value)] = 1.0
+    except ValueError:
+        vec[-1] = 1.0  # last slot doubles as "other"
+    return vec
+
+
+def _multihot(values: tuple[str, ...], vocab: tuple[str, ...]) -> np.ndarray:
+    vec = np.zeros(len(vocab))
+    for value in values:
+        if value in vocab:
+            vec[vocab.index(value)] += 1.0
+    return vec
+
+
+# ----------------------------------------------------------------------
+# query-plan-side builders
+def table_features(n_rows: int) -> np.ndarray:
+    return np.array([_log(n_rows)])
+
+
+def column_features(dtype: str, n_distinct: int, null_fraction: float) -> np.ndarray:
+    return np.concatenate(
+        [_onehot(dtype, DTYPE_VOCAB), [_log(n_distinct), float(null_fraction)]]
+    )
+
+
+def scan_features(est_card: float | None) -> np.ndarray:
+    return np.array([_log(est_card)])
+
+
+def filter_features(
+    est_card: float | None, n_predicates: int, on_udf: bool, cmops: tuple[str, ...]
+) -> np.ndarray:
+    return np.concatenate(
+        [
+            [_log(est_card), float(n_predicates), 1.0 if on_udf else 0.0],
+            _multihot(cmops, CMP_VOCAB),
+        ]
+    )
+
+
+def join_features(est_card: float | None) -> np.ndarray:
+    return np.array([_log(est_card)])
+
+
+def agg_features(func: str, est_card: float | None) -> np.ndarray:
+    return np.concatenate([[_log(est_card)], _onehot(func, _AGG_FUNCS)])
+
+
+def udf_filter_features(est_card: float | None, cmop: str) -> np.ndarray:
+    return np.concatenate([[_log(est_card)], _onehot(cmop, CMP_VOCAB)])
+
+
+def udf_project_features(est_card: float | None) -> np.ndarray:
+    return np.array([_log(est_card)])
+
+
+def agg_udf_features(in_rows: float | None, est_card: float | None) -> np.ndarray:
+    """AGG_UDF: the aggregate-UDF operator node (paper §II-B extension)."""
+    return np.array([_log(in_rows), _log(est_card)])
+
+
+# ----------------------------------------------------------------------
+# UDF-side builders (Table I)
+def inv_features(in_rows: float | None, nr_params: int, in_dtypes: tuple[str, ...]) -> np.ndarray:
+    dtype_counts = np.zeros(len(DTYPE_VOCAB))
+    for dt in in_dtypes:
+        if dt in DTYPE_VOCAB:
+            dtype_counts[DTYPE_VOCAB.index(dt)] += 1.0
+    return np.concatenate([[_log(in_rows), float(nr_params)], dtype_counts])
+
+
+def comp_features(
+    in_rows: float | None,
+    lib: str,
+    ops: tuple[str, ...],
+    loop_part: bool,
+    effective_rows: float | None = None,
+) -> np.ndarray:
+    """``effective_rows`` = in_rows x enclosing-loop iterations — the number
+    of times this computation actually executes (reproduction adaptation:
+    the multiplicative interaction is given explicitly so the small numpy
+    GNN does not have to learn products of log features)."""
+    eff = effective_rows if effective_rows is not None else in_rows
+    return np.concatenate(
+        [
+            [_log(in_rows), _log(eff), 1.0 if loop_part else 0.0],
+            _onehot(lib, LIB_VOCAB),
+            _multihot(ops, OPS_VOCAB),
+        ]
+    )
+
+
+def branch_features(
+    in_rows: float | None,
+    cmop: str,
+    loop_part: bool,
+    effective_rows: float | None = None,
+) -> np.ndarray:
+    eff = effective_rows if effective_rows is not None else in_rows
+    return np.concatenate(
+        [
+            [_log(in_rows), _log(eff), 1.0 if loop_part else 0.0],
+            _onehot(cmop, CMP_VOCAB),
+        ]
+    )
+
+
+def loop_features(
+    in_rows: float | None,
+    loop_type: str,
+    nr_iterations: float | None,
+    loop_part: bool,
+    effective_rows: float | None = None,
+) -> np.ndarray:
+    type_onehot = np.array(
+        [1.0 if loop_type == "for" else 0.0, 1.0 if loop_type == "while" else 0.0]
+    )
+    eff = effective_rows if effective_rows is not None else in_rows
+    return np.concatenate(
+        [
+            [_log(in_rows), _log(eff), _log(nr_iterations), 1.0 if loop_part else 0.0],
+            type_onehot,
+        ]
+    )
+
+
+def ret_features(out_rows: float | None, out_dtype: str) -> np.ndarray:
+    return np.concatenate([[_log(out_rows)], _onehot(out_dtype, DTYPE_VOCAB)])

@@ -1,0 +1,71 @@
+"""Hit-ratio estimation for UDF branches (§III-B).
+
+Branch conditions are rewritten into SQL fragments — the condition on the
+UDF's input column is conjoined with the joins and filters applied *below*
+the UDF in the plan — and handed to the DBMS cardinality estimator:
+
+    SELECT * FROM tables WHERE joins_before_udf AND filters_before_udf
+                           AND branch_cond_inside_udf
+
+The branch hit ratio is the ratio of the two estimates. Because generated
+UDFs test input arguments directly (``x_k OP literal``), the rewrite is
+exact; conditions on derived values would need symbolic propagation (noted
+as future work, as in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sql.expressions import ColumnRef
+from repro.stats.base import CardinalityEstimator, FragmentPredicate, QueryFragment
+from repro.udf.udf import UDF
+
+
+@dataclass
+class BranchHitRatios:
+    """Hit ratio per branch index (probability the *then* side is taken)."""
+
+    ratios: dict[int, float]
+    base_cardinality: float
+
+    def then_ratio(self, branch_index: int) -> float:
+        return self.ratios.get(branch_index, 0.5)
+
+    def else_ratio(self, branch_index: int) -> float:
+        return 1.0 - self.then_ratio(branch_index)
+
+    def context_fraction(self, branch_context: tuple[tuple[int, bool], ...]) -> float:
+        """Fraction of rows reaching a node under nested branch contexts."""
+        fraction = 1.0
+        for branch_index, on_else in branch_context:
+            fraction *= (
+                self.else_ratio(branch_index) if on_else else self.then_ratio(branch_index)
+            )
+        return fraction
+
+
+def estimate_hit_ratios(
+    udf: UDF,
+    input_table: str,
+    input_columns: tuple[str, ...],
+    fragment_below_udf: QueryFragment,
+    estimator: CardinalityEstimator,
+) -> BranchHitRatios:
+    """Estimate hit ratios for every branch of ``udf``.
+
+    ``fragment_below_udf`` is the fragment describing the UDF operator's
+    input (from :func:`repro.stats.annotate.annotate_plan`).
+    """
+    base = max(estimator.estimate(fragment_below_udf), 1e-9)
+    ratios: dict[int, float] = {}
+    for index, branch in enumerate(udf.branches):
+        if branch.arg_index >= len(input_columns):
+            ratios[index] = 0.5  # metadata/argument mismatch: uninformative prior
+            continue
+        column = ColumnRef(input_table, input_columns[branch.arg_index])
+        cond = FragmentPredicate(column, branch.op, branch.literal)
+        conditioned = estimator.estimate(fragment_below_udf.with_predicates((cond,)))
+        ratio = conditioned / base
+        ratios[index] = float(min(max(ratio, 0.0), 1.0))
+    return BranchHitRatios(ratios=ratios, base_cardinality=base)

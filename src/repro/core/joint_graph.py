@@ -1,0 +1,318 @@
+"""Joint query-UDF graph construction (§III-C).
+
+Combines an annotated plan, the database statistics, and the transformed
+UDF DAG into one directed graph whose sink is the plan's root operator.
+Edges point along the information flow the GNN uses:
+
+* TABLE → COLUMN → consuming operator (filter / join / aggregation),
+* COLUMN (UDF argument) → INV node of the UDF graph,
+* UDF-internal edges (INV → ... → RET) from :mod:`repro.cfg`,
+* RET → the operator consuming the UDF output (UDF filter / projection),
+* child operator → parent operator, up to the plan root.
+
+``in_rows`` of UDF nodes combine the UDF operator's input cardinality
+estimate with branch hit ratios from :mod:`repro.core.hitratio`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cfg.builder import UDFGraphConfig, build_udf_graph
+from repro.cfg.nodes import UDFNodeType
+from repro.core import encoding as enc
+from repro.core.hitratio import BranchHitRatios, estimate_hit_ratios
+from repro.exceptions import PlanError
+from repro.sql.expressions import ColumnRef
+from repro.sql.plan import (
+    Aggregate,
+    Filter,
+    HashJoin,
+    PlanNode,
+    Project,
+    Scan,
+    UDFAggregate,
+    UDFFilter,
+    UDFProject,
+)
+from repro.stats.annotate import annotate_plan
+from repro.stats.base import CardinalityEstimator
+from repro.stats.catalog import StatisticsCatalog
+
+
+@dataclass
+class JointGraphConfig:
+    """Knobs for the joint representation (the Fig. 7 ablation switches)."""
+
+    udf_graph: UDFGraphConfig = field(default_factory=UDFGraphConfig)
+    #: encode UDF filters as their own node type (the `on-udf` hint).
+    #: When False they are encoded as plain FILTER nodes.
+    distinguish_udf_filter: bool = True
+    #: connect UDF argument COLUMN nodes to the INV node.
+    connect_columns_to_inv: bool = True
+    #: embed the UDF subgraph at all. False produces the "query-only"
+    #: graph used by the split baselines (Flat+Graph / Graph+Graph).
+    include_udf_subgraph: bool = True
+
+
+@dataclass
+class JointGraph:
+    """The encoded joint graph: typed nodes + directed edges + one root."""
+
+    node_types: list[str] = field(default_factory=list)
+    features: list[np.ndarray] = field(default_factory=list)
+    edges: list[tuple[int, int]] = field(default_factory=list)
+    root_id: int = -1
+    meta: dict = field(default_factory=dict)
+
+    def add_node(self, gtype: str, features: np.ndarray) -> int:
+        expected = enc.FEATURE_DIMS[gtype]
+        if len(features) != expected:
+            raise PlanError(
+                f"{gtype} features have dim {len(features)}, expected {expected}"
+            )
+        self.node_types.append(gtype)
+        self.features.append(np.asarray(features, dtype=np.float64))
+        return len(self.node_types) - 1
+
+    def add_edge(self, src: int, dst: int) -> None:
+        self.edges.append((src, dst))
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_types)
+
+
+class _JointGraphBuilder:
+    def __init__(
+        self,
+        catalog: StatisticsCatalog,
+        estimator: CardinalityEstimator,
+        config: JointGraphConfig,
+    ):
+        self.catalog = catalog
+        self.estimator = estimator
+        self.config = config
+        self.graph = JointGraph()
+        self._table_nodes: dict[str, int] = {}
+        self._column_nodes: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def build(self, plan: PlanNode) -> JointGraph:
+        record = annotate_plan(plan, self.estimator)
+        self.graph.root_id = self._visit(plan, record)
+        return self.graph
+
+    # ------------------------------------------------------------------
+    def _table_node(self, table: str) -> int:
+        if table not in self._table_nodes:
+            node_id = self.graph.add_node(
+                "TABLE", enc.table_features(self.catalog.n_rows(table))
+            )
+            self._table_nodes[table] = node_id
+        return self._table_nodes[table]
+
+    def _column_node(self, ref: ColumnRef) -> int:
+        key = ref.qualified
+        if key not in self._column_nodes:
+            stats = self.catalog.column_stats(ref.table, ref.column)
+            node_id = self.graph.add_node(
+                "COLUMN",
+                enc.column_features(
+                    stats.dtype.value, stats.n_distinct, stats.null_fraction
+                ),
+            )
+            self.graph.add_edge(self._table_node(ref.table), node_id)
+            self._column_nodes[key] = node_id
+        return self._column_nodes[key]
+
+    # ------------------------------------------------------------------
+    def _visit(self, node: PlanNode, record) -> int:
+        if isinstance(node, Scan):
+            gid = self.graph.add_node("SCAN", enc.scan_features(node.est_card))
+            self.graph.add_edge(self._table_node(node.table), gid)
+            return gid
+        if isinstance(node, Filter):
+            child_gid = self._visit(node.child, record)
+            cmops = tuple(p.op.value for p in node.predicate.predicates)
+            gid = self.graph.add_node(
+                "FILTER",
+                enc.filter_features(
+                    node.est_card, len(node.predicate.predicates), node.on_udf, cmops
+                ),
+            )
+            self.graph.add_edge(child_gid, gid)
+            for pred in node.predicate.predicates:
+                self.graph.add_edge(self._column_node(pred.column), gid)
+            return gid
+        if isinstance(node, HashJoin):
+            left_gid = self._visit(node.left, record)
+            right_gid = self._visit(node.right, record)
+            gid = self.graph.add_node("JOIN", enc.join_features(node.est_card))
+            self.graph.add_edge(left_gid, gid)
+            self.graph.add_edge(right_gid, gid)
+            self.graph.add_edge(self._column_node(node.left_key), gid)
+            self.graph.add_edge(self._column_node(node.right_key), gid)
+            return gid
+        if isinstance(node, UDFFilter):
+            child_gid = self._visit(node.child, record)
+            if self.config.distinguish_udf_filter:
+                gid = self.graph.add_node(
+                    "UDF_FILTER",
+                    enc.udf_filter_features(node.est_card, node.op.value),
+                )
+            else:
+                gid = self.graph.add_node(
+                    "FILTER",
+                    enc.filter_features(node.est_card, 1, False, (node.op.value,)),
+                )
+            self.graph.add_edge(child_gid, gid)
+            self._attach_udf(node, gid, record)
+            return gid
+        if isinstance(node, UDFProject):
+            child_gid = self._visit(node.child, record)
+            gid = self.graph.add_node(
+                "UDF_PROJECT", enc.udf_project_features(node.est_card)
+            )
+            self.graph.add_edge(child_gid, gid)
+            self._attach_udf(node, gid, record)
+            return gid
+        if isinstance(node, UDFAggregate):
+            child_gid = self._visit(node.child, record)
+            gid = self.graph.add_node(
+                "AGG_UDF",
+                enc.agg_udf_features(node.child.est_card, node.est_card),
+            )
+            self.graph.add_edge(child_gid, gid)
+            self._attach_udf(node, gid, record)
+            return gid
+        if isinstance(node, Aggregate):
+            child_gid = self._visit(node.child, record)
+            gid = self.graph.add_node(
+                "AGG", enc.agg_features(node.func.value, node.est_card)
+            )
+            self.graph.add_edge(child_gid, gid)
+            if node.column is not None and node.column.table:
+                try:
+                    self.graph.add_edge(self._column_node(node.column), gid)
+                except Exception:
+                    pass  # aggregate over a derived column (e.g. UDF output)
+            return gid
+        if isinstance(node, Project):
+            return self._visit(node.child, record)
+        raise PlanError(f"cannot embed node {type(node).__name__} in joint graph")
+
+    # ------------------------------------------------------------------
+    def _attach_udf(
+        self, node: UDFFilter | UDFProject, op_gid: int | None, record
+    ) -> int | None:
+        """Build the UDF subgraph and wire it to the consuming operator.
+
+        Returns the graph id of the RET node (or ``None`` when the config
+        excludes the UDF subgraph).
+        """
+        if not self.config.include_udf_subgraph:
+            return None
+        udf = node.udf
+        child = node.children[0]
+        state = record.get(child.node_id)
+        in_rows = child.est_card if child.est_card is not None else 0.0
+        input_table = node.input_columns[0].table if node.input_columns else ""
+        input_column_names = tuple(ref.column for ref in node.input_columns)
+
+        if state is not None and udf.branches:
+            ratios = estimate_hit_ratios(
+                udf, input_table, input_column_names, state.fragment, self.estimator
+            )
+        else:
+            ratios = BranchHitRatios(ratios={}, base_cardinality=in_rows)
+
+        udf_graph = build_udf_graph(udf, self.config.udf_graph)
+        gid_of: dict[int, int] = {}
+        for unode in udf_graph.nodes:
+            rows_here = in_rows * ratios.context_fraction(unode.branch_context)
+            effective = rows_here * max(unode.iter_multiplier, 1.0)
+            if unode.ntype is UDFNodeType.INV:
+                gid = self.graph.add_node(
+                    "INV", enc.inv_features(rows_here, unode.nr_params or 0, unode.in_dtypes)
+                )
+                if self.config.connect_columns_to_inv:
+                    for ref in node.input_columns:
+                        self.graph.add_edge(self._column_node(ref), gid)
+            elif unode.ntype is UDFNodeType.COMP:
+                gid = self.graph.add_node(
+                    "COMP",
+                    enc.comp_features(
+                        rows_here, unode.lib, unode.ops, unode.loop_part,
+                        effective_rows=effective,
+                    ),
+                )
+            elif unode.ntype is UDFNodeType.BRANCH:
+                gid = self.graph.add_node(
+                    "BRANCH",
+                    enc.branch_features(
+                        rows_here, unode.cmop or "other", unode.loop_part,
+                        effective_rows=effective,
+                    ),
+                )
+            elif unode.ntype in (UDFNodeType.LOOP, UDFNodeType.LOOP_END):
+                gid = self.graph.add_node(
+                    unode.ntype.value,
+                    enc.loop_features(
+                        rows_here,
+                        unode.loop_type or "for",
+                        unode.nr_iterations,
+                        unode.loop_part,
+                        effective_rows=effective,
+                    ),
+                )
+            elif unode.ntype is UDFNodeType.RET:
+                out_rows = node.est_card if node.est_card is not None else in_rows
+                gid = self.graph.add_node(
+                    "RET", enc.ret_features(out_rows, unode.out_dtype or "float")
+                )
+            else:  # pragma: no cover - exhaustive over UDFNodeType
+                raise PlanError(f"unknown UDF node type {unode.ntype}")
+            gid_of[unode.node_id] = gid
+
+        for src, dst in udf_graph.edges:
+            self.graph.add_edge(gid_of[src], gid_of[dst])
+        ret_gid = gid_of[udf_graph.ret_node.node_id]
+        if op_gid is not None:
+            # RET feeds the consuming operator.
+            self.graph.add_edge(ret_gid, op_gid)
+        return ret_gid
+
+
+def build_joint_graph(
+    plan: PlanNode,
+    catalog: StatisticsCatalog,
+    estimator: CardinalityEstimator,
+    config: JointGraphConfig | None = None,
+) -> JointGraph:
+    """Public entry point: annotated plan → encoded joint graph."""
+    builder = _JointGraphBuilder(catalog, estimator, config or JointGraphConfig())
+    return builder.build(plan)
+
+
+def build_udf_only_graph(
+    plan: PlanNode,
+    catalog: StatisticsCatalog,
+    estimator: CardinalityEstimator,
+    config: JointGraphConfig | None = None,
+) -> JointGraph | None:
+    """The isolated UDF subgraph of a plan (Graph+Graph baseline).
+
+    Contains the UDF nodes plus the argument COLUMN/TABLE sources; the
+    root is the RET node. Returns ``None`` for plans without a UDF.
+    """
+    builder = _JointGraphBuilder(catalog, estimator, config or JointGraphConfig())
+    record = annotate_plan(plan, estimator)
+    udf_nodes = [n for n in plan.walk() if isinstance(n, (UDFFilter, UDFProject))]
+    if not udf_nodes:
+        return None
+    ret_gid = builder._attach_udf(udf_nodes[0], None, record)
+    builder.graph.root_id = ret_gid if ret_gid is not None else 0
+    return builder.graph

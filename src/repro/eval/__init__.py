@@ -1,0 +1,64 @@
+"""Evaluation harness: metrics, folds, sample prep, experiment drivers."""
+
+from repro.eval.folds import leave_one_out_folds
+from repro.eval.metrics import format_summary, q_error, q_error_summary
+from repro.eval.samples import (
+    PreparedSample,
+    joint_graphs_of,
+    prepare_dataset_samples,
+    runtimes_of,
+    training_placements,
+)
+# Experiment drivers are exported lazily: repro.eval.experiments imports
+# the model/advisor stack, which itself needs repro.eval.samples — an
+# eager import here would create a cycle.
+_EXPERIMENT_EXPORTS = (
+    "ABLATION_STEPS",
+    "AdvisorRecord",
+    "ExperimentScale",
+    "FoldRun",
+    "PredictionRecord",
+    "fig5_view",
+    "fig6_view",
+    "fig8_view",
+    "run_ablation",
+    "run_folds",
+    "run_select_only",
+    "scale_from_env",
+    "table3_view",
+    "table5_view",
+)
+
+
+def __getattr__(name: str):
+    if name in _EXPERIMENT_EXPORTS:
+        from repro.eval import experiments
+
+        return getattr(experiments, name)
+    raise AttributeError(f"module 'repro.eval' has no attribute {name!r}")
+
+__all__ = [
+    "ABLATION_STEPS",
+    "AdvisorRecord",
+    "ExperimentScale",
+    "FoldRun",
+    "PredictionRecord",
+    "PreparedSample",
+    "fig5_view",
+    "fig6_view",
+    "fig8_view",
+    "format_summary",
+    "joint_graphs_of",
+    "leave_one_out_folds",
+    "prepare_dataset_samples",
+    "q_error",
+    "q_error_summary",
+    "run_ablation",
+    "run_folds",
+    "run_select_only",
+    "runtimes_of",
+    "scale_from_env",
+    "table3_view",
+    "table5_view",
+    "training_placements",
+]

@@ -1,0 +1,615 @@
+"""Experiment drivers for Exp 1-5 of the paper (§VI).
+
+The heavy lifting happens once in :func:`run_folds`: per leave-one-out
+fold it trains GRACEFUL and the split baselines on the training datasets
+and produces flat *records* (one per test prediction / advisor decision).
+Every table and figure of the paper is then a cheap aggregation view over
+those records:
+
+* Table III  -> :func:`table3_view`
+* Fig. 5     -> :func:`fig5_view`
+* Fig. 6     -> :func:`fig6_view`
+* Table V    -> :func:`table5_view`
+* Fig. 8     -> :func:`fig8_view`
+
+Exp 3 (Table IV, select-only workload) and Exp 4 (Fig. 7, feature
+ablation) need different workloads/representations and have their own
+drivers. Results are cached on disk keyed by the experiment scale.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.advisor.advisor import PullUpAdvisor
+from repro.advisor.strategies import STRATEGIES
+from repro.bench.builder import DatasetBenchmark, cache_dir, load_or_build_dataset
+from repro.bench.workload import WorkloadConfig
+from repro.cfg.builder import UDFGraphConfig
+from repro.core.joint_graph import JointGraphConfig
+from repro.eval.folds import leave_one_out_folds
+from repro.eval.metrics import q_error, q_error_summary
+from repro.eval.samples import (
+    PreparedSample,
+    prepare_dataset_samples,
+    training_placements,
+)
+from repro.model.baselines import FlatGraphBaseline, GracefulModel, GraphGraphBaseline
+from repro.model.flatvector import FlatVectorUDFModel
+from repro.model.gnn import GNNConfig
+from repro.model.training import TrainConfig
+from repro.sql.plan import UDFFilter, find_nodes
+from repro.sql.query import UDFPlacement
+from repro.stats import StatisticsCatalog, make_estimator
+from repro.storage.generator import DATASET_NAMES
+
+_RESULT_CACHE_VERSION = "v1"
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Scale knobs for all experiments (see DESIGN.md §7)."""
+
+    datasets: tuple[str, ...] = DATASET_NAMES[:8]
+    n_queries_per_db: int = 64
+    n_folds: int = 2
+    epochs: int = 45
+    hidden_dim: int = 32
+    shards_per_epoch: int = 5
+    seed: int = 0
+    use_cache: bool = True
+    estimators: tuple[str, ...] = ("actual", "deepdb", "wanderjoin", "duckdb")
+    advisor_max_queries: int = 40
+
+    def key(self) -> str:
+        from repro.storage.generator import hash_name
+
+        datasets = ",".join(self.datasets)
+        return (
+            f"{_RESULT_CACHE_VERSION}_{hash_name(datasets) % 10**8}_"
+            f"{len(self.datasets)}ds_{self.n_queries_per_db}q_{self.n_folds}f_"
+            f"{self.epochs}e_{self.hidden_dim}h_{self.seed}s"
+        )
+
+
+def scale_from_env() -> ExperimentScale:
+    """REPRO_SCALE=quick|default|full selects the experiment size."""
+    mode = os.environ.get("REPRO_SCALE", "default")
+    if mode == "quick":
+        return ExperimentScale(
+            datasets=DATASET_NAMES[:4], n_queries_per_db=20, n_folds=1,
+            epochs=15, hidden_dim=16, advisor_max_queries=15,
+        )
+    if mode == "full":
+        return ExperimentScale(
+            datasets=DATASET_NAMES, n_queries_per_db=150, n_folds=20,
+            epochs=60, hidden_dim=32, advisor_max_queries=200,
+        )
+    return ExperimentScale()
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class PredictionRecord:
+    model: str
+    estimator: str
+    dataset: str
+    placement: str
+    runtime: float
+    prediction: float
+    has_udf: bool
+    udf_meta: dict
+    top_card_q: float
+
+
+@dataclass
+class AdvisorRecord:
+    dataset: str
+    query_id: int
+    estimator: str
+    pushdown_runtime: float
+    pullup_runtime: float
+    #: strategy name -> chose pull-up? ("cost" present for actual cards)
+    decisions: dict[str, bool]
+    overhead_seconds: float
+
+
+@dataclass
+class FoldRun:
+    test_dataset: str
+    predictions: list[PredictionRecord] = field(default_factory=list)
+    advisor: list[AdvisorRecord] = field(default_factory=list)
+    seconds: dict[str, float] = field(default_factory=dict)
+
+
+# ----------------------------------------------------------------------
+class SampleStore:
+    """Per-process cache of benchmarks and prepared samples."""
+
+    def __init__(self, scale: ExperimentScale):
+        self.scale = scale
+        self._benches: dict[str, DatasetBenchmark] = {}
+        self._samples: dict[tuple, list[PreparedSample]] = {}
+        self._catalogs: dict[str, StatisticsCatalog] = {}
+
+    def bench(self, dataset: str) -> DatasetBenchmark:
+        if dataset not in self._benches:
+            self._benches[dataset] = load_or_build_dataset(
+                dataset, self.scale.n_queries_per_db, self.scale.seed,
+                use_cache=self.scale.use_cache,
+            )
+        return self._benches[dataset]
+
+    def catalog(self, dataset: str) -> StatisticsCatalog:
+        if dataset not in self._catalogs:
+            self._catalogs[dataset] = StatisticsCatalog(self.bench(dataset).database)
+        return self._catalogs[dataset]
+
+    def samples(
+        self,
+        dataset: str,
+        estimator: str,
+        placements: tuple[UDFPlacement, ...] | None,
+        baseline_graphs: bool,
+        config: JointGraphConfig | None = None,
+        tag: str = "",
+    ) -> list[PreparedSample]:
+        key = (dataset, estimator, placements, baseline_graphs, tag)
+        if key not in self._samples:
+            self._samples[key] = prepare_dataset_samples(
+                self.bench(dataset),
+                estimator_name=estimator,
+                placements=placements,
+                include_baseline_graphs=baseline_graphs,
+                joint_config=config,
+                catalog=self.catalog(dataset),
+            )
+        return self._samples[key]
+
+
+def _gnn_config(scale: ExperimentScale) -> GNNConfig:
+    return GNNConfig(hidden_dim=scale.hidden_dim, seed=scale.seed)
+
+
+def _train_config(scale: ExperimentScale) -> TrainConfig:
+    return TrainConfig(
+        epochs=scale.epochs, shards_per_epoch=scale.shards_per_epoch, seed=scale.seed
+    )
+
+
+def _true_udf_selectivity(run) -> float:
+    """True UDF-filter selectivity of an executed plan."""
+    for node in find_nodes(run.plan, UDFFilter):
+        child_card = node.children[0].true_card or 0
+        if child_card > 0 and node.true_card is not None:
+            return float(node.true_card) / float(child_card)
+    return 0.5
+
+
+# ----------------------------------------------------------------------
+def run_folds(scale: ExperimentScale | None = None) -> list[FoldRun]:
+    """Train + evaluate all folds (the shared core of Exp 1, 2, 5)."""
+    scale = scale or scale_from_env()
+    path = cache_dir() / f"folds_{scale.key()}.pkl"
+    if scale.use_cache and path.exists():
+        with open(path, "rb") as fh:
+            return pickle.load(fh)
+
+    store = SampleStore(scale)
+    folds = leave_one_out_folds(scale.datasets, scale.n_folds)
+    runs: list[FoldRun] = []
+    for test_dataset, train_datasets in folds:
+        run = _run_one_fold(scale, store, test_dataset, train_datasets)
+        runs.append(run)
+    if scale.use_cache:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "wb") as fh:
+            pickle.dump(runs, fh)
+    return runs
+
+
+def _run_one_fold(
+    scale: ExperimentScale,
+    store: SampleStore,
+    test_dataset: str,
+    train_datasets: tuple[str, ...],
+) -> FoldRun:
+    run = FoldRun(test_dataset=test_dataset)
+    t0 = time.perf_counter()
+    train_samples: list[PreparedSample] = []
+    for dataset in train_datasets:
+        train_samples.extend(
+            store.samples(dataset, "actual", training_placements(), True)
+        )
+    run.seconds["prepare"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    graceful = GracefulModel(_gnn_config(scale), _train_config(scale))
+    graceful.fit(train_samples)
+    flat_graph = FlatGraphBaseline(_gnn_config(scale), _train_config(scale))
+    flat_graph.fit(train_samples)
+    graph_graph = GraphGraphBaseline(_gnn_config(scale), _train_config(scale))
+    graph_graph.fit(train_samples)
+    run.seconds["train"] = time.perf_counter() - t0
+
+    # --- accuracy records -------------------------------------------------
+    t0 = time.perf_counter()
+    for estimator in scale.estimators:
+        test_samples = store.samples(
+            test_dataset, estimator, None, estimator == "actual"
+        )
+        predictions = graceful.predict(test_samples)
+        for sample, pred in zip(test_samples, predictions):
+            run.predictions.append(_record("GRACEFUL", estimator, sample, pred))
+        if estimator == "actual":
+            for model in (flat_graph, graph_graph):
+                preds = model.predict(test_samples)
+                for sample, pred in zip(test_samples, preds):
+                    run.predictions.append(_record(model.name, estimator, sample, pred))
+    run.seconds["evaluate"] = time.perf_counter() - t0
+
+    # --- advisor records --------------------------------------------------
+    t0 = time.perf_counter()
+    bench = store.bench(test_dataset)
+    catalog = store.catalog(test_dataset)
+    advisor_entries = [e for e in bench.entries if len(e.runs) == 3]
+    advisor_entries = advisor_entries[: scale.advisor_max_queries]
+    for estimator_name in ("actual", "deepdb"):
+        estimator = make_estimator(estimator_name, bench.database)
+        advisor = PullUpAdvisor(
+            model=graceful.model, catalog=catalog, estimator=estimator
+        )
+        for entry in advisor_entries:
+            decision = advisor.decide(entry.query)
+            decisions = {
+                name: bool(fn(
+                    decision.pullup_costs, decision.pushdown_costs,
+                    decision.selectivity_levels,
+                ))
+                for name, fn in STRATEGIES.items()
+            }
+            overhead = decision.decision_seconds
+            if estimator_name == "actual":
+                true_sel = _true_udf_selectivity(entry.runs[UDFPlacement.PUSH_DOWN])
+                cost_decision = advisor.decide(entry.query, true_selectivity=true_sel)
+                decisions["cost"] = cost_decision.pull_up
+                overhead += cost_decision.decision_seconds
+            run.advisor.append(
+                AdvisorRecord(
+                    dataset=test_dataset,
+                    query_id=entry.query.query_id,
+                    estimator=estimator_name,
+                    pushdown_runtime=entry.runs[UDFPlacement.PUSH_DOWN].runtime,
+                    pullup_runtime=entry.runs[UDFPlacement.PULL_UP].runtime,
+                    decisions=decisions,
+                    overhead_seconds=overhead,
+                )
+            )
+    run.seconds["advisor"] = time.perf_counter() - t0
+    return run
+
+
+def _record(
+    model: str, estimator: str, sample: PreparedSample, prediction: float
+) -> PredictionRecord:
+    top_q = float(
+        q_error(
+            np.asarray([max(sample.top_est_card, 1.0)]),
+            np.asarray([max(sample.top_true_card, 1.0)]),
+        )[0]
+    )
+    return PredictionRecord(
+        model=model,
+        estimator=estimator,
+        dataset=sample.dataset,
+        placement=sample.placement.value,
+        runtime=sample.runtime,
+        prediction=float(prediction),
+        has_udf=sample.has_udf,
+        udf_meta=sample.udf_meta,
+        top_card_q=top_q,
+    )
+
+
+# ----------------------------------------------------------------------
+# views over fold records
+_POSITIONS = ("pull_up", "intermediate", "push_down")
+
+
+def _summary_of(records: list[PredictionRecord]) -> dict[str, float]:
+    preds = np.asarray([r.prediction for r in records])
+    trues = np.asarray([r.runtime for r in records])
+    return q_error_summary(preds, trues)
+
+
+def table3_view(runs: list[FoldRun]) -> dict:
+    """Table III: per (model, estimator) overall + per-position q-errors."""
+    all_records = [r for run in runs for r in run.predictions]
+    rows = []
+    combos = []
+    for model in ("GRACEFUL", "Flat+Graph", "Graph+Graph"):
+        combos.append((model, "actual"))
+    for estimator in ("deepdb", "wanderjoin", "duckdb"):
+        combos.append(("GRACEFUL", estimator))
+    for model, estimator in combos:
+        records = [
+            r for r in all_records
+            if r.model == model and r.estimator == estimator and r.has_udf
+        ]
+        if not records:
+            continue
+        row = {
+            "model": model,
+            "estimator": estimator,
+            "overall": _summary_of(records),
+        }
+        for position in _POSITIONS:
+            row[position] = _summary_of([r for r in records if r.placement == position])
+        card_qs = np.asarray([r.top_card_q for r in records])
+        row["card_error"] = {
+            "median": float(np.median(card_qs)),
+            "p95": float(np.percentile(card_qs, 95)),
+        }
+        rows.append(row)
+    return {"rows": rows}
+
+
+def fig5_view(runs: list[FoldRun]) -> dict:
+    """Fig. 5: per-dataset q-error summaries per estimator (GRACEFUL)."""
+    out: dict[str, dict[str, dict]] = {}
+    for run in runs:
+        records = [r for r in run.predictions if r.model == "GRACEFUL" and r.has_udf]
+        per_est: dict[str, dict] = {}
+        estimators = sorted({r.estimator for r in records})
+        for estimator in estimators:
+            per_est[estimator] = _summary_of(
+                [r for r in records if r.estimator == estimator]
+            )
+        out[run.test_dataset] = per_est
+    return out
+
+
+_COMP_BUCKETS = ((0, 6), (6, 12), (12, 24), (24, 40), (40, 1000))
+
+
+def fig6_view(runs: list[FoldRun]) -> dict:
+    """Fig. 6: q-error vs UDF complexity (COMP nodes, branches, loops)."""
+    records = [
+        r for run in runs for r in run.predictions
+        if r.model == "GRACEFUL" and r.has_udf and r.estimator in ("actual", "deepdb")
+    ]
+    out: dict[str, dict] = {"graph_size": {}, "branches": {}, "loops": {}}
+    for estimator in ("actual", "deepdb"):
+        est_records = [r for r in records if r.estimator == estimator]
+        out["graph_size"][estimator] = {
+            f"{lo}-{hi}": _summary_of(
+                [r for r in est_records if lo <= r.udf_meta.get("n_comp_nodes", 0) < hi]
+            )
+            for lo, hi in _COMP_BUCKETS
+        }
+        out["branches"][estimator] = {
+            str(k): _summary_of(
+                [r for r in est_records if r.udf_meta.get("n_branches", 0) == k]
+            )
+            for k in range(4)
+        }
+        out["loops"][estimator] = {
+            str(k): _summary_of(
+                [r for r in est_records if r.udf_meta.get("n_loops", 0) == k]
+            )
+            for k in range(4)
+        }
+    return out
+
+
+_TABLE5_STRATEGIES = (
+    ("GRACEFUL (Cost)", "actual", "cost"),
+    ("GRACEFUL (Conservative)", "deepdb", "conservative"),
+    ("GRACEFUL (AuC)", "deepdb", "auc"),
+    ("GRACEFUL (UBC)", "deepdb", "ubc"),
+)
+
+
+def _advisor_outcomes(
+    records: list[AdvisorRecord], strategy: str
+) -> dict[str, float]:
+    """Aggregate one strategy over advisor records."""
+    pushdown = np.asarray([r.pushdown_runtime for r in records])
+    pullup = np.asarray([r.pullup_runtime for r in records])
+    chose_up = np.asarray([r.decisions.get(strategy, False) for r in records])
+    chosen = np.where(chose_up, pullup, pushdown)
+    optimal = np.minimum(pushdown, pullup)
+    total_base = pushdown.sum()
+    false_pos = chose_up & (pullup > pushdown)
+    overhead = float(sum(r.overhead_seconds for r in records))
+    return {
+        "total_runtime_s": float(chosen.sum()),
+        "total_speedup": float(total_base / max(chosen.sum(), 1e-12)),
+        "median_speedup": float(np.median(pushdown / np.maximum(chosen, 1e-12))),
+        "false_positives": float(false_pos.mean()) if len(records) else 0.0,
+        "fp_impact": float(
+            np.maximum(chosen - pushdown, 0.0).sum() / max(total_base, 1e-12)
+        ),
+        "optimization_overhead": overhead / max(float(chosen.sum()), 1e-12),
+        "n_queries": float(len(records)),
+        "optimal_total_runtime_s": float(optimal.sum()),
+        "optimal_total_speedup": float(total_base / max(optimal.sum(), 1e-12)),
+        "optimal_median_speedup": float(
+            np.median(pushdown / np.maximum(optimal, 1e-12))
+        ),
+        "no_pullup_total_runtime_s": float(total_base),
+    }
+
+
+def table5_view(runs: list[FoldRun]) -> dict:
+    """Table V: aggregate advisor comparison across all test datasets."""
+    rows = {}
+    for label, estimator, strategy in _TABLE5_STRATEGIES:
+        records = [
+            r for run in runs for r in run.advisor if r.estimator == estimator
+        ]
+        if records:
+            rows[label] = _advisor_outcomes(records, strategy)
+    return rows
+
+
+def fig8_view(runs: list[FoldRun]) -> dict:
+    """Fig. 8: per-dataset advisor speedups per strategy."""
+    out: dict[str, dict[str, float]] = {}
+    for run in runs:
+        per_ds: dict[str, float] = {}
+        for label, estimator, strategy in _TABLE5_STRATEGIES:
+            records = [r for r in run.advisor if r.estimator == estimator]
+            if records:
+                per_ds[label] = _advisor_outcomes(records, strategy)["total_speedup"]
+        actual_records = [r for r in run.advisor if r.estimator == "actual"]
+        if actual_records:
+            outcome = _advisor_outcomes(actual_records, "cost")
+            per_ds["Optimum"] = outcome["optimal_total_speedup"]
+            per_ds["No Pullup"] = 1.0
+        out[run.test_dataset] = per_ds
+    return out
+
+
+# ----------------------------------------------------------------------
+# Exp 3: select-only workload (Table IV)
+def run_select_only(scale: ExperimentScale | None = None) -> dict:
+    """Table IV: GRACEFUL vs FlatVector on no-join, UDF-dominated queries."""
+    scale = scale or scale_from_env()
+    path = cache_dir() / f"selectonly_{scale.key()}.pkl"
+    if scale.use_cache and path.exists():
+        with open(path, "rb") as fh:
+            return pickle.load(fh)
+
+    workload = WorkloadConfig(
+        max_joins=0, join_weights=(1.0,), non_udf_fraction=0.0, filter_prob=0.4
+    )
+    benches = {
+        name: load_or_build_dataset(
+            name, scale.n_queries_per_db, scale.seed + 1_000,
+            use_cache=scale.use_cache, workload_config=workload,
+        )
+        for name in scale.datasets
+    }
+    test_dataset = scale.datasets[0]
+    train_samples: list[PreparedSample] = []
+    for name, bench in benches.items():
+        if name == test_dataset:
+            continue
+        train_samples.extend(prepare_dataset_samples(bench, "actual"))
+
+    graceful = GracefulModel(_gnn_config(scale), _train_config(scale))
+    graceful.fit(train_samples)
+    flat = FlatVectorUDFModel()
+    udf_train = [s for s in train_samples if s.has_udf]
+    flat.fit(
+        [s.udf for s in udf_train],
+        np.asarray([s.runtime for s in udf_train]),
+        np.asarray([s.true_udf_input_rows for s in udf_train]),
+    )
+
+    results: dict[str, dict] = {}
+    for estimator in ("actual", "deepdb"):
+        test_samples = [
+            s for s in prepare_dataset_samples(benches[test_dataset], estimator)
+            if s.has_udf
+        ]
+        trues = np.asarray([s.runtime for s in test_samples])
+        graceful_preds = graceful.predict(test_samples)
+        flat_preds = flat.predict(
+            [s.udf for s in test_samples],
+            np.asarray([s.est_udf_input_rows for s in test_samples]),
+        )
+        results[f"GRACEFUL/{estimator}"] = q_error_summary(graceful_preds, trues)
+        results[f"FlatVector/{estimator}"] = q_error_summary(flat_preds, trues)
+    if scale.use_cache:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "wb") as fh:
+            pickle.dump(results, fh)
+    return results
+
+
+# ----------------------------------------------------------------------
+# Exp 4: feature ablation (Fig. 7)
+ABLATION_STEPS: tuple[tuple[str, JointGraphConfig], ...] = (
+    (
+        "RET nodes only (1)",
+        JointGraphConfig(
+            udf_graph=UDFGraphConfig(include_structure=False),
+            distinguish_udf_filter=False,
+        ),
+    ),
+    (
+        "+ LOOP, COMP, BRANCH (2)",
+        JointGraphConfig(
+            udf_graph=UDFGraphConfig(include_loop_end=False, residual_loop_edge=False),
+            distinguish_udf_filter=False,
+        ),
+    ),
+    (
+        "+ FILTER: on-udf feature (3)",
+        JointGraphConfig(
+            udf_graph=UDFGraphConfig(include_loop_end=False, residual_loop_edge=False),
+            distinguish_udf_filter=True,
+        ),
+    ),
+    (
+        "+ LOOP_END (4)",
+        JointGraphConfig(
+            udf_graph=UDFGraphConfig(residual_loop_edge=False),
+            distinguish_udf_filter=True,
+        ),
+    ),
+    (
+        "+ residual LOOP edge (5)",
+        JointGraphConfig(udf_graph=UDFGraphConfig(), distinguish_udf_filter=True),
+    ),
+)
+
+
+def run_ablation(
+    scale: ExperimentScale | None = None, test_dataset: str | None = None
+) -> dict[str, dict]:
+    """Fig. 7: train one model per representation variant, compare."""
+    scale = scale or scale_from_env()
+    if test_dataset is None:
+        test_dataset = "genome" if "genome" in scale.datasets else scale.datasets[-1]
+    path = cache_dir() / f"ablation_{scale.key()}_{test_dataset}.pkl"
+    if scale.use_cache and path.exists():
+        with open(path, "rb") as fh:
+            return pickle.load(fh)
+
+    store = SampleStore(scale)
+    train_datasets = tuple(d for d in scale.datasets if d != test_dataset)
+    results: dict[str, dict] = {}
+    for step, config in ABLATION_STEPS:
+        train_samples: list[PreparedSample] = []
+        for dataset in train_datasets:
+            train_samples.extend(
+                store.samples(
+                    dataset, "actual", training_placements(), False,
+                    config=config, tag=step,
+                )
+            )
+        test_samples = [
+            s for s in store.samples(
+                test_dataset, "actual", None, False, config=config, tag=step
+            )
+            if s.has_udf
+        ]
+        model = GracefulModel(_gnn_config(scale), _train_config(scale))
+        model.fit(train_samples)
+        preds = model.predict(test_samples)
+        trues = np.asarray([s.runtime for s in test_samples])
+        results[step] = q_error_summary(preds, trues)
+    if scale.use_cache:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "wb") as fh:
+            pickle.dump(results, fh)
+    return results

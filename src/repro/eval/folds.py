@@ -1,0 +1,24 @@
+"""Leave-one-out cross-validation folds over the benchmark datasets."""
+
+from __future__ import annotations
+
+from repro.storage.generator import DATASET_NAMES
+
+
+def leave_one_out_folds(
+    datasets: tuple[str, ...] = DATASET_NAMES,
+    n_folds: int | None = None,
+) -> list[tuple[str, tuple[str, ...]]]:
+    """(test_dataset, train_datasets) pairs.
+
+    The paper runs all 20 folds; ``n_folds`` restricts to the first N for
+    CI-friendly runs (the dataset order is the paper's alphabetical one,
+    so fold subsets are deterministic).
+    """
+    folds = []
+    for test in datasets:
+        train = tuple(d for d in datasets if d != test)
+        folds.append((test, train))
+    if n_folds is not None:
+        folds = folds[:n_folds]
+    return folds

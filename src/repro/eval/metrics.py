@@ -1,0 +1,37 @@
+"""Evaluation metrics: the Q-error and its percentiles."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def q_error(predicted: np.ndarray, actual: np.ndarray, eps: float = 1e-9) -> np.ndarray:
+    """Elementwise Q-error: ``max(pred/actual, actual/pred)`` (paper §VI)."""
+    pred = np.maximum(np.asarray(predicted, dtype=np.float64), eps)
+    act = np.maximum(np.asarray(actual, dtype=np.float64), eps)
+    return np.maximum(pred / act, act / pred)
+
+
+def q_error_summary(
+    predicted: np.ndarray, actual: np.ndarray
+) -> dict[str, float]:
+    """Median / 95th / 99th percentile Q-errors, as reported in the paper."""
+    errors = q_error(predicted, actual)
+    if len(errors) == 0:
+        return {"median": float("nan"), "p95": float("nan"), "p99": float("nan")}
+    return {
+        "median": float(np.median(errors)),
+        "p95": float(np.percentile(errors, 95)),
+        "p99": float(np.percentile(errors, 99)),
+        "mean": float(np.mean(errors)),
+        "max": float(np.max(errors)),
+        "count": float(len(errors)),
+    }
+
+
+def format_summary(summary: dict[str, float]) -> str:
+    return (
+        f"median={summary['median']:.2f} "
+        f"p95={summary['p95']:.2f} p99={summary['p99']:.2f} "
+        f"(n={int(summary.get('count', 0))})"
+    )

@@ -1,0 +1,135 @@
+"""Sample preparation: benchmark entries → model-ready training samples.
+
+One :class:`PreparedSample` per executed (query, placement) pair, carrying
+every representation the experiments compare:
+
+* the joint query-UDF graph (GRACEFUL),
+* the query-only graph and UDF-only graph (split baselines),
+* the flat UDF feature vector (FlatVector baseline),
+* the runtime and its UDF/query decomposition,
+* metadata for stratified evaluation (placement, complexity, dataset).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bench.builder import DatasetBenchmark
+from repro.core.joint_graph import (
+    JointGraph,
+    JointGraphConfig,
+    build_joint_graph,
+    build_udf_only_graph,
+)
+from repro.sql.plan import Aggregate, UDFFilter, UDFProject, find_nodes
+from repro.sql.query import UDFPlacement
+from repro.stats import StatisticsCatalog, make_estimator
+from repro.udf.udf import UDF
+
+
+@dataclass
+class PreparedSample:
+    """One model-ready data point."""
+
+    joint_graph: JointGraph
+    runtime: float
+    query_runtime: float
+    udf_runtime: float
+    dataset: str
+    placement: UDFPlacement
+    query_id: int
+    udf: UDF | None = None
+    query_graph: JointGraph | None = None
+    udf_graph: JointGraph | None = None
+    est_udf_input_rows: float = 0.0
+    true_udf_input_rows: float = 0.0
+    udf_meta: dict = field(default_factory=dict)
+    has_udf: bool = False
+    #: cardinality at the top of the plan (below the final aggregation);
+    #: the "Card. Est. Error" column of Table III compares these.
+    top_est_card: float = 0.0
+    top_true_card: float = 0.0
+
+
+def prepare_dataset_samples(
+    bench: DatasetBenchmark,
+    estimator_name: str = "actual",
+    placements: tuple[UDFPlacement, ...] | None = None,
+    joint_config: JointGraphConfig | None = None,
+    include_baseline_graphs: bool = False,
+    catalog: StatisticsCatalog | None = None,
+) -> list[PreparedSample]:
+    """Build samples for every (entry, placement) of one dataset benchmark."""
+    catalog = catalog or StatisticsCatalog(bench.database)
+    estimator = make_estimator(estimator_name, bench.database)
+    joint_config = joint_config or JointGraphConfig()
+    query_config = JointGraphConfig(
+        udf_graph=joint_config.udf_graph,
+        distinguish_udf_filter=joint_config.distinguish_udf_filter,
+        include_udf_subgraph=False,
+    )
+    samples: list[PreparedSample] = []
+    for entry in bench.entries:
+        for placement, run in entry.runs.items():
+            if placements is not None and placement not in placements:
+                continue
+            plan = run.plan
+            joint = build_joint_graph(plan, catalog, estimator, joint_config)
+            sample = PreparedSample(
+                joint_graph=joint,
+                runtime=run.runtime,
+                query_runtime=run.query_runtime,
+                udf_runtime=run.udf_runtime,
+                dataset=bench.name,
+                placement=placement,
+                query_id=entry.query.query_id,
+                udf=entry.query.udf.udf if entry.query.has_udf else None,
+                udf_meta=dict(entry.udf_meta),
+                has_udf=entry.query.has_udf,
+            )
+            udf_ops = find_nodes(plan, UDFFilter) + find_nodes(plan, UDFProject)
+            if udf_ops:
+                child = udf_ops[0].children[0]
+                sample.est_udf_input_rows = float(child.est_card or 0.0)
+                sample.true_udf_input_rows = float(child.true_card or 0.0)
+            top = _top_estimable_node(plan)
+            sample.top_est_card = float(top.est_card or 0.0)
+            sample.top_true_card = float(top.true_card or 0.0)
+            if include_baseline_graphs:
+                sample.query_graph = build_joint_graph(
+                    plan, catalog, estimator, query_config
+                )
+                if udf_ops:
+                    sample.udf_graph = build_udf_only_graph(
+                        plan, catalog, estimator, joint_config
+                    )
+            samples.append(sample)
+    return samples
+
+
+def _top_estimable_node(plan):
+    """The highest plan node whose cardinality an estimator can produce.
+
+    Above a UDF filter, cardinalities are unknowable (§IV); Table III's
+    "Card. Est. Error" column therefore measures the top node *below* the
+    UDF filter (for plans without a UDF filter: below the aggregation).
+    """
+    udf_filters = find_nodes(plan, UDFFilter)
+    if udf_filters:
+        return udf_filters[0].children[0]
+    return plan.children[0] if isinstance(plan, Aggregate) else plan
+
+
+def training_placements() -> tuple[UDFPlacement, ...]:
+    """Placements seen during training (the paper holds INTERMEDIATE out)."""
+    return (UDFPlacement.PUSH_DOWN, UDFPlacement.PULL_UP)
+
+
+def runtimes_of(samples: list[PreparedSample]) -> np.ndarray:
+    return np.asarray([s.runtime for s in samples], dtype=np.float64)
+
+
+def joint_graphs_of(samples: list[PreparedSample]) -> list[JointGraph]:
+    return [s.joint_graph for s in samples]

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the GRACEFUL reproduction.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything this package raises with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A table, column, or database definition is invalid or missing."""
+
+
+class ExecutionError(ReproError):
+    """A query plan failed during execution."""
+
+
+class PlanError(ReproError):
+    """A query plan is structurally invalid (e.g. unbound column)."""
+
+
+class UDFError(ReproError):
+    """A UDF could not be parsed, interpreted, or generated."""
+
+
+class CFGError(UDFError):
+    """A control-flow graph could not be built or transformed."""
+
+
+class EstimationError(ReproError):
+    """A cardinality or cost estimate could not be produced."""
+
+
+class ModelError(ReproError):
+    """A learned model was misconfigured or used before fitting."""

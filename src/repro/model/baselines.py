@@ -1,0 +1,158 @@
+"""Baselines of the paper's evaluation (§VI).
+
+* :class:`GracefulModel` — the joint query-UDF GNN (the contribution);
+* :class:`FlatGraphBaseline` ("Flat+Graph") — query costs from the
+  query-only graph GNN, UDF costs from FlatVector + GBM, summed;
+* :class:`GraphGraphBaseline` ("Graph+Graph") — query costs from the
+  query-only graph GNN, UDF costs from a *separate* GNN over the isolated
+  UDF graph, summed.
+
+Split baselines are trained on split targets (query-part vs UDF-part
+runtimes), mirroring the paper: "we also split the training workload and
+trained the models separately".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.exceptions import ModelError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.eval.samples import PreparedSample
+from repro.model.flatvector import FlatVectorUDFModel
+from repro.model.gbm import GBMConfig
+from repro.model.gnn import CostGNN, GNNConfig
+from repro.model.training import TrainConfig, predict_runtimes, train_cost_model
+
+
+@dataclass
+class GracefulModel:
+    """The joint model: one GNN over the combined query-UDF graph."""
+
+    gnn_config: GNNConfig = field(default_factory=GNNConfig)
+    train_config: TrainConfig = field(default_factory=TrainConfig)
+    name: str = "GRACEFUL"
+
+    def __post_init__(self) -> None:
+        self.model = CostGNN(self.gnn_config)
+        self._fitted = False
+
+    def fit(self, samples: "list[PreparedSample]") -> "GracefulModel":
+        graphs = [s.joint_graph for s in samples]
+        runtimes = np.asarray([s.runtime for s in samples])
+        train_cost_model(self.model, graphs, runtimes, self.train_config)
+        self._fitted = True
+        return self
+
+    def predict(self, samples: "list[PreparedSample]") -> np.ndarray:
+        if not self._fitted:
+            raise ModelError("GracefulModel.predict before fit")
+        return predict_runtimes(self.model, [s.joint_graph for s in samples])
+
+
+class _QueryPartModel:
+    """Shared query-cost GNN of the split baselines."""
+
+    def __init__(self, gnn_config: GNNConfig, train_config: TrainConfig):
+        self.model = CostGNN(gnn_config)
+        self.train_config = train_config
+
+    def fit(self, samples: "list[PreparedSample]") -> None:
+        graphs, targets = [], []
+        for s in samples:
+            if s.query_graph is None:
+                raise ModelError(
+                    "split baselines need samples prepared with "
+                    "include_baseline_graphs=True"
+                )
+            graphs.append(s.query_graph)
+            targets.append(s.query_runtime)
+        train_cost_model(self.model, graphs, np.asarray(targets), self.train_config)
+
+    def predict(self, samples: "list[PreparedSample]") -> np.ndarray:
+        return predict_runtimes(self.model, [s.query_graph for s in samples])
+
+
+@dataclass
+class FlatGraphBaseline:
+    """FlatVector (UDF) + query-graph GNN, predictions summed."""
+
+    gnn_config: GNNConfig = field(default_factory=GNNConfig)
+    train_config: TrainConfig = field(default_factory=TrainConfig)
+    gbm_config: GBMConfig = field(default_factory=GBMConfig)
+    name: str = "Flat+Graph"
+
+    def __post_init__(self) -> None:
+        self.query_model = _QueryPartModel(self.gnn_config, self.train_config)
+        self.udf_model = FlatVectorUDFModel(self.gbm_config)
+        self._fitted = False
+
+    def fit(self, samples: "list[PreparedSample]") -> "FlatGraphBaseline":
+        self.query_model.fit(samples)
+        udf_samples = [s for s in samples if s.has_udf]
+        if udf_samples:
+            self.udf_model.fit(
+                [s.udf for s in udf_samples],
+                np.asarray([s.udf_runtime for s in udf_samples]),
+                np.asarray([s.true_udf_input_rows for s in udf_samples]),
+            )
+        self._fitted = True
+        return self
+
+    def predict(self, samples: "list[PreparedSample]") -> np.ndarray:
+        if not self._fitted:
+            raise ModelError("FlatGraphBaseline.predict before fit")
+        query_pred = self.query_model.predict(samples)
+        udf_pred = np.zeros(len(samples))
+        udf_idx = [i for i, s in enumerate(samples) if s.has_udf]
+        if udf_idx:
+            udf_pred[udf_idx] = self.udf_model.predict(
+                [samples[i].udf for i in udf_idx],
+                np.asarray([samples[i].est_udf_input_rows for i in udf_idx]),
+            )
+        return query_pred + udf_pred
+
+
+@dataclass
+class GraphGraphBaseline:
+    """Isolated UDF-graph GNN + query-graph GNN, predictions summed."""
+
+    gnn_config: GNNConfig = field(default_factory=GNNConfig)
+    train_config: TrainConfig = field(default_factory=TrainConfig)
+    name: str = "Graph+Graph"
+
+    def __post_init__(self) -> None:
+        self.query_model = _QueryPartModel(self.gnn_config, self.train_config)
+        self.udf_model = CostGNN(self.gnn_config)
+        self._fitted = False
+
+    def fit(self, samples: "list[PreparedSample]") -> "GraphGraphBaseline":
+        self.query_model.fit(samples)
+        udf_samples = [s for s in samples if s.has_udf and s.udf_graph is not None]
+        if udf_samples:
+            train_cost_model(
+                self.udf_model,
+                [s.udf_graph for s in udf_samples],
+                np.asarray([max(s.udf_runtime, 1e-9) for s in udf_samples]),
+                self.train_config,
+            )
+        self._fitted = True
+        return self
+
+    def predict(self, samples: "list[PreparedSample]") -> np.ndarray:
+        if not self._fitted:
+            raise ModelError("GraphGraphBaseline.predict before fit")
+        query_pred = self.query_model.predict(samples)
+        udf_pred = np.zeros(len(samples))
+        udf_idx = [
+            i for i, s in enumerate(samples) if s.has_udf and s.udf_graph is not None
+        ]
+        if udf_idx:
+            udf_pred[udf_idx] = predict_runtimes(
+                self.udf_model, [samples[i].udf_graph for i in udf_idx]
+            )
+        return query_pred + udf_pred

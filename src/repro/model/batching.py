@@ -1,0 +1,160 @@
+"""Batch preparation for level-wise topological message passing.
+
+Topological message passing updates every node exactly once, in
+topological order. To make that efficient in numpy we group nodes by
+*level* (longest path from any source), so an entire batch of graphs is
+processed as ``max_depth`` vectorized steps:
+
+* per level, per node type: the raw feature matrix and local positions,
+* per level: incoming edges grouped by source level (gather from the
+  source level's hidden states, scatter-add into this level),
+* per graph: where its root landed, for the readout.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.joint_graph import JointGraph
+from repro.exceptions import ModelError
+
+
+@dataclass
+class LevelData:
+    """All per-level arrays needed by one message-passing step."""
+
+    n_nodes: int
+    #: type -> (features (n_t, f_dim), local positions (n_t,))
+    type_groups: dict[str, tuple[np.ndarray, np.ndarray]]
+    #: (source_level, src local indices, dst local indices)
+    edge_groups: list[tuple[int, np.ndarray, np.ndarray]]
+    #: in-degree per node, clipped to >= 1 (shape (n_nodes, 1))
+    indegree: np.ndarray
+    #: graph index of each node in the level (n_nodes,)
+    graph_index: np.ndarray = None  # type: ignore[assignment]
+
+
+@dataclass
+class GraphBatch:
+    """A batch of joint graphs prepared for the GNN."""
+
+    levels: list[LevelData]
+    #: per graph: (level, local index) of its root node
+    roots: list[tuple[int, int]]
+    targets: np.ndarray  # (B,) true runtimes in seconds
+    n_graphs: int
+    meta: list[dict] = field(default_factory=list)
+
+
+def compute_levels(n_nodes: int, edges: list[tuple[int, int]]) -> np.ndarray:
+    """Longest-path-from-source level per node (Kahn's algorithm)."""
+    indeg = np.zeros(n_nodes, dtype=np.int64)
+    succs: dict[int, list[int]] = defaultdict(list)
+    for src, dst in edges:
+        indeg[dst] += 1
+        succs[src].append(dst)
+    level = np.zeros(n_nodes, dtype=np.int64)
+    queue = [i for i in range(n_nodes) if indeg[i] == 0]
+    seen = 0
+    while queue:
+        node = queue.pop()
+        seen += 1
+        for succ in succs.get(node, ()):
+            level[succ] = max(level[succ], level[node] + 1)
+            indeg[succ] -= 1
+            if indeg[succ] == 0:
+                queue.append(succ)
+    if seen != n_nodes:
+        raise ModelError("graph contains a cycle; joint graphs must be DAGs")
+    return level
+
+
+def make_batch(
+    graphs: list[JointGraph],
+    targets: np.ndarray | list[float],
+    meta: list[dict] | None = None,
+) -> GraphBatch:
+    """Merge graphs into one level-indexed batch."""
+    if not graphs:
+        raise ModelError("cannot batch zero graphs")
+    # Global ids: (graph_index, node_id) -> (level, local position).
+    level_of: list[np.ndarray] = []
+    for graph in graphs:
+        level_of.append(compute_levels(graph.num_nodes, graph.edges))
+    max_level = int(max(lv.max() if len(lv) else 0 for lv in level_of))
+
+    # Assign local positions per level.
+    position: list[np.ndarray] = []
+    level_sizes = np.zeros(max_level + 1, dtype=np.int64)
+    for gi, graph in enumerate(graphs):
+        pos = np.zeros(graph.num_nodes, dtype=np.int64)
+        for node in range(graph.num_nodes):
+            lv = level_of[gi][node]
+            pos[node] = level_sizes[lv]
+            level_sizes[lv] += 1
+        position.append(pos)
+
+    # Group node features by (level, type); track each node's graph.
+    feats_by: dict[tuple[int, str], list[np.ndarray]] = defaultdict(list)
+    pos_by: dict[tuple[int, str], list[int]] = defaultdict(list)
+    graph_index = [np.zeros(int(size), dtype=np.int64) for size in level_sizes]
+    for gi, graph in enumerate(graphs):
+        for node in range(graph.num_nodes):
+            lv = int(level_of[gi][node])
+            gtype = graph.node_types[node]
+            feats_by[(lv, gtype)].append(graph.features[node])
+            pos_by[(lv, gtype)].append(int(position[gi][node]))
+            graph_index[lv][position[gi][node]] = gi
+
+    # Group edges by (dst level, src level).
+    edges_by: dict[tuple[int, int], tuple[list[int], list[int]]] = defaultdict(
+        lambda: ([], [])
+    )
+    indegree = [np.zeros(int(size), dtype=np.float64) for size in level_sizes]
+    for gi, graph in enumerate(graphs):
+        for src, dst in graph.edges:
+            src_lv, dst_lv = int(level_of[gi][src]), int(level_of[gi][dst])
+            src_list, dst_list = edges_by[(dst_lv, src_lv)]
+            src_list.append(int(position[gi][src]))
+            dst_list.append(int(position[gi][dst]))
+            indegree[dst_lv][position[gi][dst]] += 1.0
+
+    levels: list[LevelData] = []
+    for lv in range(max_level + 1):
+        type_groups = {
+            gtype: (
+                np.vstack(feats_by[(l, gtype)]),
+                np.asarray(pos_by[(l, gtype)], dtype=np.int64),
+            )
+            for (l, gtype) in feats_by
+            if l == lv
+        }
+        edge_groups = [
+            (src_lv, np.asarray(srcs, dtype=np.int64), np.asarray(dsts, dtype=np.int64))
+            for (dst_lv, src_lv), (srcs, dsts) in edges_by.items()
+            if dst_lv == lv
+        ]
+        levels.append(
+            LevelData(
+                n_nodes=int(level_sizes[lv]),
+                type_groups=type_groups,
+                edge_groups=edge_groups,
+                indegree=np.maximum(indegree[lv], 1.0).reshape(-1, 1),
+                graph_index=graph_index[lv],
+            )
+        )
+
+    roots = [
+        (int(level_of[gi][graph.root_id]), int(position[gi][graph.root_id]))
+        for gi, graph in enumerate(graphs)
+    ]
+    return GraphBatch(
+        levels=levels,
+        roots=roots,
+        targets=np.asarray(targets, dtype=np.float64),
+        n_graphs=len(graphs),
+        meta=meta or [{} for _ in graphs],
+    )

@@ -1,0 +1,56 @@
+"""Model persistence: save/load trained cost models to ``.npz`` files.
+
+The GNN's configuration is stored alongside the weights so a loaded model
+is immediately usable for prediction (e.g. inside a DBMS process that did
+not train it).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.model.gnn import CostGNN, GNNConfig
+
+_CONFIG_KEY = "__gnn_config__"
+
+
+def save_model(model: CostGNN, path: str | Path) -> Path:
+    """Serialize a trained :class:`CostGNN` (weights + config) to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    state = model.state_dict()
+    config = asdict(model.config)
+    config["node_types"] = list(config["node_types"])
+    payload = {name: array for name, array in state.items()}
+    payload[_CONFIG_KEY] = np.frombuffer(
+        json.dumps(config).encode(), dtype=np.uint8
+    )
+    np.savez_compressed(path, **payload)
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_model(path: str | Path) -> CostGNN:
+    """Reconstruct a :class:`CostGNN` saved by :func:`save_model`."""
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path, allow_pickle=False) as archive:
+        if _CONFIG_KEY not in archive:
+            raise ModelError(f"{path} is not a saved CostGNN (missing config)")
+        config_raw = json.loads(bytes(archive[_CONFIG_KEY].tobytes()).decode())
+        config_raw["node_types"] = tuple(config_raw["node_types"])
+        for key in ("encoder_hidden", "update_hidden", "head_hidden"):
+            config_raw[key] = tuple(config_raw[key])
+        config = GNNConfig(**config_raw)
+        model = CostGNN(config)
+        state = {
+            name: archive[name] for name in archive.files if name != _CONFIG_KEY
+        }
+    model.load_state_dict(state)
+    model.eval()
+    return model

@@ -1,0 +1,107 @@
+"""Training loop for graph-based cost models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.joint_graph import JointGraph
+from repro.eval.metrics import q_error_summary
+from repro.model.batching import make_batch
+from repro.model.gnn import CostGNN
+from repro.nn.loss import log_mse_loss
+from repro.nn.optim import Adam, clip_grad_norm
+
+
+@dataclass
+class TrainConfig:
+    epochs: int = 60
+    lr: float = 3e-3
+    weight_decay: float = 1e-5
+    grad_clip: float = 5.0
+    #: number of random shards per epoch (stochasticity without paying the
+    #: per-small-batch Python overhead).
+    shards_per_epoch: int = 4
+    seed: int = 0
+    verbose: bool = False
+    #: early-stopping patience on training loss plateaus (epochs); 0 = off.
+    patience: int = 0
+
+
+@dataclass
+class TrainResult:
+    losses: list[float]
+    final_loss: float
+    epochs_run: int
+
+
+def train_cost_model(
+    model: CostGNN,
+    graphs: list[JointGraph],
+    runtimes: np.ndarray | list[float],
+    config: TrainConfig | None = None,
+) -> TrainResult:
+    """Train ``model`` to predict log runtimes of ``graphs``."""
+    config = config or TrainConfig()
+    rng = np.random.default_rng(config.seed)
+    runtimes = np.asarray(runtimes, dtype=np.float64)
+    optimizer = Adam(
+        model.parameters(), lr=config.lr, weight_decay=config.weight_decay
+    )
+    n = len(graphs)
+    n_shards = max(1, min(config.shards_per_epoch, n))
+    losses: list[float] = []
+    best = float("inf")
+    stall = 0
+    model.train()
+    for epoch in range(config.epochs):
+        order = rng.permutation(n)
+        epoch_loss = 0.0
+        for shard in np.array_split(order, n_shards):
+            if len(shard) == 0:
+                continue
+            batch = make_batch([graphs[i] for i in shard], runtimes[shard])
+            optimizer.zero_grad()
+            prediction = model.forward(batch)
+            loss = log_mse_loss(prediction, batch.targets.reshape(-1, 1))
+            loss.backward()
+            clip_grad_norm(model.parameters(), config.grad_clip)
+            optimizer.step()
+            epoch_loss += loss.item() * len(shard)
+        epoch_loss /= n
+        losses.append(epoch_loss)
+        if config.verbose and (epoch % 10 == 0 or epoch == config.epochs - 1):
+            print(f"  epoch {epoch:3d}  loss={epoch_loss:.4f}")
+        if config.patience:
+            if epoch_loss < best - 1e-4:
+                best = epoch_loss
+                stall = 0
+            else:
+                stall += 1
+                if stall >= config.patience:
+                    break
+    return TrainResult(losses=losses, final_loss=losses[-1], epochs_run=len(losses))
+
+
+def evaluate_cost_model(
+    model: CostGNN,
+    graphs: list[JointGraph],
+    runtimes: np.ndarray | list[float],
+    batch_size: int = 512,
+) -> dict[str, float]:
+    """Q-error summary of ``model`` on held-out graphs."""
+    predictions = predict_runtimes(model, graphs, batch_size)
+    return q_error_summary(predictions, np.asarray(runtimes, dtype=np.float64))
+
+
+def predict_runtimes(
+    model: CostGNN, graphs: list[JointGraph], batch_size: int = 512
+) -> np.ndarray:
+    """Predicted runtimes (seconds) for a list of graphs."""
+    predictions = np.empty(len(graphs), dtype=np.float64)
+    for start in range(0, len(graphs), batch_size):
+        chunk = graphs[start : start + batch_size]
+        batch = make_batch(chunk, np.zeros(len(chunk)))
+        predictions[start : start + len(chunk)] = model.predict_runtimes(batch)
+    return predictions

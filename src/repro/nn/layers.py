@@ -1,0 +1,166 @@
+"""Neural-network modules: Linear, MLP, LayerNorm."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.tensor import (
+    Tensor,
+    add,
+    concat,
+    dropout,
+    leaky_relu,
+    matmul,
+    mean,
+    pow_scalar,
+    relu,
+)
+
+
+class Module:
+    """Base class: parameter registry + train/eval mode."""
+
+    def __init__(self) -> None:
+        self._params: dict[str, Tensor] = {}
+        self._modules: dict[str, "Module"] = {}
+        self.training = True
+
+    def register(self, name: str, tensor: Tensor) -> Tensor:
+        tensor.requires_grad = True
+        self._params[name] = tensor
+        return tensor
+
+    def add_module(self, name: str, module: "Module") -> "Module":
+        self._modules[name] = module
+        return module
+
+    def parameters(self) -> list[Tensor]:
+        params = list(self._params.values())
+        for module in self._modules.values():
+            params.extend(module.parameters())
+        return params
+
+    def named_parameters(self, prefix: str = "") -> list[tuple[str, Tensor]]:
+        named = [(prefix + name, p) for name, p in self._params.items()]
+        for mod_name, module in self._modules.items():
+            named.extend(module.named_parameters(prefix + mod_name + "."))
+        return named
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.grad = None
+
+    def train(self) -> "Module":
+        self.training = True
+        for module in self._modules.values():
+            module.train()
+        return self
+
+    def eval(self) -> "Module":
+        self.training = False
+        for module in self._modules.values():
+            module.eval()
+        return self
+
+    def n_parameters(self) -> int:
+        return sum(p.data.size for p in self.parameters())
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        if missing:
+            raise KeyError(f"state dict missing parameters: {sorted(missing)}")
+        for name, param in own.items():
+            param.data = np.asarray(state[name], dtype=np.float64).reshape(param.shape)
+
+
+class Linear(Module):
+    """Affine layer with Kaiming-uniform initialization."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        bound = np.sqrt(6.0 / in_features)
+        self.weight = self.register(
+            "weight", Tensor(rng.uniform(-bound, bound, size=(in_features, out_features)))
+        )
+        self.bias = self.register("bias", Tensor(np.zeros(out_features)))
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return add(matmul(x, self.weight), self.bias)
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last axis."""
+
+    def __init__(self, dim: int, eps: float = 1e-5):
+        super().__init__()
+        self.gamma = self.register("gamma", Tensor(np.ones(dim)))
+        self.beta = self.register("beta", Tensor(np.zeros(dim)))
+        self.eps = eps
+
+    def __call__(self, x: Tensor) -> Tensor:
+        mu = mean(x, axis=-1, keepdims=True)
+        centered = x - mu
+        var = mean(centered * centered, axis=-1, keepdims=True)
+        inv_std = pow_scalar(var + self.eps, -0.5)
+        return self.gamma * (centered * inv_std) + self.beta
+
+
+class MLP(Module):
+    """Multi-layer perceptron with optional LayerNorm and dropout."""
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: Iterable[int],
+        out_features: int,
+        activation: str = "leaky_relu",
+        layer_norm: bool = False,
+        dropout_p: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self._rng = rng
+        self.dropout_p = dropout_p
+        self.activation = activation
+        dims = [in_features, *hidden, out_features]
+        self.layers: list[Linear] = []
+        self.norms: list[LayerNorm | None] = []
+        for i, (d_in, d_out) in enumerate(zip(dims[:-1], dims[1:])):
+            layer = Linear(d_in, d_out, rng)
+            self.add_module(f"linear{i}", layer)
+            self.layers.append(layer)
+            if layer_norm and i < len(dims) - 2:
+                norm = LayerNorm(d_out)
+                self.add_module(f"norm{i}", norm)
+                self.norms.append(norm)
+            else:
+                self.norms.append(None)
+
+    def _activate(self, x: Tensor) -> Tensor:
+        if self.activation == "relu":
+            return relu(x)
+        return leaky_relu(x)
+
+    def __call__(self, x: Tensor) -> Tensor:
+        for i, layer in enumerate(self.layers):
+            x = layer(x)
+            if i < len(self.layers) - 1:
+                if self.norms[i] is not None:
+                    x = self.norms[i](x)
+                x = self._activate(x)
+                x = dropout(x, self.dropout_p, self._rng, self.training)
+        return x
+
+
+def concat_features(tensors: list[Tensor]) -> Tensor:
+    """Concatenate feature tensors along the last axis."""
+    return concat(tensors, axis=-1)

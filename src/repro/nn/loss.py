@@ -1,0 +1,78 @@
+"""Losses and gradient checking for cost-model training.
+
+Runtimes span several orders of magnitude, so models predict
+``log(runtime)`` and train with MSE in log space — minimizing
+``(log ŷ - log y)²  =  log(Q)²`` where Q is the paper's Q-error metric.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.nn.tensor import Tensor, mean
+
+
+def mse_loss(pred: Tensor, target: Tensor) -> Tensor:
+    diff = pred - target
+    return mean(diff * diff)
+
+
+def log_mse_loss(pred_log: Tensor, true_runtime: np.ndarray) -> Tensor:
+    """MSE between predicted log-runtimes and log of true runtimes."""
+    target = Tensor(np.log(np.maximum(np.asarray(true_runtime), 1e-9)))
+    return mse_loss(pred_log, target)
+
+
+def huber_loss(pred: Tensor, target: Tensor, delta: float = 1.0) -> Tensor:
+    """Smooth-L1; more robust to outlier runtimes than plain MSE."""
+    diff = (pred - target).data
+    quad = np.abs(diff) <= delta
+
+    # Build as a weighted combination evaluated through the tape.
+    residual = pred - target
+    squared = residual * residual * 0.5
+    # |x| via sign multiplication keeps the graph differentiable a.e.
+    sign = Tensor(np.sign(diff))
+    linear = residual * sign * delta - (0.5 * delta * delta)
+    mask = Tensor(quad.astype(np.float64))
+    inv_mask = Tensor(1.0 - quad.astype(np.float64))
+    return mean(squared * mask + linear * inv_mask)
+
+
+def numerical_gradient(
+    f: Callable[[np.ndarray], float], x: np.ndarray, eps: float = 1e-6
+) -> np.ndarray:
+    """Central-difference gradient of a scalar function (for gradcheck)."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        f_plus = f(x)
+        flat[i] = original - eps
+        f_minus = f(x)
+        flat[i] = original
+        grad_flat[i] = (f_plus - f_minus) / (2.0 * eps)
+    return grad
+
+
+def gradcheck(
+    build_loss: Callable[[Tensor], Tensor],
+    x: np.ndarray,
+    atol: float = 1e-5,
+    rtol: float = 1e-4,
+) -> bool:
+    """Compare autograd and numerical gradients for ``loss = f(x)``."""
+    t = Tensor(x.copy(), requires_grad=True)
+    loss = build_loss(t)
+    loss.backward()
+    analytic = t.grad
+
+    def scalar_f(arr: np.ndarray) -> float:
+        return build_loss(Tensor(arr)).item()
+
+    numeric = numerical_gradient(scalar_f, x.copy())
+    return np.allclose(analytic, numeric, atol=atol, rtol=rtol)

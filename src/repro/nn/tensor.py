@@ -1,0 +1,349 @@
+"""A small reverse-mode autograd engine on numpy arrays.
+
+This replaces PyTorch for the reproduction (DESIGN.md §1). It supports
+exactly the operations the GNN and MLP models need — dense linear algebra,
+elementwise nonlinearities, reductions, concatenation, and the row
+gather/scatter-add pair that implements message passing over graphs.
+
+Gradients are accumulated into ``.grad`` by :meth:`Tensor.backward`, which
+runs a topological sweep over the recorded tape.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+import numpy as np
+
+
+class Tensor:
+    """An array with an optional gradient tape entry."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward")
+
+    def __init__(
+        self,
+        data,
+        requires_grad: bool = False,
+        _parents: tuple["Tensor", ...] = (),
+        _backward: Callable[[np.ndarray], None] | None = None,
+    ):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = requires_grad
+        self._parents = _parents
+        self._backward = _backward
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad})"
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data)
+
+    def numpy(self) -> np.ndarray:
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    # ------------------------------------------------------------------
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor (must be scalar if grad is None)."""
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError("backward() without grad requires a scalar output")
+            grad = np.ones_like(self.data)
+        # Iterative post-order DFS (training graphs can be thousands of
+        # ops deep — recursion would overflow the interpreter stack).
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            tensor, expanded = stack.pop()
+            if expanded:
+                topo.append(tensor)
+                continue
+            if id(tensor) in visited:
+                continue
+            visited.add(id(tensor))
+            stack.append((tensor, True))
+            for parent in tensor._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+        grads: dict[int, np.ndarray] = {id(self): np.asarray(grad, dtype=np.float64)}
+        for t in reversed(topo):
+            g = grads.pop(id(t), None)
+            if g is None:
+                continue
+            if t.requires_grad:
+                t.grad = g if t.grad is None else t.grad + g
+            if t._backward is not None:
+                for parent, pg in t._backward(g):
+                    if parent.requires_grad or parent._backward is not None:
+                        if id(parent) in grads:
+                            grads[id(parent)] += pg
+                        else:
+                            grads[id(parent)] = pg
+
+    # ------------------------------------------------------------------
+    # operator sugar
+    def __add__(self, other) -> "Tensor":
+        return add(self, _wrap(other))
+
+    def __radd__(self, other) -> "Tensor":
+        return add(_wrap(other), self)
+
+    def __sub__(self, other) -> "Tensor":
+        return add(self, mul(_wrap(other), _wrap(-1.0)))
+
+    def __rsub__(self, other) -> "Tensor":
+        return add(_wrap(other), mul(self, _wrap(-1.0)))
+
+    def __mul__(self, other) -> "Tensor":
+        return mul(self, _wrap(other))
+
+    def __rmul__(self, other) -> "Tensor":
+        return mul(_wrap(other), self)
+
+    def __truediv__(self, other) -> "Tensor":
+        return mul(self, pow_scalar(_wrap(other), -1.0))
+
+    def __matmul__(self, other) -> "Tensor":
+        return matmul(self, other)
+
+    def __neg__(self) -> "Tensor":
+        return mul(self, _wrap(-1.0))
+
+
+def _wrap(value) -> Tensor:
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+def _needs_tape(*tensors: Tensor) -> bool:
+    return any(t.requires_grad or t._backward is not None for t in tensors)
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` (reverse numpy broadcasting)."""
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad
+
+
+# ----------------------------------------------------------------------
+# primitive operations
+def add(a: Tensor, b: Tensor) -> Tensor:
+    out_data = a.data + b.data
+    if not _needs_tape(a, b):
+        return Tensor(out_data)
+
+    def backward(g: np.ndarray):
+        return ((a, _unbroadcast(g, a.shape)), (b, _unbroadcast(g, b.shape)))
+
+    return Tensor(out_data, _parents=(a, b), _backward=backward)
+
+
+def mul(a: Tensor, b: Tensor) -> Tensor:
+    out_data = a.data * b.data
+    if not _needs_tape(a, b):
+        return Tensor(out_data)
+
+    def backward(g: np.ndarray):
+        return (
+            (a, _unbroadcast(g * b.data, a.shape)),
+            (b, _unbroadcast(g * a.data, b.shape)),
+        )
+
+    return Tensor(out_data, _parents=(a, b), _backward=backward)
+
+
+def matmul(a: Tensor, b: Tensor) -> Tensor:
+    out_data = a.data @ b.data
+    if not _needs_tape(a, b):
+        return Tensor(out_data)
+
+    def backward(g: np.ndarray):
+        return ((a, g @ b.data.T), (b, a.data.T @ g))
+
+    return Tensor(out_data, _parents=(a, b), _backward=backward)
+
+
+def pow_scalar(a: Tensor, exponent: float) -> Tensor:
+    out_data = a.data**exponent
+
+    if not _needs_tape(a):
+        return Tensor(out_data)
+
+    def backward(g: np.ndarray):
+        return ((a, g * exponent * a.data ** (exponent - 1.0)),)
+
+    return Tensor(out_data, _parents=(a,), _backward=backward)
+
+
+def relu(a: Tensor) -> Tensor:
+    out_data = np.maximum(a.data, 0.0)
+    if not _needs_tape(a):
+        return Tensor(out_data)
+
+    def backward(g: np.ndarray):
+        return ((a, g * (a.data > 0.0)),)
+
+    return Tensor(out_data, _parents=(a,), _backward=backward)
+
+
+def leaky_relu(a: Tensor, slope: float = 0.01) -> Tensor:
+    out_data = np.where(a.data > 0.0, a.data, slope * a.data)
+    if not _needs_tape(a):
+        return Tensor(out_data)
+
+    def backward(g: np.ndarray):
+        return ((a, g * np.where(a.data > 0.0, 1.0, slope)),)
+
+    return Tensor(out_data, _parents=(a,), _backward=backward)
+
+
+def tanh(a: Tensor) -> Tensor:
+    out_data = np.tanh(a.data)
+    if not _needs_tape(a):
+        return Tensor(out_data)
+
+    def backward(g: np.ndarray):
+        return ((a, g * (1.0 - out_data**2)),)
+
+    return Tensor(out_data, _parents=(a,), _backward=backward)
+
+
+def sigmoid(a: Tensor) -> Tensor:
+    out_data = 1.0 / (1.0 + np.exp(-a.data))
+    if not _needs_tape(a):
+        return Tensor(out_data)
+
+    def backward(g: np.ndarray):
+        return ((a, g * out_data * (1.0 - out_data)),)
+
+    return Tensor(out_data, _parents=(a,), _backward=backward)
+
+
+def exp(a: Tensor) -> Tensor:
+    out_data = np.exp(a.data)
+    if not _needs_tape(a):
+        return Tensor(out_data)
+
+    def backward(g: np.ndarray):
+        return ((a, g * out_data),)
+
+    return Tensor(out_data, _parents=(a,), _backward=backward)
+
+
+def log(a: Tensor) -> Tensor:
+    out_data = np.log(a.data)
+    if not _needs_tape(a):
+        return Tensor(out_data)
+
+    def backward(g: np.ndarray):
+        return ((a, g / a.data),)
+
+    return Tensor(out_data, _parents=(a,), _backward=backward)
+
+
+def tensor_sum(a: Tensor, axis: int | None = None, keepdims: bool = False) -> Tensor:
+    out_data = a.data.sum(axis=axis, keepdims=keepdims)
+    if not _needs_tape(a):
+        return Tensor(out_data)
+
+    def backward(g: np.ndarray):
+        g_arr = np.asarray(g)
+        if axis is not None and not keepdims:
+            g_arr = np.expand_dims(g_arr, axis)
+        return ((a, np.broadcast_to(g_arr, a.shape).copy()),)
+
+    return Tensor(out_data, _parents=(a,), _backward=backward)
+
+
+def mean(a: Tensor, axis: int | None = None, keepdims: bool = False) -> Tensor:
+    count = a.data.size if axis is None else a.data.shape[axis]
+    return tensor_sum(a, axis=axis, keepdims=keepdims) * (1.0 / count)
+
+
+def concat(tensors: Iterable[Tensor], axis: int = -1) -> Tensor:
+    ts = list(tensors)
+    out_data = np.concatenate([t.data for t in ts], axis=axis)
+    if not _needs_tape(*ts):
+        return Tensor(out_data)
+    sizes = [t.data.shape[axis] for t in ts]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(g: np.ndarray):
+        grads = []
+        for t, start, stop in zip(ts, offsets[:-1], offsets[1:]):
+            index = [slice(None)] * g.ndim
+            index[axis] = slice(start, stop)
+            grads.append((t, g[tuple(index)]))
+        return tuple(grads)
+
+    return Tensor(out_data, _parents=tuple(ts), _backward=backward)
+
+
+def gather_rows(a: Tensor, indices: np.ndarray) -> Tensor:
+    """Rows ``a[indices]``; the backward pass scatter-adds into ``a``."""
+    idx = np.asarray(indices, dtype=np.int64)
+    out_data = a.data[idx]
+    if not _needs_tape(a):
+        return Tensor(out_data)
+
+    def backward(g: np.ndarray):
+        grad = np.zeros_like(a.data)
+        np.add.at(grad, idx, g)
+        return ((a, grad),)
+
+    return Tensor(out_data, _parents=(a,), _backward=backward)
+
+
+def scatter_add(src: Tensor, indices: np.ndarray, n_rows: int) -> Tensor:
+    """``out[indices[i]] += src[i]``; shape (n_rows, src.shape[1])."""
+    idx = np.asarray(indices, dtype=np.int64)
+    out_data = np.zeros((n_rows,) + src.data.shape[1:], dtype=np.float64)
+    np.add.at(out_data, idx, src.data)
+    if not _needs_tape(src):
+        return Tensor(out_data)
+
+    def backward(g: np.ndarray):
+        return ((src, g[idx]),)
+
+    return Tensor(out_data, _parents=(src,), _backward=backward)
+
+
+def dropout(a: Tensor, p: float, rng: np.random.Generator, training: bool) -> Tensor:
+    """Inverted dropout; identity when not training or p == 0."""
+    if not training or p <= 0.0:
+        return a
+    mask = (rng.random(a.shape) >= p) / (1.0 - p)
+    return mul(a, Tensor(mask))
+
+
+def where_rows(mask: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Row-wise select: rows where mask is True come from a, else from b."""
+    m = np.asarray(mask, dtype=bool).reshape(-1, 1)
+    out_data = np.where(m, a.data, b.data)
+    if not _needs_tape(a, b):
+        return Tensor(out_data)
+
+    def backward(g: np.ndarray):
+        return ((a, g * m), (b, g * (~m)))
+
+    return Tensor(out_data, _parents=(a, b), _backward=backward)

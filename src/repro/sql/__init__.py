@@ -1,0 +1,81 @@
+"""SQL substrate: expressions, plans, executor, cost model, planner."""
+
+from repro.sql.costmodel import (
+    COST_CONSTANTS,
+    NOISE_SIGMA,
+    STARTUP_COST,
+    WorkCounters,
+    simulated_runtime,
+)
+from repro.sql.executor import ExecutionResult, Executor
+from repro.sql.expressions import ColumnRef, CompareOp, Conjunction, Predicate
+from repro.sql.optimizer import build_plan
+from repro.sql.plan import (
+    AggFunc,
+    Aggregate,
+    Filter,
+    HashJoin,
+    PlanNode,
+    Project,
+    Scan,
+    UDFAggregate,
+    UDFFilter,
+    UDFProject,
+    find_nodes,
+    format_plan,
+    plan_depth,
+    plan_tables,
+)
+from repro.sql.query import (
+    AggSpec,
+    FilterSpec,
+    JoinSpec,
+    Query,
+    UDFPlacement,
+    UDFRole,
+    UDFSpec,
+)
+from repro.sql.relation import Relation
+from repro.sql.render import query_to_sql
+from repro.sql.joinorder import CoutCost, enumerate_join_orders, optimize_join_order
+
+__all__ = [
+    "AggFunc",
+    "AggSpec",
+    "Aggregate",
+    "ColumnRef",
+    "CompareOp",
+    "Conjunction",
+    "COST_CONSTANTS",
+    "ExecutionResult",
+    "Executor",
+    "Filter",
+    "FilterSpec",
+    "HashJoin",
+    "JoinSpec",
+    "NOISE_SIGMA",
+    "PlanNode",
+    "Predicate",
+    "Project",
+    "Query",
+    "Relation",
+    "STARTUP_COST",
+    "Scan",
+    "UDFAggregate",
+    "UDFFilter",
+    "UDFPlacement",
+    "UDFProject",
+    "UDFRole",
+    "UDFSpec",
+    "WorkCounters",
+    "build_plan",
+    "find_nodes",
+    "format_plan",
+    "plan_depth",
+    "plan_tables",
+    "query_to_sql",
+    "CoutCost",
+    "enumerate_join_orders",
+    "optimize_join_order",
+    "simulated_runtime",
+]

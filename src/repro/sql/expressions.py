@@ -1,0 +1,129 @@
+"""Scalar expression trees for filter predicates.
+
+Expressions evaluate vectorized over a :class:`~repro.sql.relation.Relation`.
+NULL semantics follow SQL: any comparison against NULL is false (we use
+two-valued logic with NULL-rejecting comparisons, which matches how the
+paper's conjunctive filter/branch queries behave).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.exceptions import PlanError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sql.relation import Relation
+
+
+class CompareOp(enum.Enum):
+    """Comparison operators supported in filters and UDF branch conditions."""
+
+    EQ = "="
+    NEQ = "!="
+    LT = "<"
+    LEQ = "<="
+    GT = ">"
+    GEQ = ">="
+    LIKE = "like"  # prefix match on strings
+
+    def flip(self) -> "CompareOp":
+        """The operator with operand sides swapped (a OP b == b OP.flip a)."""
+        return {
+            CompareOp.EQ: CompareOp.EQ,
+            CompareOp.NEQ: CompareOp.NEQ,
+            CompareOp.LT: CompareOp.GT,
+            CompareOp.LEQ: CompareOp.GEQ,
+            CompareOp.GT: CompareOp.LT,
+            CompareOp.GEQ: CompareOp.LEQ,
+            CompareOp.LIKE: CompareOp.LIKE,
+        }[self]
+
+    def negate(self) -> "CompareOp":
+        """The logical negation (used for else-branch conditions)."""
+        table = {
+            CompareOp.EQ: CompareOp.NEQ,
+            CompareOp.NEQ: CompareOp.EQ,
+            CompareOp.LT: CompareOp.GEQ,
+            CompareOp.LEQ: CompareOp.GT,
+            CompareOp.GT: CompareOp.LEQ,
+            CompareOp.GEQ: CompareOp.LT,
+        }
+        if self not in table:
+            raise PlanError(f"cannot negate operator {self}")
+        return table[self]
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A reference to ``table.column``."""
+
+    table: str
+    column: str
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.table}.{self.column}"
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return self.qualified
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """An atomic predicate ``column OP literal``."""
+
+    column: ColumnRef
+    op: CompareOp
+    literal: object
+
+    def evaluate(self, relation: "Relation") -> np.ndarray:
+        """Vectorized evaluation; returns a boolean mask over the relation."""
+        col = relation.column(self.column.qualified)
+        mask = _compare(col.values, self.op, self.literal)
+        return mask & col.valid
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.column} {self.op.value} {self.literal!r}"
+
+
+@dataclass(frozen=True)
+class Conjunction:
+    """AND of atomic predicates (the only boolean combinator the paper's
+    workload generator emits; OR can be added as a sibling class)."""
+
+    predicates: tuple[Predicate, ...]
+
+    def evaluate(self, relation: "Relation") -> np.ndarray:
+        mask = np.ones(relation.num_rows, dtype=bool)
+        for pred in self.predicates:
+            mask &= pred.evaluate(relation)
+        return mask
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return " AND ".join(str(p) for p in self.predicates)
+
+
+def _compare(values: np.ndarray, op: CompareOp, literal: object) -> np.ndarray:
+    if op is CompareOp.LIKE:
+        prefix = str(literal)
+        return np.array([isinstance(v, str) and v.startswith(prefix) for v in values])
+    if values.dtype.kind == "O":  # string column
+        if op is CompareOp.EQ:
+            return np.array([v == literal for v in values])
+        if op is CompareOp.NEQ:
+            return np.array([v != literal for v in values])
+        raise PlanError(f"operator {op.value!r} unsupported on string columns")
+    ops = {
+        CompareOp.EQ: np.equal,
+        CompareOp.NEQ: np.not_equal,
+        CompareOp.LT: np.less,
+        CompareOp.LEQ: np.less_equal,
+        CompareOp.GT: np.greater,
+        CompareOp.GEQ: np.greater_equal,
+    }
+    return ops[op](values, literal)

@@ -1,0 +1,156 @@
+"""Cost-based join-order enumeration (extension beyond the paper).
+
+The paper's conclusion calls for "cost-based optimizations for UDFs that
+go beyond pull-up/push-down decisions". This module provides the classic
+half of that: dynamic-programming join-order enumeration (DPsize) over a
+query's join graph, with pluggable plan costing:
+
+* :class:`CoutCost` — the textbook C_out metric (sum of intermediate
+  cardinality estimates), driven by any :mod:`repro.stats` estimator;
+* a learned-cost adapter lives in :mod:`repro.advisor.planner`, which
+  scores candidate plans with the trained GNN.
+
+Only the join tree is enumerated; UDF placement stays the advisor's job,
+so the two optimizations compose.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.exceptions import PlanError
+from repro.sql.expressions import Conjunction, Predicate
+from repro.sql.plan import Aggregate, Filter, HashJoin, PlanNode, Scan
+from repro.sql.query import Query
+from repro.stats.annotate import annotate_plan
+from repro.stats.base import CardinalityEstimator
+
+
+class PlanCost(Protocol):
+    """Scores a full plan; lower is better."""
+
+    def __call__(self, plan: PlanNode) -> float: ...  # pragma: no cover
+
+
+@dataclass
+class CoutCost:
+    """C_out: sum of estimated intermediate result sizes [5]."""
+
+    estimator: CardinalityEstimator
+
+    def __call__(self, plan: PlanNode) -> float:
+        annotate_plan(plan, self.estimator)
+        return sum(
+            node.est_card or 0.0
+            for node in plan.walk()
+            if isinstance(node, (HashJoin, Filter, Scan))
+        )
+
+
+def _scan_with_filters(query: Query, table: str) -> PlanNode:
+    node: PlanNode = Scan(table=table)
+    filters = query.filters_for(table)
+    if filters:
+        node = Filter(
+            child=node,
+            predicate=Conjunction(
+                tuple(Predicate(f.column, f.op, f.literal) for f in filters)
+            ),
+        )
+    return node
+
+
+def _connecting_join(query: Query, left_tables: frozenset, right_tables: frozenset):
+    for join in query.joins:
+        lt, rt = join.left.table, join.right.table
+        if lt in left_tables and rt in right_tables:
+            return join.left, join.right
+        if rt in left_tables and lt in right_tables:
+            return join.right, join.left
+    return None
+
+
+def enumerate_join_orders(
+    query: Query, max_plans: int | None = None
+) -> list[PlanNode]:
+    """All bushy join trees over the query's join graph (DPsize-style).
+
+    For the paper's workloads (<= 6 tables) exhaustive enumeration is
+    cheap; ``max_plans`` caps the output for larger queries.
+    """
+    tables = list(query.tables)
+    if len(tables) == 1:
+        return [_scan_with_filters(query, tables[0])]
+
+    # plans[S] = list of plan trees covering exactly the table set S.
+    plans: dict[frozenset, list[PlanNode]] = {
+        frozenset({t}): [_scan_with_filters(query, t)] for t in tables
+    }
+    full = frozenset(tables)
+    for size in range(2, len(tables) + 1):
+        for subset in itertools.combinations(tables, size):
+            subset_key = frozenset(subset)
+            candidates: list[PlanNode] = []
+            for split_size in range(1, size):
+                for left_tables in itertools.combinations(subset, split_size):
+                    left_key = frozenset(left_tables)
+                    right_key = subset_key - left_key
+                    if left_key not in plans or right_key not in plans:
+                        continue
+                    connection = _connecting_join(query, left_key, right_key)
+                    if connection is None:
+                        continue
+                    left_ref, right_ref = connection
+                    for lp in plans[left_key]:
+                        for rp in plans[right_key]:
+                            candidates.append(
+                                HashJoin(
+                                    left=lp.copy_tree(),
+                                    right=rp.copy_tree(),
+                                    left_key=left_ref,
+                                    right_key=right_ref,
+                                )
+                            )
+                            if max_plans and len(candidates) >= max_plans:
+                                break
+                        if max_plans and len(candidates) >= max_plans:
+                            break
+            if candidates:
+                plans[subset_key] = candidates
+    if full not in plans:
+        raise PlanError(f"join graph of query {query.query_id} is disconnected")
+    result = plans[full]
+    if max_plans:
+        result = result[:max_plans]
+    return result
+
+
+def _finish_plan(query: Query, join_tree: PlanNode) -> PlanNode:
+    if query.agg is not None:
+        return Aggregate(child=join_tree, func=query.agg.func, column=query.agg.column)
+    return join_tree
+
+
+def optimize_join_order(
+    query: Query,
+    cost: PlanCost,
+    max_plans: int | None = 256,
+) -> tuple[PlanNode, float]:
+    """Pick the cheapest join order under ``cost``.
+
+    Returns the complete plan (with aggregation) and its cost. The query
+    must not contain a UDF filter — combine with the pull-up advisor for
+    UDF queries (see :mod:`repro.advisor.planner`).
+    """
+    best_plan: PlanNode | None = None
+    best_cost = float("inf")
+    for join_tree in enumerate_join_orders(query, max_plans=max_plans):
+        plan_cost = cost(join_tree)
+        if plan_cost < best_cost:
+            best_cost = plan_cost
+            best_plan = join_tree
+    if best_plan is None:
+        raise PlanError("no valid join order found")
+    return _finish_plan(query, best_plan), best_cost

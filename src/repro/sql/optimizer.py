@@ -1,0 +1,127 @@
+"""Planner: lowers a declarative :class:`~repro.sql.query.Query` to a plan.
+
+Join ordering is deterministic left-deep: the UDF's input table (or the
+first table) is the build start, and remaining tables attach in BFS order
+over the query's join edges. Non-UDF filters are pushed onto their table's
+scan (the textbook heuristic). The *UDF filter* placement is an explicit
+parameter — exactly the decision the paper's advisor makes.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import PlanError
+from repro.sql.expressions import Conjunction, Predicate
+from repro.sql.plan import (
+    Aggregate,
+    Filter,
+    HashJoin,
+    PlanNode,
+    Scan,
+    UDFFilter,
+    UDFProject,
+)
+from repro.sql.query import Query, UDFPlacement, UDFRole
+
+
+def build_plan(query: Query, placement: UDFPlacement = UDFPlacement.PUSH_DOWN) -> PlanNode:
+    """Build an executable plan for ``query`` with the given UDF placement.
+
+    For UDF-projection queries (and non-UDF queries) the placement argument
+    is irrelevant; the UDF projection always runs above the joins, mirroring
+    how DuckDB evaluates projected UDFs once per result row.
+    """
+    query.validate()
+    join_order = _join_order(query)
+    udf_is_filter = query.has_udf and query.udf.role is UDFRole.FILTER
+
+    # Position of the UDF filter in the join pipeline: number of joins
+    # executed *before* the UDF filter applies.
+    n_joins = len(join_order)
+    if not udf_is_filter:
+        udf_after_joins = n_joins
+    elif placement is UDFPlacement.PUSH_DOWN:
+        udf_after_joins = 0
+    elif placement is UDFPlacement.INTERMEDIATE:
+        udf_after_joins = max(1, n_joins // 2) if n_joins else 0
+    else:
+        udf_after_joins = n_joins
+
+    base_table = query.udf.input_table if query.has_udf else query.tables[0]
+    node = _scan_with_filters(query, base_table)
+    if udf_is_filter and udf_after_joins == 0:
+        node = _udf_filter_node(query, node)
+
+    for i, join in enumerate(join_order):
+        other = join.right.table if _covers(node, join.left.table) else join.left.table
+        left_key, right_key = (
+            (join.left, join.right) if _covers(node, join.left.table) else (join.right, join.left)
+        )
+        right = _scan_with_filters(query, other)
+        node = HashJoin(left=node, right=right, left_key=left_key, right_key=right_key)
+        if udf_is_filter and (i + 1) == udf_after_joins:
+            node = _udf_filter_node(query, node)
+
+    if query.has_udf and query.udf.role is UDFRole.PROJECTION:
+        node = UDFProject(
+            child=node,
+            udf=query.udf.udf,
+            input_columns=query.udf.column_refs(),
+            output_name="udf_out",
+        )
+
+    if query.agg is not None:
+        node = Aggregate(child=node, func=query.agg.func, column=query.agg.column)
+    return node
+
+
+def _covers(node: PlanNode, table: str) -> bool:
+    from repro.sql.plan import plan_tables
+
+    return table in plan_tables(node)
+
+
+def _scan_with_filters(query: Query, table: str) -> PlanNode:
+    node: PlanNode = Scan(table=table)
+    filters = query.filters_for(table)
+    if filters:
+        predicate = Conjunction(
+            tuple(Predicate(f.column, f.op, f.literal) for f in filters)
+        )
+        node = Filter(child=node, predicate=predicate)
+    return node
+
+
+def _udf_filter_node(query: Query, child: PlanNode) -> UDFFilter:
+    spec = query.udf
+    return UDFFilter(
+        child=child,
+        udf=spec.udf,
+        input_columns=spec.column_refs(),
+        op=spec.op,
+        literal=spec.literal,
+    )
+
+
+def _join_order(query: Query) -> list:
+    """BFS order over the join graph, rooted at the UDF input table."""
+    if not query.joins:
+        return []
+    root = query.udf.input_table if query.has_udf else query.tables[0]
+    remaining = list(query.joins)
+    ordered = []
+    covered = {root}
+    while remaining:
+        progressed = False
+        for join in list(remaining):
+            if join.left.table in covered or join.right.table in covered:
+                ordered.append(join)
+                remaining.remove(join)
+                covered.add(join.left.table)
+                covered.add(join.right.table)
+                progressed = True
+        if not progressed:
+            raise PlanError(
+                f"join graph of query {query.query_id} is disconnected: "
+                f"covered={covered}, remaining={remaining}"
+            )
+    return ordered

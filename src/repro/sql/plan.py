@@ -1,0 +1,236 @@
+"""Logical/physical query plan operators.
+
+A plan is a tree of :class:`PlanNode` instances. Nodes carry two
+cardinality annotations that the rest of the system reads and writes:
+
+* ``est_card`` — the estimate produced by a cardinality estimator
+  (:mod:`repro.stats`); this is what the learned cost model is fed.
+* ``true_card`` — the actual output cardinality observed by the executor.
+
+The UDF-specific operators (:class:`UDFFilter`, :class:`UDFProject`) are
+the paper's object of study: ``UDFFilter`` additionally records whether its
+estimate is even *defined* (post-UDF cardinalities are unknowable, §IV).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+from repro.sql.expressions import ColumnRef, CompareOp, Conjunction
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.udf.udf import UDF
+
+
+class AggFunc(enum.Enum):
+    COUNT = "count"
+    SUM = "sum"
+    AVG = "avg"
+    MIN = "min"
+    MAX = "max"
+
+
+_node_counter = itertools.count()
+
+
+@dataclass
+class PlanNode:
+    """Base class for plan operators."""
+
+    # Populated by annotators / the executor. ``None`` = not yet known.
+    est_card: float | None = field(default=None, init=False)
+    true_card: int | None = field(default=None, init=False)
+    node_id: int = field(default_factory=lambda: next(_node_counter), init=False)
+
+    @property
+    def children(self) -> tuple["PlanNode", ...]:
+        return ()
+
+    def walk(self) -> Iterator["PlanNode"]:
+        """Post-order traversal (children before parents)."""
+        for child in self.children:
+            yield from child.walk()
+        yield self
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__
+
+    def copy_tree(self) -> "PlanNode":
+        """Deep-copy the plan structure, resetting annotations."""
+        import copy
+
+        clone = copy.deepcopy(self)
+        for node in clone.walk():
+            node.est_card = None
+            node.true_card = None
+            node.node_id = next(_node_counter)
+        return clone
+
+
+@dataclass
+class Scan(PlanNode):
+    """Full scan of a base table."""
+
+    table: str = ""
+
+    def __post_init__(self) -> None:
+        assert self.table, "Scan requires a table name"
+
+
+@dataclass
+class Filter(PlanNode):
+    """Conjunctive predicate filter over plain columns."""
+
+    child: PlanNode = None  # type: ignore[assignment]
+    predicate: Conjunction = None  # type: ignore[assignment]
+    #: True when this filter consumes the output column of a UDF. This is
+    #: the `on-udf` feature of the paper (§III-C, ablation step 3).
+    on_udf: bool = False
+
+    @property
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+
+@dataclass
+class HashJoin(PlanNode):
+    """Equi-join; the right side is built into a hash table."""
+
+    left: PlanNode = None  # type: ignore[assignment]
+    right: PlanNode = None  # type: ignore[assignment]
+    left_key: ColumnRef = None  # type: ignore[assignment]
+    right_key: ColumnRef = None  # type: ignore[assignment]
+
+    @property
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+
+@dataclass
+class UDFFilter(PlanNode):
+    """Filter of the form ``udf(cols...) OP literal``.
+
+    The output cardinality of this operator cannot be estimated (the UDF is
+    a black box to the DBMS); downstream ``est_card`` values are therefore
+    produced by the selectivity-enumeration machinery of the advisor.
+    """
+
+    child: PlanNode = None  # type: ignore[assignment]
+    udf: "UDF" = None  # type: ignore[assignment]
+    input_columns: tuple[ColumnRef, ...] = ()
+    op: CompareOp = CompareOp.LEQ
+    literal: object = 0
+    #: Selectivity assumed by the advisor when iterating over the unknown
+    #: UDF-filter selectivity (§IV-B); ``None`` means "not assumed".
+    assumed_selectivity: float | None = None
+
+    @property
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+
+@dataclass
+class UDFProject(PlanNode):
+    """Projection that adds ``output_name = udf(cols...)`` to each row."""
+
+    child: PlanNode = None  # type: ignore[assignment]
+    udf: "UDF" = None  # type: ignore[assignment]
+    input_columns: tuple[ColumnRef, ...] = ()
+    output_name: str = "udf_out"
+
+    @property
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+
+@dataclass
+class UDFAggregate(PlanNode):
+    """Aggregation implemented by a UDF over whole input columns.
+
+    The paper scopes GRACEFUL to scalar UDFs but sketches the extension to
+    aggregate UDFs "by introducing additional node types describing the
+    aggregation operation" (§II-B); this operator and the AGG_UDF graph
+    node type implement that sketch. The UDF receives one *list* per input
+    column and returns a single value.
+    """
+
+    child: PlanNode = None  # type: ignore[assignment]
+    udf: "UDF" = None  # type: ignore[assignment]
+    input_columns: tuple[ColumnRef, ...] = ()
+    output_name: str = "udf_agg"
+
+    @property
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+
+@dataclass
+class Aggregate(PlanNode):
+    """Ungrouped or single-column-grouped aggregation."""
+
+    child: PlanNode = None  # type: ignore[assignment]
+    func: AggFunc = AggFunc.COUNT
+    column: ColumnRef | None = None  # None for COUNT(*)
+    group_by: ColumnRef | None = None
+
+    @property
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+
+@dataclass
+class Project(PlanNode):
+    """Column pruning."""
+
+    child: PlanNode = None  # type: ignore[assignment]
+    columns: tuple[str, ...] = ()
+
+    @property
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+
+def plan_tables(root: PlanNode) -> list[str]:
+    """All base tables scanned by a plan, in scan order."""
+    return [node.table for node in root.walk() if isinstance(node, Scan)]
+
+
+def find_nodes(root: PlanNode, kind: type) -> list[PlanNode]:
+    return [node for node in root.walk() if isinstance(node, kind)]
+
+
+def plan_depth(root: PlanNode) -> int:
+    if not root.children:
+        return 1
+    return 1 + max(plan_depth(c) for c in root.children)
+
+
+def format_plan(root: PlanNode, indent: int = 0) -> str:
+    """Human-readable plan string with cardinality annotations."""
+    parts = [f"{'  ' * indent}{_describe(root)}"]
+    for child in root.children:
+        parts.append(format_plan(child, indent + 1))
+    return "\n".join(parts)
+
+
+def _describe(node: PlanNode) -> str:
+    extra = ""
+    if isinstance(node, Scan):
+        extra = f" {node.table}"
+    elif isinstance(node, Filter):
+        extra = f" [{node.predicate}]" + (" (on-udf)" if node.on_udf else "")
+    elif isinstance(node, HashJoin):
+        extra = f" [{node.left_key} = {node.right_key}]"
+    elif isinstance(node, UDFFilter):
+        extra = f" [udf(...) {node.op.value} {node.literal!r}]"
+    elif isinstance(node, UDFProject):
+        extra = f" [{node.output_name} = udf(...)]"
+    elif isinstance(node, Aggregate):
+        col = node.column.qualified if node.column else "*"
+        extra = f" [{node.func.value}({col})]"
+    cards = f" est={node.est_card!r} true={node.true_card!r}"
+    return f"{node.kind}{extra}{cards}"

@@ -1,0 +1,122 @@
+"""Declarative query specification.
+
+The workload generator (:mod:`repro.bench.workload`) produces
+:class:`Query` objects; the planner (:mod:`repro.sql.optimizer`) lowers
+them to executable plans with an explicit UDF *placement* — the degree of
+freedom the pull-up advisor (§IV) decides on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.sql.expressions import ColumnRef, CompareOp
+from repro.sql.plan import AggFunc
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.udf.udf import UDF
+
+
+class UDFPlacement(enum.Enum):
+    """Where the UDF filter sits in the plan (§IV / Table III columns)."""
+
+    PUSH_DOWN = "push_down"  # directly above the scan of the input table
+    INTERMEDIATE = "intermediate"  # after roughly half of the joins
+    PULL_UP = "pull_up"  # at the very top, after all joins/filters
+
+
+class UDFRole(enum.Enum):
+    FILTER = "filter"
+    PROJECTION = "projection"
+
+
+@dataclass(frozen=True)
+class FilterSpec:
+    """A plain (non-UDF) filter predicate ``column OP literal``."""
+
+    column: ColumnRef
+    op: CompareOp
+    literal: object
+
+
+@dataclass(frozen=True)
+class JoinSpec:
+    """An equi-join edge between two tables of the query."""
+
+    left: ColumnRef
+    right: ColumnRef
+
+    def involves(self, table: str) -> bool:
+        return table in (self.left.table, self.right.table)
+
+
+@dataclass
+class UDFSpec:
+    """The scalar UDF used by the query.
+
+    ``input_columns`` live in ``input_table``; for the FILTER role the
+    predicate is ``udf(cols...) OP literal``.
+    """
+
+    udf: "UDF"
+    input_table: str
+    input_columns: tuple[str, ...]
+    role: UDFRole = UDFRole.FILTER
+    op: CompareOp = CompareOp.LEQ
+    literal: float = 0.0
+
+    def column_refs(self) -> tuple[ColumnRef, ...]:
+        return tuple(ColumnRef(self.input_table, c) for c in self.input_columns)
+
+
+@dataclass(frozen=True)
+class AggSpec:
+    func: AggFunc = AggFunc.COUNT
+    column: ColumnRef | None = None
+
+
+@dataclass
+class Query:
+    """A SPJA query with (optionally) one scalar UDF.
+
+    This mirrors the paper's benchmark queries: 1-5 joins, up to ~21
+    filters, and a UDF in a filter predicate or in the projection.
+    """
+
+    dataset: str
+    tables: tuple[str, ...]
+    joins: tuple[JoinSpec, ...] = ()
+    filters: tuple[FilterSpec, ...] = ()
+    udf: UDFSpec | None = None
+    agg: AggSpec | None = field(default_factory=AggSpec)
+    query_id: int = 0
+
+    @property
+    def has_udf(self) -> bool:
+        return self.udf is not None
+
+    @property
+    def num_joins(self) -> int:
+        return len(self.joins)
+
+    def filters_for(self, table: str) -> list[FilterSpec]:
+        return [f for f in self.filters if f.column.table == table]
+
+    def validate(self) -> None:
+        """Sanity-check internal consistency (raises ``ValueError``)."""
+        tables = set(self.tables)
+        for join in self.joins:
+            if join.left.table not in tables or join.right.table not in tables:
+                raise ValueError(f"join {join} references a table outside {tables}")
+        for flt in self.filters:
+            if flt.column.table not in tables:
+                raise ValueError(f"filter {flt} references a table outside {tables}")
+        if self.udf is not None and self.udf.input_table not in tables:
+            raise ValueError(f"UDF input table {self.udf.input_table!r} not in {tables}")
+        if len(self.joins) != len(self.tables) - 1:
+            raise ValueError(
+                f"query over {len(self.tables)} tables needs {len(self.tables) - 1} "
+                f"joins, got {len(self.joins)}"
+            )

@@ -1,0 +1,92 @@
+"""Intermediate query results: bags of qualified columns."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.exceptions import PlanError
+from repro.storage.column import Column
+from repro.storage.table import Table
+
+
+class Relation:
+    """An intermediate result during query execution.
+
+    Columns are keyed by their *qualified* name (``table.column``) so that
+    joins never collide. A relation is immutable; every operator produces a
+    new one (columns share the underlying numpy buffers where possible).
+    """
+
+    def __init__(self, columns: Mapping[str, Column]):
+        self._columns: dict[str, Column] = dict(columns)
+        lengths = {len(c) for c in self._columns.values()}
+        if len(lengths) > 1:
+            raise PlanError(f"relation columns disagree on length: {lengths}")
+        self._num_rows = lengths.pop() if lengths else 0
+
+    @classmethod
+    def from_table(cls, table: Table) -> "Relation":
+        return cls({f"{table.name}.{c.name}": c for c in table.columns})
+
+    @property
+    def num_rows(self) -> int:
+        return self._num_rows
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self._columns)
+
+    def __contains__(self, qualified_name: str) -> bool:
+        return qualified_name in self._columns
+
+    def column(self, qualified_name: str) -> Column:
+        try:
+            return self._columns[qualified_name]
+        except KeyError:
+            raise PlanError(
+                f"relation has no column {qualified_name!r}; "
+                f"available: {sorted(self._columns)}"
+            ) from None
+
+    def take(self, indices: np.ndarray) -> "Relation":
+        return Relation({name: col.take(indices) for name, col in self._columns.items()})
+
+    def filter(self, mask: np.ndarray) -> "Relation":
+        return Relation({name: col.filter(mask) for name, col in self._columns.items()})
+
+    def select(self, qualified_names: Iterable[str]) -> "Relation":
+        return Relation({name: self.column(name) for name in qualified_names})
+
+    def with_column(self, qualified_name: str, column: Column) -> "Relation":
+        cols = dict(self._columns)
+        cols[qualified_name] = column
+        return Relation(cols)
+
+    def merge(self, other: "Relation") -> "Relation":
+        """Combine two row-aligned relations (used by join output assembly)."""
+        if other.num_rows != self.num_rows and self._columns and other._columns:
+            raise PlanError(
+                f"cannot merge relations of {self.num_rows} and {other.num_rows} rows"
+            )
+        cols = dict(self._columns)
+        for name, col in other._columns.items():
+            if name in cols:
+                raise PlanError(f"merge collision on column {name!r}")
+            cols[name] = col
+        return Relation(cols)
+
+    def rows(self, qualified_names: list[str]) -> list[tuple]:
+        """Materialize the given columns as Python-scalar row tuples.
+
+        This is the row-at-a-time path scalar UDFs consume; NULLs become
+        ``None`` exactly as a Python UDF in DuckDB would observe them.
+        """
+        cols = [self.column(name) for name in qualified_names]
+        return [
+            tuple(col.python_value(i) for col in cols) for i in range(self._num_rows)
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Relation(rows={self._num_rows}, cols={sorted(self._columns)})"

@@ -1,0 +1,54 @@
+"""Render declarative queries and plans as SQL text.
+
+Purely presentational: the executor works on plan trees, but examples,
+logs, and papers talk SQL. The rendered dialect matches the paper's
+figures (DuckDB-flavored, with the UDF called inline).
+"""
+
+from __future__ import annotations
+
+from repro.sql.expressions import CompareOp
+from repro.sql.plan import AggFunc
+from repro.sql.query import Query, UDFRole
+
+
+def _literal_sql(value: object) -> str:
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def _predicate_sql(column: str, op: CompareOp, literal: object) -> str:
+    if op is CompareOp.LIKE:
+        return f"{column} LIKE {_literal_sql(str(literal) + '%')}"
+    return f"{column} {op.value} {_literal_sql(literal)}"
+
+
+def query_to_sql(query: Query) -> str:
+    """The SQL text of a :class:`~repro.sql.query.Query`."""
+    udf = query.udf
+    select = "COUNT(*)"
+    if query.agg is not None and query.agg.func is not AggFunc.COUNT:
+        target = query.agg.column.qualified if query.agg.column else "*"
+        select = f"{query.agg.func.value.upper()}({target})"
+    if udf is not None and udf.role is UDFRole.PROJECTION:
+        args = ", ".join(f"{udf.input_table}.{c}" for c in udf.input_columns)
+        select = f"{select}, {udf.udf.name}({args})"
+
+    lines = [f"SELECT {select}", f"FROM {', '.join(query.tables)}"]
+    conditions: list[str] = []
+    for join in query.joins:
+        conditions.append(f"{join.left.qualified} = {join.right.qualified}")
+    for flt in query.filters:
+        conditions.append(_predicate_sql(flt.column.qualified, flt.op, flt.literal))
+    if udf is not None and udf.role is UDFRole.FILTER:
+        args = ", ".join(f"{udf.input_table}.{c}" for c in udf.input_columns)
+        conditions.append(
+            _predicate_sql(f"{udf.udf.name}({args})", udf.op, udf.literal)
+        )
+    if conditions:
+        lines.append("WHERE " + "\n  AND ".join(conditions))
+    return "\n".join(lines) + ";"

@@ -1,0 +1,54 @@
+"""Statistics substrate: histograms, catalogs, cardinality estimators."""
+
+from repro.stats.actual import ActualCardinalityEstimator
+from repro.stats.annotate import annotate_plan
+from repro.stats.base import (
+    CardinalityEstimator,
+    FragmentJoin,
+    FragmentPredicate,
+    QueryFragment,
+)
+from repro.stats.catalog import StatisticsCatalog
+from repro.stats.deepdb import DeepDBEstimator
+from repro.stats.fragments import fragment_to_plan
+from repro.stats.histogram import ColumnStats, build_table_stats
+from repro.stats.naive import NaiveEstimator
+from repro.stats.wanderjoin import WanderJoinEstimator
+
+#: Estimator registry keyed by the names used in the paper's tables.
+ESTIMATOR_CLASSES = {
+    "actual": ActualCardinalityEstimator,
+    "deepdb": DeepDBEstimator,
+    "wanderjoin": WanderJoinEstimator,
+    "duckdb": NaiveEstimator,
+}
+
+
+def make_estimator(name: str, database) -> CardinalityEstimator:
+    """Instantiate an estimator by its paper name."""
+    try:
+        cls = ESTIMATOR_CLASSES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown estimator {name!r}; choose from {sorted(ESTIMATOR_CLASSES)}"
+        ) from None
+    return cls(database)
+
+
+__all__ = [
+    "ActualCardinalityEstimator",
+    "CardinalityEstimator",
+    "ColumnStats",
+    "DeepDBEstimator",
+    "ESTIMATOR_CLASSES",
+    "FragmentJoin",
+    "FragmentPredicate",
+    "NaiveEstimator",
+    "QueryFragment",
+    "StatisticsCatalog",
+    "WanderJoinEstimator",
+    "annotate_plan",
+    "build_table_stats",
+    "fragment_to_plan",
+    "make_estimator",
+]

@@ -1,0 +1,27 @@
+"""The perfect-information estimator: executes the fragment and counts."""
+
+from __future__ import annotations
+
+from repro.sql.executor import Executor
+from repro.stats.base import CardinalityEstimator, QueryFragment
+from repro.stats.fragments import fragment_to_plan
+from repro.storage.database import Database
+
+
+class ActualCardinalityEstimator(CardinalityEstimator):
+    """Executes fragments against the database — the paper's "Actual" rows.
+
+    This is the upper baseline of Table III and the oracle used to isolate
+    model error from estimation error (Exp 2/4).
+    """
+
+    name = "actual"
+
+    def __init__(self, database: Database):
+        super().__init__(database)
+        self._executor = Executor(database)
+
+    def _estimate(self, fragment: QueryFragment) -> float:
+        plan = fragment_to_plan(fragment)
+        result = self._executor.execute(plan)
+        return float(result.relation.num_rows)

@@ -1,0 +1,120 @@
+"""Plan annotation: write ``est_card`` onto every plan node.
+
+Walks a plan bottom-up, building the :class:`QueryFragment` each node
+computes, and queries a cardinality estimator for it. Above a UDF filter
+no fragment describes the output (the UDF is opaque to the estimator), so
+estimates are carried forward as ``fragment_estimate × selectivity
+multiplier`` where the multiplier is the UDF filter's
+``assumed_selectivity`` (1.0 — the paper's "fixed upper bound" — when no
+assumption is made). This is exactly the cardinality-adjustment step of
+the advisor (Fig. 4: ``card = card * sel`` above the UDF filter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import PlanError
+from repro.sql.plan import (
+    Aggregate,
+    Filter,
+    HashJoin,
+    PlanNode,
+    Project,
+    Scan,
+    UDFAggregate,
+    UDFFilter,
+    UDFProject,
+)
+from repro.stats.base import (
+    CardinalityEstimator,
+    FragmentJoin,
+    FragmentPredicate,
+    QueryFragment,
+)
+
+
+@dataclass
+class _State:
+    """Fragment + UDF multiplier describing one subtree's output."""
+
+    fragment: QueryFragment
+    multiplier: float
+
+
+def annotate_plan(
+    root: PlanNode, estimator: CardinalityEstimator
+) -> dict[int, _State]:
+    """Annotate ``est_card`` on every node of ``root`` in place.
+
+    Returns a mapping ``node_id -> _State`` so callers (the hit-ratio
+    estimator, the joint-graph builder) can reuse the fragment that
+    describes each node's input.
+    """
+    record: dict[int, _State] = {}
+    _annotate(root, estimator, record)
+    return record
+
+
+def _annotate(
+    node: PlanNode,
+    estimator: CardinalityEstimator,
+    record: dict[int, _State],
+) -> _State:
+    if isinstance(node, Scan):
+        state = _State(QueryFragment.normalized((node.table,)), 1.0)
+    elif isinstance(node, Filter):
+        child = _annotate(node.child, estimator, record)
+        if node.on_udf:
+            # A plain filter over a UDF output column: opaque, keep fragment.
+            state = child
+        else:
+            preds = tuple(
+                FragmentPredicate(p.column, p.op, p.literal)
+                for p in node.predicate.predicates
+            )
+            state = _State(child.fragment.with_predicates(preds), child.multiplier)
+    elif isinstance(node, HashJoin):
+        left = _annotate(node.left, estimator, record)
+        right = _annotate(node.right, estimator, record)
+        fragment = QueryFragment.normalized(
+            left.fragment.tables + right.fragment.tables,
+            left.fragment.joins
+            + right.fragment.joins
+            + (FragmentJoin(node.left_key, node.right_key),),
+            left.fragment.predicates + right.fragment.predicates,
+        )
+        state = _State(fragment, left.multiplier * right.multiplier)
+    elif isinstance(node, UDFFilter):
+        child = _annotate(node.child, estimator, record)
+        if node.assumed_selectivity is not None:
+            # Advisor mode (§IV): iterate over assumed selectivities.
+            selectivity = node.assumed_selectivity
+        elif node.true_card is not None and (node.child.true_card or 0) > 0:
+            # Executed benchmark plan: the observed UDF selectivity is part
+            # of the ground truth (how Table III annotates plans).
+            selectivity = node.true_card / node.child.true_card
+        else:
+            # Unexecuted, no assumption: the paper's fixed upper bound.
+            selectivity = 1.0
+        state = _State(child.fragment, child.multiplier * selectivity)
+    elif isinstance(node, UDFAggregate):
+        child = _annotate(node.child, estimator, record)
+        node.est_card = 1.0
+        record[node.node_id] = child
+        return child
+    elif isinstance(node, (UDFProject, Project)):
+        state = _annotate(node.children[0], estimator, record)
+    elif isinstance(node, Aggregate):
+        child = _annotate(node.child, estimator, record)
+        node.est_card = 1.0 if node.group_by is None else max(
+            1.0, estimator.estimate(child.fragment) * child.multiplier
+        )
+        record[node.node_id] = child
+        return child
+    else:
+        raise PlanError(f"cannot annotate node {type(node).__name__}")
+
+    node.est_card = max(1.0, estimator.estimate(state.fragment) * state.multiplier)
+    record[node.node_id] = state
+    return state

@@ -1,0 +1,98 @@
+"""Cardinality-estimator interface and the query-fragment abstraction.
+
+A *fragment* is the estimation unit everywhere in the system: a set of
+tables, the equi-join edges connecting them, and a conjunction of atomic
+predicates. Plan annotation walks a plan bottom-up building fragments; the
+hit-ratio estimator (§III-B) builds fragments whose predicates include UDF
+branch conditions.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.sql.expressions import ColumnRef, CompareOp
+from repro.storage.database import Database
+
+
+@dataclass(frozen=True)
+class FragmentPredicate:
+    """Atomic predicate inside a fragment (hashable)."""
+
+    column: ColumnRef
+    op: CompareOp
+    literal: object
+
+
+@dataclass(frozen=True)
+class FragmentJoin:
+    """Equi-join edge inside a fragment (hashable)."""
+
+    left: ColumnRef
+    right: ColumnRef
+
+
+@dataclass(frozen=True)
+class QueryFragment:
+    """A conjunctive select-project-join fragment over base tables."""
+
+    tables: tuple[str, ...]
+    joins: tuple[FragmentJoin, ...] = ()
+    predicates: tuple[FragmentPredicate, ...] = ()
+
+    @staticmethod
+    def normalized(
+        tables: tuple[str, ...],
+        joins: tuple[FragmentJoin, ...] = (),
+        predicates: tuple[FragmentPredicate, ...] = (),
+    ) -> "QueryFragment":
+        """Canonical ordering so equal fragments hash equally."""
+        return QueryFragment(
+            tables=tuple(sorted(tables)),
+            joins=tuple(
+                sorted(joins, key=lambda j: (j.left.qualified, j.right.qualified))
+            ),
+            predicates=tuple(
+                sorted(
+                    predicates,
+                    key=lambda p: (p.column.qualified, p.op.value, repr(p.literal)),
+                )
+            ),
+        )
+
+    def with_predicates(self, extra: tuple[FragmentPredicate, ...]) -> "QueryFragment":
+        return QueryFragment.normalized(self.tables, self.joins, self.predicates + extra)
+
+
+class CardinalityEstimator(abc.ABC):
+    """Estimates output cardinalities of query fragments.
+
+    Subclasses implement ``_estimate``; this base class provides caching
+    (fragments repeat heavily: every plan node and every hit-ratio query).
+    """
+
+    #: short name used in experiment tables ("actual", "deepdb", ...)
+    name: str = "base"
+
+    def __init__(self, database: Database):
+        self.database = database
+        self._cache: dict[QueryFragment, float] = {}
+
+    def estimate(self, fragment: QueryFragment) -> float:
+        fragment = QueryFragment.normalized(
+            fragment.tables, fragment.joins, fragment.predicates
+        )
+        if fragment not in self._cache:
+            self._cache[fragment] = max(0.0, float(self._estimate(fragment)))
+        return self._cache[fragment]
+
+    def estimate_scan(self, table: str) -> float:
+        return self.estimate(QueryFragment.normalized((table,)))
+
+    @abc.abstractmethod
+    def _estimate(self, fragment: QueryFragment) -> float:
+        """Produce the raw estimate (subclass responsibility)."""
+
+    def clear_cache(self) -> None:
+        self._cache.clear()

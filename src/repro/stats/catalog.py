@@ -1,0 +1,54 @@
+"""Per-database statistics catalog shared by all estimators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.stats.histogram import ColumnStats, build_table_stats
+from repro.storage.database import Database
+from repro.storage.generator import hash_name
+from repro.storage.table import Table
+
+
+class StatisticsCatalog:
+    """Histograms, distinct counts, and uniform samples for one database.
+
+    Built lazily per table so estimators only pay for what they touch.
+    """
+
+    def __init__(self, database: Database, sample_target: int = 2_000, seed: int = 7):
+        self.database = database
+        self.sample_target = sample_target
+        self._seed = seed
+        self._stats: dict[str, dict[str, ColumnStats]] = {}
+        self._samples: dict[str, tuple[Table, float]] = {}
+
+    def column_stats(self, table: str, column: str) -> ColumnStats:
+        return self.table_stats(table)[column]
+
+    def table_stats(self, table: str) -> dict[str, ColumnStats]:
+        if table not in self._stats:
+            self._stats[table] = build_table_stats(self.database.table(table))
+        return self._stats[table]
+
+    def sample(self, table: str) -> tuple[Table, float]:
+        """A uniform sample of ``table`` and its sampling fraction.
+
+        Tables at or below the target size are returned exactly
+        (fraction 1.0), so estimates on small dimension tables are exact.
+        """
+        if table not in self._samples:
+            full = self.database.table(table)
+            n = len(full)
+            if n <= self.sample_target:
+                self._samples[table] = (full, 1.0)
+            else:
+                rng = np.random.default_rng(self._seed + hash_name(table) % 65_536)
+                indices = np.sort(
+                    rng.choice(n, size=self.sample_target, replace=False)
+                )
+                self._samples[table] = (full.take(indices), self.sample_target / n)
+        return self._samples[table]
+
+    def n_rows(self, table: str) -> int:
+        return len(self.database.table(table))

@@ -1,0 +1,59 @@
+"""DeepDB-like data-driven estimator (sampling stand-in).
+
+DeepDB [26] learns relational sum-product networks over the data and is
+the most accurate learned estimator in the paper (median q-error ~1.02-1.3,
+with tails on correlated/skewed datasets). We reproduce that profile with
+*correlated uniform sampling*: fragments are executed exactly on per-table
+uniform samples and scaled by the inverse sampling fractions.
+
+* small dimension tables are kept whole → near-exact single-table and
+  dim-only estimates (like DeepDB);
+* sampled fact tables introduce variance that grows on skewed fan-outs —
+  exactly the datasets (airline/baseball) where the paper reports DeepDB
+  struggling;
+* empty sample results fall back to a fractional pseudo-count, producing
+  the occasional large q-error the paper's 95th/99th percentiles show.
+"""
+
+from __future__ import annotations
+
+from repro.sql.executor import Executor
+from repro.stats.base import CardinalityEstimator, QueryFragment
+from repro.stats.catalog import StatisticsCatalog
+from repro.stats.fragments import fragment_to_plan
+from repro.storage.database import Database
+
+
+class DeepDBEstimator(CardinalityEstimator):
+    name = "deepdb"
+
+    def __init__(self, database: Database, catalog: StatisticsCatalog | None = None):
+        super().__init__(database)
+        self.catalog = catalog or StatisticsCatalog(database)
+        self._sampled_db: Database | None = None
+        self._scale: dict[str, float] = {}
+
+    def _ensure_sampled(self) -> Database:
+        if self._sampled_db is None:
+            tables = []
+            for name in self.database.table_names:
+                sample, fraction = self.catalog.sample(name)
+                tables.append(sample)
+                self._scale[name] = fraction
+            self._sampled_db = Database(
+                self.database.name, tables, self.database.foreign_keys
+            )
+        return self._sampled_db
+
+    def _estimate(self, fragment: QueryFragment) -> float:
+        sampled = self._ensure_sampled()
+        plan = fragment_to_plan(fragment)
+        count = float(Executor(sampled).execute(plan).relation.num_rows)
+        scale = 1.0
+        for table in fragment.tables:
+            scale /= self._scale[table]
+        if count == 0.0:
+            # Pseudo-count: half a sampled row, scaled up. Mirrors learned
+            # estimators' behaviour of never answering exactly zero.
+            count = 0.5
+        return count * scale

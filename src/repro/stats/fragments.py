@@ -1,0 +1,58 @@
+"""Execute query fragments as plans (shared by the actual & sample estimators)."""
+
+from __future__ import annotations
+
+from repro.exceptions import EstimationError
+from repro.sql.expressions import Conjunction, Predicate
+from repro.sql.plan import Filter, HashJoin, PlanNode, Scan
+from repro.stats.base import QueryFragment
+
+
+def fragment_to_plan(fragment: QueryFragment) -> PlanNode:
+    """Lower a fragment to a filter/join plan (BFS join order)."""
+
+    def scan_with_filters(table: str) -> PlanNode:
+        node: PlanNode = Scan(table=table)
+        preds = [p for p in fragment.predicates if p.column.table == table]
+        if preds:
+            node = Filter(
+                child=node,
+                predicate=Conjunction(
+                    tuple(Predicate(p.column, p.op, p.literal) for p in preds)
+                ),
+            )
+        return node
+
+    root_table = fragment.tables[0]
+    node = scan_with_filters(root_table)
+    covered = {root_table}
+    remaining = list(fragment.joins)
+    while remaining:
+        progressed = False
+        for join in list(remaining):
+            lt, rt = join.left.table, join.right.table
+            if lt in covered and rt in covered:
+                remaining.remove(join)  # cycle edge; drop (shouldn't happen)
+                progressed = True
+                continue
+            if lt in covered or rt in covered:
+                left_key, right_key = (join.left, join.right) if lt in covered else (
+                    join.right,
+                    join.left,
+                )
+                other = rt if lt in covered else lt
+                node = HashJoin(
+                    left=node,
+                    right=scan_with_filters(other),
+                    left_key=left_key,
+                    right_key=right_key,
+                )
+                covered.add(other)
+                remaining.remove(join)
+                progressed = True
+        if not progressed:
+            raise EstimationError(
+                f"fragment join graph disconnected: covered={covered}, "
+                f"remaining={remaining}"
+            )
+    return node

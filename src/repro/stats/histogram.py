@@ -1,0 +1,171 @@
+"""Per-column statistics: equi-depth histograms, MCVs, distinct counts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sql.expressions import CompareOp
+from repro.storage.column import Column
+from repro.storage.datatypes import DataType
+
+
+@dataclass
+class ColumnStats:
+    """Statistics of a single column, built once per database.
+
+    Numeric columns get an equi-depth histogram; string columns get a
+    most-common-values list. ``selectivity`` answers atomic predicates the
+    way a textbook optimizer would.
+    """
+
+    dtype: DataType
+    n_rows: int
+    n_nulls: int
+    n_distinct: int
+    # Numeric-only:
+    bin_edges: np.ndarray | None = None
+    bin_counts: np.ndarray | None = None
+    min_value: float | None = None
+    max_value: float | None = None
+    # String-only: value -> frequency (over non-null rows)
+    mcv: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def null_fraction(self) -> float:
+        return self.n_nulls / self.n_rows if self.n_rows else 0.0
+
+    @property
+    def non_null_fraction(self) -> float:
+        return 1.0 - self.null_fraction
+
+    @classmethod
+    def from_column(cls, column: Column, n_bins: int = 64) -> "ColumnStats":
+        values = column.non_null_values()
+        n_rows = len(column)
+        n_nulls = column.null_count
+        if column.dtype is DataType.STRING:
+            strings = values.astype(str)
+            uniques, counts = (
+                np.unique(strings, return_counts=True) if len(strings) else ([], [])
+            )
+            total = max(1, len(strings))
+            mcv = {str(u): float(c) / total for u, c in zip(uniques, counts)}
+            return cls(
+                dtype=column.dtype,
+                n_rows=n_rows,
+                n_nulls=n_nulls,
+                n_distinct=len(mcv),
+                mcv=mcv,
+            )
+        numeric = values.astype(np.float64)
+        if len(numeric) == 0:
+            return cls(dtype=column.dtype, n_rows=n_rows, n_nulls=n_nulls, n_distinct=0)
+        quantiles = np.linspace(0.0, 1.0, n_bins + 1)
+        edges = np.quantile(numeric, quantiles)
+        edges = np.unique(edges)  # collapse duplicate edges on skewed data
+        if len(edges) < 2:
+            edges = np.array([edges[0], edges[0]])
+            counts = np.array([len(numeric)], dtype=np.float64)
+        else:
+            counts, _ = np.histogram(numeric, bins=edges)
+            counts = counts.astype(np.float64)
+        return cls(
+            dtype=column.dtype,
+            n_rows=n_rows,
+            n_nulls=n_nulls,
+            n_distinct=int(len(np.unique(numeric))),
+            bin_edges=edges,
+            bin_counts=counts,
+            min_value=float(numeric.min()),
+            max_value=float(numeric.max()),
+        )
+
+    # ------------------------------------------------------------------
+    def selectivity(self, op: CompareOp, literal: object) -> float:
+        """Estimated fraction of *all* rows satisfying ``col OP literal``.
+
+        NULL rows never satisfy a predicate, so estimates are scaled by the
+        non-null fraction.
+        """
+        if self.n_rows == 0:
+            return 0.0
+        if self.dtype is DataType.STRING:
+            base = self._string_selectivity(op, str(literal))
+        else:
+            base = self._numeric_selectivity(op, float(literal))
+        return float(np.clip(base * self.non_null_fraction, 0.0, 1.0))
+
+    def _string_selectivity(self, op: CompareOp, literal: str) -> float:
+        freq = self.mcv.get(literal, 0.0)
+        if op is CompareOp.EQ:
+            return freq
+        if op is CompareOp.NEQ:
+            return 1.0 - freq
+        if op is CompareOp.LIKE:
+            return sum(f for v, f in self.mcv.items() if v.startswith(literal))
+        return 0.0
+
+    def _numeric_selectivity(self, op: CompareOp, literal: float) -> float:
+        if self.bin_edges is None or self.bin_counts is None:
+            return 0.0
+        frac_below = self._fraction_below(literal)
+        eq_frac = 1.0 / max(1, self.n_distinct)
+        if op is CompareOp.LT:
+            return frac_below
+        if op is CompareOp.LEQ:
+            return min(1.0, frac_below + eq_frac)
+        if op is CompareOp.GT:
+            return max(0.0, 1.0 - frac_below - eq_frac)
+        if op is CompareOp.GEQ:
+            return 1.0 - frac_below
+        if op is CompareOp.EQ:
+            return self._point_fraction(literal)
+        if op is CompareOp.NEQ:
+            return 1.0 - self._point_fraction(literal)
+        return 0.0
+
+    def _fraction_below(self, literal: float) -> float:
+        """Fraction of non-null values strictly below ``literal``."""
+        edges, counts = self.bin_edges, self.bin_counts
+        total = counts.sum()
+        if total == 0:
+            return 0.0
+        if literal <= edges[0]:
+            return 0.0
+        if literal > edges[-1]:
+            return 1.0
+        if literal == edges[-1]:
+            # "strictly below the max" must exclude the point mass at the
+            # max itself (matters for heavily duplicated columns).
+            return 1.0 - self._point_fraction(literal)
+        acc = 0.0
+        for i in range(len(counts)):
+            lo, hi = edges[i], edges[i + 1]
+            if literal >= hi:
+                acc += counts[i]
+            elif literal > lo:
+                acc += counts[i] * (literal - lo) / max(hi - lo, 1e-12)
+                break
+            else:
+                break
+        return float(acc / total)
+
+    def _point_fraction(self, literal: float) -> float:
+        """Fraction of non-null values equal to ``literal``."""
+        edges, counts = self.bin_edges, self.bin_counts
+        total = counts.sum()
+        if total == 0 or literal < edges[0] or literal > edges[-1]:
+            return 0.0
+        idx = int(np.searchsorted(edges, literal, side="right")) - 1
+        idx = min(max(idx, 0), len(counts) - 1)
+        bin_fraction = counts[idx] / total
+        # Assume uniformity inside the bin across the column's distincts.
+        distinct_per_bin = max(1.0, self.n_distinct / max(1, len(counts)))
+        return float(bin_fraction / distinct_per_bin)
+
+
+def build_table_stats(table, n_bins: int = 64) -> dict[str, ColumnStats]:
+    """Column statistics for every column of a table."""
+    return {c.name: ColumnStats.from_column(c, n_bins) for c in table.columns}

@@ -1,0 +1,78 @@
+"""Textbook heuristic estimator (the "DuckDB" rows of Table III).
+
+DBMS built-in estimators rely on independence assumptions, magic
+selectivity constants for range predicates, and ``|L|·|R| / max(d_L, d_R)``
+for equi-joins. On skewed, correlated data these go wrong by orders of
+magnitude — the paper reports a median q-error of 6.29 and a 95th
+percentile of 528 for DuckDB's estimates. This estimator reproduces that
+profile honestly: it really estimates from distinct counts, it just uses
+the classic assumptions.
+"""
+
+from __future__ import annotations
+
+from repro.sql.expressions import CompareOp
+from repro.stats.base import CardinalityEstimator, QueryFragment
+from repro.stats.catalog import StatisticsCatalog
+from repro.storage.database import Database
+
+#: Magic constants, following System-R tradition (and close to what
+#: DuckDB/Postgres use when no histogram is applicable).
+RANGE_SELECTIVITY = 1.0 / 3.0
+NEQ_SELECTIVITY = 0.9
+LIKE_SELECTIVITY = 0.1
+
+
+class NaiveEstimator(CardinalityEstimator):
+    name = "duckdb"
+
+    def __init__(self, database: Database, catalog: StatisticsCatalog | None = None):
+        super().__init__(database)
+        self.catalog = catalog or StatisticsCatalog(database)
+
+    def _estimate(self, fragment: QueryFragment) -> float:
+        # Per-table filtered sizes under predicate independence.
+        sizes: dict[str, float] = {}
+        for table in fragment.tables:
+            size = float(self.catalog.n_rows(table))
+            for pred in fragment.predicates:
+                if pred.column.table != table:
+                    continue
+                size *= self._predicate_selectivity(pred)
+            sizes[table] = size
+
+        card = sizes[fragment.tables[0]]
+        covered = {fragment.tables[0]}
+        remaining = list(fragment.joins)
+        while remaining:
+            progressed = False
+            for join in list(remaining):
+                lt, rt = join.left.table, join.right.table
+                if lt in covered and rt in covered:
+                    remaining.remove(join)
+                    progressed = True
+                    continue
+                if lt in covered or rt in covered:
+                    new_table = rt if lt in covered else lt
+                    d_left = self._distinct(join.left.table, join.left.column)
+                    d_right = self._distinct(join.right.table, join.right.column)
+                    card = card * sizes[new_table] / max(d_left, d_right, 1.0)
+                    covered.add(new_table)
+                    remaining.remove(join)
+                    progressed = True
+            if not progressed:
+                break
+        return max(card, 1.0)
+
+    def _distinct(self, table: str, column: str) -> float:
+        return float(self.catalog.column_stats(table, column).n_distinct)
+
+    def _predicate_selectivity(self, pred) -> float:
+        stats = self.catalog.column_stats(pred.column.table, pred.column.column)
+        if pred.op is CompareOp.EQ:
+            return 1.0 / max(1.0, float(stats.n_distinct))
+        if pred.op is CompareOp.NEQ:
+            return NEQ_SELECTIVITY
+        if pred.op is CompareOp.LIKE:
+            return LIKE_SELECTIVITY
+        return RANGE_SELECTIVITY

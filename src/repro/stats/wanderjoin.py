@@ -1,0 +1,131 @@
+"""WanderJoin-like estimator: random walks over join paths.
+
+WanderJoin [27] estimates join sizes by sampling random walks through the
+join graph, weighting each completed walk by the inverse of its sampling
+probability. It is unbiased but high-variance on selective fragments —
+the paper reports a median q-error of 1.21 with a 95th percentile of 309.
+
+This implementation follows the original algorithm: the walk starts at a
+uniformly random tuple of the first table and extends along each join
+edge by picking a uniformly random *matching* tuple (via a hash index);
+predicates are checked on the visited tuples. The paper's configuration
+of 100 successful walks is the default.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.stats.base import CardinalityEstimator, FragmentPredicate, QueryFragment
+from repro.storage.database import Database
+
+
+class WanderJoinEstimator(CardinalityEstimator):
+    name = "wanderjoin"
+
+    def __init__(self, database: Database, n_walks: int = 100, seed: int = 1234,
+                 max_attempts_factor: int = 10):
+        super().__init__(database)
+        self.n_walks = n_walks
+        self.max_attempts_factor = max_attempts_factor
+        self._rng = np.random.default_rng(seed)
+        # (table, column) -> {value: np.ndarray of row indices}
+        self._indexes: dict[tuple[str, str], dict[object, np.ndarray]] = {}
+
+    # ------------------------------------------------------------------
+    def _index(self, table: str, column: str) -> dict[object, np.ndarray]:
+        key = (table, column)
+        if key not in self._indexes:
+            col = self.database.table(table).column(column)
+            buckets: dict[object, list[int]] = {}
+            for i in range(len(col)):
+                if col.valid[i]:
+                    buckets.setdefault(col.values[i], []).append(i)
+            self._indexes[key] = {
+                value: np.asarray(rows, dtype=np.int64)
+                for value, rows in buckets.items()
+            }
+        return self._indexes[key]
+
+    def _row_passes(self, table: str, row: int,
+                    predicates: tuple[FragmentPredicate, ...]) -> bool:
+        tbl = self.database.table(table)
+        for pred in predicates:
+            if pred.column.table != table:
+                continue
+            col = tbl.column(pred.column.column)
+            if not col.valid[row]:
+                return False
+            from repro.sql.expressions import _compare
+
+            value = np.asarray([col.values[row]])
+            if not bool(_compare(value, pred.op, pred.literal)[0]):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    def _estimate(self, fragment: QueryFragment) -> float:
+        root = fragment.tables[0]
+        n_root = len(self.database.table(root))
+        if n_root == 0:
+            return 0.0
+
+        # Order the walk: BFS over join edges from the root table.
+        path: list[tuple[str, str, str, str]] = []  # (from_t, from_c, to_t, to_c)
+        covered = {root}
+        remaining = list(fragment.joins)
+        while remaining:
+            progressed = False
+            for join in list(remaining):
+                lt, rt = join.left.table, join.right.table
+                if lt in covered and rt in covered:
+                    remaining.remove(join)
+                    progressed = True
+                elif lt in covered:
+                    path.append((lt, join.left.column, rt, join.right.column))
+                    covered.add(rt)
+                    remaining.remove(join)
+                    progressed = True
+                elif rt in covered:
+                    path.append((rt, join.right.column, lt, join.left.column))
+                    covered.add(lt)
+                    remaining.remove(join)
+                    progressed = True
+            if not progressed:
+                break
+
+        estimates: list[float] = []
+        attempts = 0
+        max_attempts = self.n_walks * self.max_attempts_factor
+        while len(estimates) < self.n_walks and attempts < max_attempts:
+            attempts += 1
+            estimates.append(self._walk(root, n_root, path, fragment.predicates))
+        if not estimates:
+            return 0.0
+        return float(np.mean(estimates))
+
+    def _walk(self, root: str, n_root: int,
+              path: list[tuple[str, str, str, str]],
+              predicates: tuple[FragmentPredicate, ...]) -> float:
+        """One random walk; returns its Horvitz-Thompson weight (0 = failed)."""
+        current_rows: dict[str, int] = {}
+        row = int(self._rng.integers(0, n_root))
+        if not self._row_passes(root, row, predicates):
+            return 0.0
+        current_rows[root] = row
+        weight = float(n_root)
+        for from_t, from_c, to_t, to_c in path:
+            from_tbl = self.database.table(from_t)
+            col = from_tbl.column(from_c)
+            from_row = current_rows[from_t]
+            if not col.valid[from_row]:
+                return 0.0
+            matches = self._index(to_t, to_c).get(col.values[from_row])
+            if matches is None or len(matches) == 0:
+                return 0.0
+            pick = int(matches[int(self._rng.integers(0, len(matches)))])
+            if not self._row_passes(to_t, pick, predicates):
+                return 0.0
+            current_rows[to_t] = pick
+            weight *= float(len(matches))
+        return weight

@@ -1,0 +1,35 @@
+"""In-memory column-store substrate: types, columns, tables, databases.
+
+This package replaces DuckDB as the execution substrate of the paper (see
+DESIGN.md §1). Public entry points:
+
+* :class:`~repro.storage.table.Table` / :class:`~repro.storage.database.Database`
+* :func:`~repro.storage.generator.generate_database` — synthetic stand-ins
+  for the paper's 20 evaluation datasets.
+"""
+
+from repro.storage.column import Column
+from repro.storage.database import Database, ForeignKey
+from repro.storage.datatypes import DataType, infer_datatype
+from repro.storage.generator import (
+    DATASET_NAMES,
+    HARD_DATASETS,
+    GeneratorConfig,
+    generate_benchmark_databases,
+    generate_database,
+)
+from repro.storage.table import Table
+
+__all__ = [
+    "Column",
+    "DataType",
+    "Database",
+    "ForeignKey",
+    "Table",
+    "infer_datatype",
+    "DATASET_NAMES",
+    "HARD_DATASETS",
+    "GeneratorConfig",
+    "generate_database",
+    "generate_benchmark_databases",
+]

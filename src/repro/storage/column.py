@@ -1,0 +1,96 @@
+"""A single named, typed, nullable column backed by numpy arrays."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import SchemaError
+from repro.storage.datatypes import DataType, coerce_values, infer_datatype
+
+
+@dataclass
+class Column:
+    """A named column of values with an explicit validity (non-NULL) mask.
+
+    Parameters
+    ----------
+    name:
+        Column name, unique within its table.
+    dtype:
+        Logical type of the values.
+    values:
+        The stored values. NULL slots hold a type-appropriate placeholder
+        (0, 0.0, or ``""``); consult ``valid`` to distinguish them.
+    valid:
+        Boolean mask, ``True`` where the value is non-NULL.
+    """
+
+    name: str
+    dtype: DataType
+    values: np.ndarray
+    valid: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.values = coerce_values(np.asarray(self.values), self.dtype)
+        if self.valid is None:
+            self.valid = np.ones(len(self.values), dtype=bool)
+        else:
+            self.valid = np.asarray(self.valid, dtype=bool)
+        if len(self.valid) != len(self.values):
+            raise SchemaError(
+                f"column {self.name!r}: validity mask length {len(self.valid)} "
+                f"!= value length {len(self.values)}"
+            )
+
+    @classmethod
+    def from_values(cls, name: str, values: np.ndarray | list) -> "Column":
+        """Build a column, inferring the logical type from the values."""
+        arr = np.asarray(values)
+        return cls(name=name, dtype=infer_datatype(arr), values=arr)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def null_count(self) -> int:
+        return int((~self.valid).sum())
+
+    @property
+    def null_fraction(self) -> float:
+        if len(self) == 0:
+            return 0.0
+        return self.null_count / len(self)
+
+    def take(self, indices: np.ndarray) -> "Column":
+        """Return a new column with rows gathered by ``indices``."""
+        return Column(
+            name=self.name,
+            dtype=self.dtype,
+            values=self.values[indices],
+            valid=self.valid[indices],
+        )
+
+    def filter(self, mask: np.ndarray) -> "Column":
+        """Return a new column keeping rows where ``mask`` is True."""
+        return Column(
+            name=self.name,
+            dtype=self.dtype,
+            values=self.values[mask],
+            valid=self.valid[mask],
+        )
+
+    def non_null_values(self) -> np.ndarray:
+        """All non-NULL values (used by statistics builders)."""
+        return self.values[self.valid]
+
+    def rename(self, name: str) -> "Column":
+        return Column(name=name, dtype=self.dtype, values=self.values, valid=self.valid)
+
+    def python_value(self, row: int):
+        """The Python scalar a UDF receives for ``row`` (None when NULL)."""
+        if not self.valid[row]:
+            return None
+        value = self.values[row]
+        return self.dtype.python_type(value)

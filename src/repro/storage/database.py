@@ -1,0 +1,92 @@
+"""Database: a named collection of tables plus a foreign-key join graph."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.exceptions import SchemaError
+from repro.storage.table import Table
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A declared FK relationship ``child.child_column -> parent.parent_column``."""
+
+    child_table: str
+    child_column: str
+    parent_table: str
+    parent_column: str
+
+    def involves(self, table: str) -> bool:
+        return table in (self.child_table, self.parent_table)
+
+    def other(self, table: str) -> str:
+        if table == self.child_table:
+            return self.parent_table
+        if table == self.parent_table:
+            return self.child_table
+        raise SchemaError(f"{table!r} is not part of {self}")
+
+
+class Database:
+    """A named set of tables with declared PK/FK relationships.
+
+    The FK graph is what the workload generator walks to produce join
+    queries, and what the WanderJoin-style estimator samples over.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        tables: Iterable[Table],
+        foreign_keys: Iterable[ForeignKey] = (),
+    ):
+        self.name = name
+        self.tables: dict[str, Table] = {}
+        for table in tables:
+            if table.name in self.tables:
+                raise SchemaError(f"database {name!r}: duplicate table {table.name!r}")
+            self.tables[table.name] = table
+        self.foreign_keys: list[ForeignKey] = []
+        for fk in foreign_keys:
+            self._check_fk(fk)
+            self.foreign_keys.append(fk)
+
+    def _check_fk(self, fk: ForeignKey) -> None:
+        child = self.table(fk.child_table)
+        parent = self.table(fk.parent_table)
+        if fk.child_column not in child:
+            raise SchemaError(f"FK child column {fk.child_table}.{fk.child_column} missing")
+        if fk.parent_column not in parent:
+            raise SchemaError(f"FK parent column {fk.parent_table}.{fk.parent_column} missing")
+
+    @property
+    def table_names(self) -> list[str]:
+        return list(self.tables)
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise SchemaError(f"database {self.name!r} has no table {name!r}") from None
+
+    def joins_for(self, table: str) -> list[ForeignKey]:
+        """All FK edges touching ``table``."""
+        return [fk for fk in self.foreign_keys if fk.involves(table)]
+
+    def join_between(self, left: str, right: str) -> ForeignKey | None:
+        """The FK edge connecting two tables, if one exists."""
+        for fk in self.foreign_keys:
+            if {fk.child_table, fk.parent_table} == {left, right}:
+                return fk
+        return None
+
+    def total_rows(self) -> int:
+        return sum(len(t) for t in self.tables.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Database({self.name!r}, tables={len(self.tables)}, "
+            f"fks={len(self.foreign_keys)}, rows={self.total_rows()})"
+        )

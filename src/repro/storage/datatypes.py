@@ -1,0 +1,71 @@
+"""Data types supported by the column store.
+
+The type system intentionally mirrors what scalar Python UDFs in the paper
+consume: 64-bit integers, 64-bit floats, and variable-length strings.
+NULLs are represented out-of-band with a boolean validity mask on each
+column (see :mod:`repro.storage.column`).
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.exceptions import SchemaError
+
+
+class DataType(enum.Enum):
+    """Logical column type."""
+
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """The numpy dtype used to store values of this type."""
+        return _NUMPY_DTYPES[self]
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (DataType.INT, DataType.FLOAT)
+
+    @property
+    def python_type(self) -> type:
+        """The Python scalar type a UDF receives for this column type."""
+        return {DataType.INT: int, DataType.FLOAT: float, DataType.STRING: str}[self]
+
+
+_NUMPY_DTYPES = {
+    DataType.INT: np.dtype(np.int64),
+    DataType.FLOAT: np.dtype(np.float64),
+    DataType.STRING: np.dtype(object),
+}
+
+
+def infer_datatype(values: np.ndarray) -> DataType:
+    """Infer the logical :class:`DataType` of a numpy array.
+
+    Raises :class:`SchemaError` for unsupported dtypes (e.g. complex).
+    """
+    if values.dtype.kind in ("i", "u", "b"):
+        return DataType.INT
+    if values.dtype.kind == "f":
+        return DataType.FLOAT
+    if values.dtype.kind in ("O", "U", "S"):
+        return DataType.STRING
+    raise SchemaError(f"unsupported numpy dtype: {values.dtype!r}")
+
+
+def coerce_values(values: np.ndarray, dtype: DataType) -> np.ndarray:
+    """Coerce ``values`` to the storage dtype for ``dtype``.
+
+    Strings are stored as ``object`` arrays of ``str``; numeric arrays are
+    cast to their 64-bit representation.
+    """
+    if dtype is DataType.STRING:
+        if values.dtype.kind == "O":
+            return values
+        return values.astype(object)
+    return values.astype(dtype.numpy_dtype)

@@ -1,0 +1,88 @@
+"""An in-memory table: an ordered collection of equal-length columns."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.exceptions import SchemaError
+from repro.storage.column import Column
+from repro.storage.datatypes import DataType
+
+
+class Table:
+    """A named, column-oriented table.
+
+    Column order is preserved; lookup by name is O(1). All columns must
+    have the same length.
+    """
+
+    def __init__(self, name: str, columns: Iterable[Column]):
+        self.name = name
+        self.columns: list[Column] = list(columns)
+        self._by_name: dict[str, Column] = {}
+        n_rows = None
+        for col in self.columns:
+            if col.name in self._by_name:
+                raise SchemaError(f"table {name!r}: duplicate column {col.name!r}")
+            if n_rows is None:
+                n_rows = len(col)
+            elif len(col) != n_rows:
+                raise SchemaError(
+                    f"table {name!r}: column {col.name!r} has {len(col)} rows, "
+                    f"expected {n_rows}"
+                )
+            self._by_name[col.name] = col
+        self._n_rows = n_rows or 0
+
+    @classmethod
+    def from_dict(cls, name: str, data: Mapping[str, np.ndarray | list]) -> "Table":
+        """Build a table from a column-name → values mapping."""
+        return cls(name, [Column.from_values(col, vals) for col, vals in data.items()])
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    @property
+    def num_rows(self) -> int:
+        return self._n_rows
+
+    @property
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def __contains__(self, column_name: str) -> bool:
+        return column_name in self._by_name
+
+    def column(self, name: str) -> Column:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(f"table {self.name!r} has no column {name!r}") from None
+
+    def dtype(self, column_name: str) -> DataType:
+        return self.column(column_name).dtype
+
+    def take(self, indices: np.ndarray) -> "Table":
+        return Table(self.name, [c.take(indices) for c in self.columns])
+
+    def filter(self, mask: np.ndarray) -> "Table":
+        return Table(self.name, [c.filter(mask) for c in self.columns])
+
+    def head(self, n: int = 5) -> "Table":
+        return self.take(np.arange(min(n, self._n_rows)))
+
+    def with_column(self, column: Column) -> "Table":
+        """Return a new table with ``column`` appended (or replaced)."""
+        cols = [c for c in self.columns if c.name != column.name]
+        cols.append(column)
+        return Table(self.name, cols)
+
+    def row(self, index: int) -> dict[str, object]:
+        """Materialize one row as a dict of Python scalars (None for NULL)."""
+        return {c.name: c.python_value(index) for c in self.columns}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cols = ", ".join(f"{c.name}:{c.dtype.value}" for c in self.columns)
+        return f"Table({self.name!r}, rows={self._n_rows}, cols=[{cols}])"

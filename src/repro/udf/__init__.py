@@ -1,0 +1,27 @@
+"""Scalar Python UDF substrate: objects, generation, compilation, data prep."""
+
+from repro.udf.compilation import CompiledUDF, compile_udf
+from repro.udf.dataprep import fill_nulls, prepare_database, prepare_table
+from repro.udf.generator import (
+    UDFGenerator,
+    UDFGeneratorConfig,
+    generate_udf_for_table,
+)
+from repro.udf.trace import OP_KINDS, CostTrace
+from repro.udf.udf import UDF, BranchInfo, LoopInfo
+
+__all__ = [
+    "UDF",
+    "BranchInfo",
+    "LoopInfo",
+    "CompiledUDF",
+    "CostTrace",
+    "OP_KINDS",
+    "UDFGenerator",
+    "UDFGeneratorConfig",
+    "compile_udf",
+    "generate_udf_for_table",
+    "fill_nulls",
+    "prepare_database",
+    "prepare_table",
+]

@@ -1,0 +1,62 @@
+"""Data preparation: adapt data to generated UDFs (§V of the paper).
+
+The paper "flips the typical paradigm": instead of generating UDFs that
+conform to the data, the data is adapted to the UDFs. Our generated UDF
+templates are already total (guarded denominators/domains), so the only
+remaining error source is NULL inputs. This module replaces NULLs in UDF
+argument columns with type-appropriate defaults — mirroring the paper's
+"replacing NULL values with default substitutes" step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.storage.column import Column
+from repro.storage.database import Database
+from repro.storage.datatypes import DataType
+from repro.storage.table import Table
+
+
+def default_substitute(column: Column) -> object:
+    """The value used to replace NULLs: mean for numerics, mode for strings."""
+    values = column.non_null_values()
+    if column.dtype is DataType.STRING:
+        if len(values) == 0:
+            return ""
+        uniques, counts = np.unique(values.astype(str), return_counts=True)
+        return str(uniques[int(np.argmax(counts))])
+    if len(values) == 0:
+        return 0 if column.dtype is DataType.INT else 0.0
+    mean = float(values.astype(np.float64).mean())
+    return int(round(mean)) if column.dtype is DataType.INT else mean
+
+
+def fill_nulls(column: Column) -> Column:
+    """A copy of ``column`` with NULLs replaced by the default substitute."""
+    if column.null_count == 0:
+        return column
+    substitute = default_substitute(column)
+    values = column.values.copy()
+    values[~column.valid] = substitute
+    return Column(column.name, column.dtype, values, np.ones(len(column), dtype=bool))
+
+
+def prepare_table(table: Table, udf_arg_columns: tuple[str, ...]) -> Table:
+    """Adapt ``table`` so a UDF over ``udf_arg_columns`` never sees NULL."""
+    new_columns = [
+        fill_nulls(col) if col.name in udf_arg_columns else col
+        for col in table.columns
+    ]
+    return Table(table.name, new_columns)
+
+
+def prepare_database(
+    database: Database, table: str, udf_arg_columns: tuple[str, ...]
+) -> Database:
+    """A database copy with ``table`` prepared for the given UDF arguments."""
+    tables = [
+        prepare_table(t, udf_arg_columns) if t.name == table else t
+        for t in database.tables.values()
+    ]
+    return Database(database.name, tables, database.foreign_keys)

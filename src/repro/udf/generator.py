@@ -1,0 +1,324 @@
+"""Synthetic UDF generator (§V of the paper).
+
+Generates scalar Python UDFs over the columns of a given table, mimicking
+the structure statistics of real-world UDFs reported by Gupta &
+Ramachandra [1] and Table II of the paper:
+
+* 0-3 branches, 0-3 loops, 10-150 arithmetic/string operations,
+* calls into ``math`` and ``numpy``,
+* branch conditions that test input arguments directly against literals
+  drawn from the column's quantiles (so hit-ratios vary per query and are
+  rewritable to SQL for the hit-ratio estimator).
+
+Semantic correctness by construction: rather than post-hoc repairing data
+(the paper adapts data to UDFs; see :mod:`repro.udf.dataprep` for the NULL
+part), every generated arithmetic template is *total* — denominators are
+``abs(x)+1``, ``math.log``/``sqrt`` arguments are wrapped in ``abs``, and
+magnitudes are bounded with ``%`` so loops cannot overflow.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import UDFError
+from repro.sql.expressions import CompareOp
+from repro.storage.datatypes import DataType
+from repro.storage.table import Table
+from repro.udf.udf import UDF, BranchInfo, LoopInfo
+
+_udf_id_counter = itertools.count()
+
+
+@dataclass
+class UDFGeneratorConfig:
+    """Structure knobs, defaults matching Table II."""
+
+    max_args: int = 3
+    branch_weights: tuple[float, ...] = (0.35, 0.35, 0.2, 0.1)  # P(0..3 branches)
+    loop_weights: tuple[float, ...] = (0.55, 0.3, 0.1, 0.05)  # P(0..3 loops)
+    ops_range: tuple[int, int] = (10, 150)
+    loop_iterations_range: tuple[int, int] = (5, 300)
+    #: probability that a generated computation uses a library call
+    math_call_prob: float = 0.25
+    numpy_call_prob: float = 0.08
+    #: force a specific structure (used by complexity-sweep experiments)
+    force_branches: int | None = None
+    force_loops: int | None = None
+    force_ops: int | None = None
+
+
+@dataclass
+class _CodeBuilder:
+    """Accumulates indented source lines and running op counts."""
+
+    lines: list[str] = field(default_factory=list)
+    op_counts: dict[str, float] = field(default_factory=dict)
+
+    def add(self, indent: int, line: str, **ops: float) -> None:
+        self.lines.append("    " * indent + line)
+        for kind, amount in ops.items():
+            self.op_counts[kind] = self.op_counts.get(kind, 0.0) + amount
+
+
+_NUMERIC_BRANCH_OPS = (CompareOp.LT, CompareOp.LEQ, CompareOp.GT, CompareOp.GEQ)
+_STRING_BRANCH_OPS = (CompareOp.EQ, CompareOp.NEQ)
+
+
+class UDFGenerator:
+    """Generates UDFs for a specific table."""
+
+    def __init__(self, table: Table, rng: np.random.Generator,
+                 config: UDFGeneratorConfig | None = None):
+        self.table = table
+        self.rng = rng
+        self.config = config or UDFGeneratorConfig()
+        # Candidate argument columns: anything but the PK/FK id columns.
+        self.candidates = [
+            c for c in table.columns if c.name != "id" and not c.name.endswith("_id")
+        ] or [c for c in table.columns if c.name != "id"] or list(table.columns)
+
+    # ------------------------------------------------------------------
+    def generate(self) -> tuple[UDF, tuple[str, ...]]:
+        """Generate one UDF; returns (udf, argument column names)."""
+        cfg = self.config
+        rng = self.rng
+        n_args = int(rng.integers(1, min(cfg.max_args, len(self.candidates)) + 1))
+        chosen = rng.choice(len(self.candidates), size=n_args, replace=False)
+        arg_cols = [self.candidates[i] for i in sorted(chosen)]
+        arg_types = tuple(c.dtype for c in arg_cols)
+
+        n_branches = (
+            cfg.force_branches
+            if cfg.force_branches is not None
+            else int(rng.choice(len(cfg.branch_weights), p=_norm(cfg.branch_weights)))
+        )
+        n_loops = (
+            cfg.force_loops
+            if cfg.force_loops is not None
+            else int(rng.choice(len(cfg.loop_weights), p=_norm(cfg.loop_weights)))
+        )
+        target_ops = (
+            cfg.force_ops
+            if cfg.force_ops is not None
+            else int(rng.integers(cfg.ops_range[0], cfg.ops_range[1] + 1))
+        )
+
+        name = f"udf_{next(_udf_id_counter)}"
+        builder = _CodeBuilder()
+        args = ", ".join(f"x{i}" for i in range(n_args))
+        builder.add(0, f"def {name}({args}):")
+
+        # Prelude: define the accumulator from the first argument.
+        if arg_types[0] is DataType.STRING:
+            builder.add(1, "v = float(len(x0))", arith=1, string=0)
+        else:
+            builder.add(1, "v = float(x0)", arith=1)
+
+        # Budget ops across sections: prelude, branches, loops.
+        sections = 1 + n_branches + n_loops
+        per_section = max(2, target_ops // sections)
+
+        self._emit_computations(builder, 1, per_section, arg_types)
+
+        branches: list[BranchInfo] = []
+        for _ in range(n_branches):
+            branches.append(
+                self._emit_branch(builder, arg_cols, arg_types, per_section)
+            )
+
+        loops: list[LoopInfo] = []
+        for _ in range(n_loops):
+            loops.append(self._emit_loop(builder, arg_types, per_section))
+
+        builder.add(1, "return v", **{"return": 1})
+        source = "\n".join(builder.lines) + "\n"
+
+        udf = UDF(
+            name=name,
+            source=source,
+            arg_types=arg_types,
+            return_type=DataType.FLOAT,
+            branches=tuple(branches),
+            loops=tuple(loops),
+            op_counts=dict(builder.op_counts),
+        )
+        udf.validate()
+        return udf, tuple(c.name for c in arg_cols)
+
+    # ------------------------------------------------------------------
+    def _numeric_arg_indices(self, arg_types: tuple[DataType, ...]) -> list[int]:
+        return [i for i, t in enumerate(arg_types) if t.is_numeric]
+
+    def _emit_computations(
+        self, builder: _CodeBuilder, indent: int, n_ops: int,
+        arg_types: tuple[DataType, ...], loop_var: str | None = None,
+    ) -> None:
+        """Emit assignment statements totalling roughly ``n_ops`` operations."""
+        rng = self.rng
+        numeric = self._numeric_arg_indices(arg_types)
+        strings = [i for i, t in enumerate(arg_types) if t is DataType.STRING]
+        emitted = 0.0
+        while emitted < n_ops:
+            roll = rng.random()
+            if strings and roll < 0.2:
+                emitted += self._emit_string_op(builder, indent, strings)
+            elif roll < 0.2 + self.config.numpy_call_prob:
+                emitted += self._emit_numpy_op(builder, indent, numeric, loop_var)
+            elif roll < 0.2 + self.config.numpy_call_prob + self.config.math_call_prob:
+                emitted += self._emit_math_op(builder, indent, numeric, loop_var)
+            else:
+                emitted += self._emit_arith_op(builder, indent, numeric, loop_var)
+
+    def _operand(self, numeric: list[int], loop_var: str | None) -> str:
+        choices = ["v"] + [f"x{i}" for i in numeric]
+        if loop_var is not None:
+            choices.append(loop_var)
+        picked = self.rng.choice(choices)
+        if picked.startswith("x"):
+            return f"float({picked})"
+        return str(picked)
+
+    def _emit_arith_op(
+        self, builder: _CodeBuilder, indent: int, numeric: list[int],
+        loop_var: str | None,
+    ) -> float:
+        rng = self.rng
+        a = self._operand(numeric, loop_var)
+        c1 = round(float(rng.uniform(0.1, 3.0)), 3)
+        c2 = round(float(rng.uniform(1.0, 997.0)), 1)
+        template = int(rng.integers(0, 4))
+        if template == 0:
+            builder.add(indent, f"v = (v * {c1} + {a}) % {c2}", arith=3)
+            return 3
+        if template == 1:
+            builder.add(indent, f"v = v + {a} / (abs({a}) + 1.0)", arith=4)
+            return 4
+        if template == 2:
+            builder.add(indent, f"v = (v + {a}) % {c2} - {c1}", arith=3)
+            return 3
+        builder.add(indent, f"v = abs(v - {a}) % {c2}", arith=3)
+        return 3
+
+    def _emit_math_op(
+        self, builder: _CodeBuilder, indent: int, numeric: list[int],
+        loop_var: str | None,
+    ) -> float:
+        rng = self.rng
+        a = self._operand(numeric, loop_var)
+        fn = rng.choice(["sqrt", "log", "exp", "sin", "cos", "atan"])
+        if fn == "sqrt":
+            builder.add(indent, f"v = v + math.sqrt(abs({a}))", math_call=1, arith=2)
+        elif fn == "log":
+            builder.add(indent, f"v = v + math.log(abs({a}) + 1.0)", math_call=1, arith=3)
+        elif fn == "exp":
+            builder.add(indent, f"v = v + math.exp(-abs({a}) % 20.0)", math_call=1, arith=4)
+        else:
+            builder.add(indent, f"v = v + math.{fn}({a})", math_call=1, arith=1)
+        return 3
+
+    def _emit_numpy_op(
+        self, builder: _CodeBuilder, indent: int, numeric: list[int],
+        loop_var: str | None,
+    ) -> float:
+        a = self._operand(numeric, loop_var)
+        fn = self.rng.choice(["sqrt", "log1p", "abs", "sign", "tanh"])
+        builder.add(indent, f"v = v + float(np.{fn}(abs({a})))", numpy_call=1, arith=3)
+        return 3
+
+    def _emit_string_op(
+        self, builder: _CodeBuilder, indent: int, strings: list[int]
+    ) -> float:
+        rng = self.rng
+        arg = f"x{rng.choice(strings)}"
+        template = int(rng.integers(0, 4))
+        if template == 0:
+            builder.add(indent, f"v = v + len({arg}.upper())", string=1, arith=2)
+        elif template == 1:
+            builder.add(indent, f"v = v + len({arg}.replace('a', 'xy'))", string=1, arith=2)
+        elif template == 2:
+            builder.add(indent, f"v = v + len({arg}.strip())", string=1, arith=2)
+        else:
+            builder.add(indent, f"v = v + float(len({arg})) * 0.5", string=0, arith=3)
+        return 3
+
+    # ------------------------------------------------------------------
+    def _emit_branch(
+        self, builder: _CodeBuilder, arg_cols, arg_types, n_ops: int
+    ) -> BranchInfo:
+        rng = self.rng
+        # Pick the argument to test; prefer numeric columns.
+        numeric = self._numeric_arg_indices(arg_types)
+        if numeric and (not all(t is DataType.STRING for t in arg_types)):
+            idx = int(rng.choice(numeric))
+            op = _NUMERIC_BRANCH_OPS[int(rng.integers(0, len(_NUMERIC_BRANCH_OPS)))]
+            literal = self._numeric_threshold(arg_cols[idx])
+            test = f"x{idx} {op.value} {literal!r}"
+        else:
+            idx = int(rng.choice([i for i, t in enumerate(arg_types) if t is DataType.STRING]))
+            op = _STRING_BRANCH_OPS[int(rng.integers(0, len(_STRING_BRANCH_OPS)))]
+            literal = self._string_literal(arg_cols[idx])
+            test = f"x{idx} {'==' if op is CompareOp.EQ else '!='} {literal!r}"
+        has_else = bool(rng.random() < 0.5)
+        builder.add(1, f"if {test}:", branch=1, arith=1)
+        self._emit_computations(builder, 2, max(2, n_ops // (2 if has_else else 1)), arg_types)
+        if has_else:
+            builder.add(1, "else:")
+            self._emit_computations(builder, 2, max(2, n_ops // 2), arg_types)
+        return BranchInfo(arg_index=idx, op=op, literal=literal, has_else=has_else)
+
+    def _numeric_threshold(self, column) -> float:
+        values = column.non_null_values()
+        if len(values) == 0:
+            return 0.0
+        q = float(self.rng.uniform(0.05, 0.95))
+        threshold = float(np.quantile(values.astype(np.float64), q))
+        if column.dtype is DataType.INT:
+            return int(round(threshold))
+        return round(threshold, 4)
+
+    def _string_literal(self, column) -> str:
+        values = column.non_null_values()
+        if len(values) == 0:
+            return ""
+        return str(values[int(self.rng.integers(0, len(values)))])
+
+    def _emit_loop(
+        self, builder: _CodeBuilder, arg_types, n_ops: int
+    ) -> LoopInfo:
+        rng = self.rng
+        lo, hi = self.config.loop_iterations_range
+        # Log-uniform iteration counts: short loops are common, long rare.
+        n_iter = int(np.exp(rng.uniform(np.log(lo), np.log(hi))))
+        kind = "for" if rng.random() < 0.8 else "while"
+        body_ops = max(2, n_ops // max(1, n_iter // 10))
+        body_ops = min(body_ops, 8)  # keep loop bodies realistic (§V: small bodies)
+        if kind == "for":
+            builder.add(1, f"for i in range({n_iter}):", arith=1)
+            self._emit_computations(builder, 2, body_ops, arg_types, loop_var="i")
+        else:
+            builder.add(1, f"w = {n_iter}", arith=1)
+            builder.add(1, "while w > 0:", arith=1)
+            self._emit_computations(builder, 2, body_ops, arg_types, loop_var="w")
+            builder.add(2, "w = w - 1", arith=1)
+        return LoopInfo(kind=kind, n_iterations=n_iter)
+
+
+def _norm(weights: tuple[float, ...]) -> np.ndarray:
+    arr = np.asarray(weights, dtype=np.float64)
+    total = arr.sum()
+    if total <= 0:
+        raise UDFError("branch/loop weights must sum to a positive value")
+    return arr / total
+
+
+def generate_udf_for_table(
+    table: Table,
+    rng: np.random.Generator,
+    config: UDFGeneratorConfig | None = None,
+) -> tuple[UDF, tuple[str, ...]]:
+    """Convenience wrapper: one UDF over ``table``."""
+    return UDFGenerator(table, rng, config).generate()

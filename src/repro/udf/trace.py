@@ -1,0 +1,49 @@
+"""Cost traces: per-operation work performed by UDF executions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sql.costmodel import WorkCounters
+
+#: Operation kinds traced inside UDFs. Keys match ``COST_CONSTANTS``
+#: entries (with the ``udf_`` prefix added by :meth:`CostTrace.to_counters`).
+OP_KINDS: tuple[str, ...] = (
+    "arith",
+    "string",
+    "math_call",
+    "numpy_call",
+    "branch",
+    "loop_iter",
+    "return",
+    "invocation",
+)
+
+
+@dataclass
+class CostTrace:
+    """Aggregated operation counts for a batch of UDF invocations."""
+
+    counts: dict[str, float] = field(default_factory=dict)
+
+    def add(self, kind: str, amount: float = 1.0) -> None:
+        if kind not in OP_KINDS:
+            raise KeyError(f"unknown UDF op kind {kind!r}")
+        self.counts[kind] = self.counts.get(kind, 0.0) + amount
+
+    def get(self, kind: str) -> float:
+        return self.counts.get(kind, 0.0)
+
+    def merge(self, other: "CostTrace") -> None:
+        for kind, amount in other.counts.items():
+            self.counts[kind] = self.counts.get(kind, 0.0) + amount
+
+    def to_counters(self) -> WorkCounters:
+        """Convert to executor work counters (``udf_*`` keys)."""
+        counters = WorkCounters()
+        for kind, amount in self.counts.items():
+            counters.add(f"udf_{kind}", amount)
+        return counters
+
+    def total_ops(self) -> float:
+        return sum(self.counts.values())

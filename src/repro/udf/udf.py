@@ -1,0 +1,149 @@
+"""The UDF object: source code + metadata + batched evaluation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import UDFError
+from repro.sql.expressions import CompareOp
+from repro.storage.datatypes import DataType
+from repro.udf.compilation import CompiledUDF, compile_udf
+from repro.udf.trace import OP_KINDS, CostTrace
+
+
+@dataclass(frozen=True)
+class BranchInfo:
+    """One top-level branch condition ``arg[arg_index] OP literal``.
+
+    Branch conditions in generated UDFs always test an input argument
+    directly, which is what makes them rewritable into SQL for the
+    hit-ratio estimator (§III-B).
+    """
+
+    arg_index: int
+    op: CompareOp
+    literal: object
+    #: True when the condition guards the if-body; the else-body is hit by
+    #: the negation.
+    has_else: bool = False
+
+
+@dataclass(frozen=True)
+class LoopInfo:
+    """One loop in the UDF."""
+
+    kind: str  # "for" | "while"
+    n_iterations: int
+
+
+@dataclass
+class UDF:
+    """A scalar Python UDF with static metadata.
+
+    ``metadata`` fields (branches/loops/op counts) are produced by the
+    generator; for hand-written UDFs they can be recovered from the CFG
+    (see :mod:`repro.cfg`).
+    """
+
+    name: str
+    source: str
+    arg_types: tuple[DataType, ...]
+    return_type: DataType = DataType.FLOAT
+    branches: tuple[BranchInfo, ...] = ()
+    loops: tuple[LoopInfo, ...] = ()
+    #: Static operation counts over the whole body (upper bound per row).
+    op_counts: dict[str, float] = field(default_factory=dict)
+    _compiled: CompiledUDF | None = field(default=None, repr=False, compare=False)
+
+    @property
+    def n_args(self) -> int:
+        return len(self.arg_types)
+
+    @property
+    def compiled(self) -> CompiledUDF:
+        if self._compiled is None:
+            self._compiled = compile_udf(self.source, self.name)
+        return self._compiled
+
+    def evaluate_batch(
+        self, rows: list[tuple], deduplicate: bool = True
+    ) -> tuple[list, CostTrace]:
+        """Evaluate the UDF row-by-row.
+
+        Returns the output values (``None`` for NULL inputs or runtime
+        errors) and the aggregated :class:`CostTrace` of all invocations.
+
+        When ``deduplicate`` is on (default), identical argument tuples are
+        evaluated once and their cost trace is scaled by multiplicity — an
+        exact optimization because UDFs in this substrate are pure, and the
+        *accounted* cost still reflects per-row invocation as in a real
+        engine.
+        """
+        compiled = self.compiled
+        function = compiled.function
+        n_blocks = compiled.n_blocks
+        values: list = [None] * len(rows)
+        block_totals = np.zeros(n_blocks, dtype=np.float64)
+
+        if deduplicate:
+            groups: dict[tuple, list[int]] = {}
+            for i, row in enumerate(rows):
+                groups.setdefault(row, []).append(i)
+            iterator = groups.items()
+        else:
+            iterator = ((row, [i]) for i, row in enumerate(rows))
+
+        for row, positions in iterator:
+            if any(v is None for v in row):
+                continue  # NULL input -> NULL output
+            local = [0] * n_blocks
+            try:
+                value = function(local, *row)
+            except Exception:  # noqa: BLE001 - runtime errors yield NULL
+                value = None
+            for i in positions:
+                values[i] = value
+            block_totals += float(len(positions)) * np.asarray(local, dtype=np.float64)
+
+        trace = CostTrace()
+        totals = block_totals @ compiled.cost_matrix
+        for kind, amount in zip(OP_KINDS, totals):
+            if amount:
+                trace.add(kind, float(amount))
+        trace.add("invocation", float(len(rows)))
+        return values, trace
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_compiled"] = None  # compiled functions are not picklable
+        return state
+
+    def evaluate_one(self, *args) -> object:
+        """Convenience single-row evaluation (no trace)."""
+        values, _ = self.evaluate_batch([tuple(args)])
+        return values[0]
+
+    def validate(self) -> None:
+        """Compile eagerly and check metadata consistency."""
+        compiled = self.compiled
+        if len(compiled.arg_names) != len(self.arg_types):
+            raise UDFError(
+                f"UDF {self.name!r}: source takes {len(compiled.arg_names)} args, "
+                f"metadata declares {len(self.arg_types)}"
+            )
+
+    def __deepcopy__(self, memo):  # compiled functions aren't deep-copyable
+        clone = UDF(
+            name=self.name,
+            source=self.source,
+            arg_types=self.arg_types,
+            return_type=self.return_type,
+            branches=self.branches,
+            loops=self.loops,
+            op_counts=dict(self.op_counts),
+        )
+        clone._compiled = self._compiled
+        memo[id(self)] = clone
+        return clone

@@ -1,0 +1,74 @@
+"""Shared fixtures: small databases and benchmarks, built once per session."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.builder import build_dataset_benchmark
+from repro.stats import StatisticsCatalog
+from repro.storage import Column, Database, DataType, ForeignKey, GeneratorConfig, Table
+from repro.storage.generator import generate_database
+
+
+TINY_CONFIG = GeneratorConfig(
+    fact_rows=(300, 600),
+    dim_rows=(40, 120),
+    min_tables=3,
+    max_tables=4,
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_db() -> Database:
+    """A small generated database (shared, treat as read-only)."""
+    return generate_database("imdb", config=TINY_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def tiny_bench():
+    """A small executed benchmark over a tiny database."""
+    return build_dataset_benchmark(
+        "imdb", n_queries=12, seed=5, generator_config=TINY_CONFIG
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_catalog(tiny_bench) -> StatisticsCatalog:
+    return StatisticsCatalog(tiny_bench.database)
+
+
+@pytest.fixture()
+def handmade_db() -> Database:
+    """A fully deterministic 2-table database for exact assertions."""
+    orders = Table.from_dict(
+        "orders",
+        {
+            "id": np.arange(8, dtype=np.int64),
+            "customer_id": np.array([0, 0, 1, 1, 2, 2, 3, 3], dtype=np.int64),
+            "amount": np.array([10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0]),
+            "status": np.array(
+                ["open", "open", "done", "done", "open", "done", "open", "done"],
+                dtype=object,
+            ),
+        },
+    )
+    customers = Table(
+        "customers",
+        [
+            Column("id", DataType.INT, np.arange(4, dtype=np.int64)),
+            Column("region", DataType.STRING,
+                   np.array(["north", "south", "north", "east"], dtype=object)),
+            Column(
+                "score",
+                DataType.FLOAT,
+                np.array([1.0, 2.0, 3.0, 4.0]),
+                np.array([True, True, False, True]),  # one NULL
+            ),
+        ],
+    )
+    return Database(
+        "shop",
+        [orders, customers],
+        [ForeignKey("orders", "customer_id", "customers", "id")],
+    )

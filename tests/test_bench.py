@@ -1,0 +1,158 @@
+"""Benchmark substrate tests: workload generation and runtime collection."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    WorkloadConfig,
+    WorkloadGenerator,
+    benchmark_statistics,
+    prepare_full_database,
+)
+from repro.bench.builder import _runtime_components, build_dataset_benchmark
+from repro.sql.query import UDFPlacement, UDFRole
+from tests.conftest import TINY_CONFIG
+
+
+class TestWorkloadGenerator:
+    @pytest.fixture()
+    def generator(self, tiny_bench):
+        return WorkloadGenerator(tiny_bench.database, seed=1)
+
+    def test_queries_validate(self, generator):
+        for query in generator.generate(20):
+            query.validate()  # raises on inconsistency
+
+    def test_join_count_range(self, generator):
+        counts = [q.num_joins for q in generator.generate(40)]
+        assert min(counts) >= 0
+        assert max(counts) <= WorkloadConfig().max_joins
+
+    def test_join_edges_follow_fk_graph(self, generator, tiny_bench):
+        db = tiny_bench.database
+        for query in generator.generate(20):
+            for join in query.joins:
+                fk = db.join_between(join.left.table, join.right.table)
+                assert fk is not None
+
+    def test_udf_role_mix(self, tiny_bench):
+        gen = WorkloadGenerator(
+            tiny_bench.database, seed=2,
+            config=WorkloadConfig(non_udf_fraction=0.0),
+        )
+        roles = [q.udf.role for q in gen.generate(60)]
+        assert roles.count(UDFRole.FILTER) > roles.count(UDFRole.PROJECTION) > 0
+
+    def test_non_udf_fraction(self, tiny_bench):
+        gen = WorkloadGenerator(
+            tiny_bench.database, seed=3,
+            config=WorkloadConfig(non_udf_fraction=1.0),
+        )
+        assert all(not q.has_udf for q in gen.generate(10))
+
+    def test_select_only_config(self, tiny_bench):
+        gen = WorkloadGenerator(
+            tiny_bench.database, seed=4,
+            config=WorkloadConfig(max_joins=0, join_weights=(1.0,),
+                                  non_udf_fraction=0.0),
+        )
+        queries = gen.generate(10)
+        assert all(q.num_joins == 0 for q in queries)
+        assert all(q.has_udf for q in queries)
+
+    def test_udf_filter_literal_from_output_distribution(self, tiny_bench):
+        gen = WorkloadGenerator(
+            tiny_bench.database, seed=5,
+            config=WorkloadConfig(non_udf_fraction=0.0, udf_filter_fraction=1.0),
+        )
+        query = gen.generate_one()
+        spec = query.udf
+        # Evaluate the UDF on some rows: the literal must not be an
+        # out-of-range constant that selects nothing or everything always.
+        table = tiny_bench.database.table(spec.input_table)
+        rows = [
+            tuple(table.column(c).python_value(i) for c in spec.input_columns)
+            for i in range(min(100, len(table)))
+        ]
+        outputs, _ = spec.udf.evaluate_batch(rows)
+        numeric = [v for v in outputs if v is not None]
+        assert min(numeric) <= spec.literal <= max(numeric) or spec.literal in numeric
+
+    def test_reproducible(self, tiny_bench):
+        q1 = WorkloadGenerator(tiny_bench.database, seed=7).generate(5)
+        q2 = WorkloadGenerator(tiny_bench.database, seed=7).generate(5)
+        for a, b in zip(q1, q2):
+            assert a.tables == b.tables
+            assert a.filters == b.filters
+
+
+class TestBenchmarkBuilder:
+    def test_entries_have_runs(self, tiny_bench):
+        assert tiny_bench.n_queries == 12
+        for entry in tiny_bench.entries:
+            assert entry.runs
+            for run in entry.runs.values():
+                assert run.runtime > 0
+                assert run.udf_runtime >= 0
+                assert run.query_runtime > 0
+
+    def test_udf_filter_queries_get_three_placements(self, tiny_bench):
+        for entry in tiny_bench.entries:
+            if (
+                entry.query.has_udf
+                and entry.query.udf.role is UDFRole.FILTER
+                and entry.query.num_joins > 0
+            ):
+                assert set(entry.runs) == set(UDFPlacement)
+            else:
+                assert set(entry.runs) == {UDFPlacement.PUSH_DOWN}
+
+    def test_placements_agree_on_results(self, tiny_bench):
+        """All placements of one query must produce the same answer
+        (the UDF filter is commutative with joins)."""
+        for entry in tiny_bench.entries:
+            if len(entry.runs) != 3:
+                continue
+            cards = {
+                p: run.plan.true_card for p, run in entry.runs.items()
+            }
+            assert len(set(cards.values())) == 1, cards
+
+    def test_runtime_decomposition_sums(self, tiny_bench):
+        for entry in tiny_bench.entries:
+            for run in entry.runs.values():
+                assert run.udf_runtime + run.query_runtime == pytest.approx(
+                    run.runtime, rel=1e-9
+                )
+
+    def test_no_nulls_after_preparation(self, tiny_bench):
+        for table in tiny_bench.database.tables.values():
+            for column in table.columns:
+                assert column.null_count == 0
+
+    def test_udf_meta_recorded(self, tiny_bench):
+        for entry in tiny_bench.entries:
+            if entry.query.has_udf:
+                meta = entry.udf_meta
+                assert {"n_branches", "n_loops", "n_comp_nodes", "graph_size"} <= set(meta)
+
+    def test_true_cards_annotated(self, tiny_bench):
+        for entry in tiny_bench.entries:
+            for run in entry.runs.values():
+                for node in run.plan.walk():
+                    assert node.true_card is not None
+
+    def test_statistics_shape(self, tiny_bench):
+        stats = benchmark_statistics({"imdb": tiny_bench})
+        assert stats["n_queries"] == 12
+        assert stats["n_databases"] == 1
+        assert stats["total_runtime_hours"] > 0
+
+    def test_deterministic_rebuild(self):
+        b1 = build_dataset_benchmark("ssb", n_queries=4, seed=9,
+                                     generator_config=TINY_CONFIG)
+        b2 = build_dataset_benchmark("ssb", n_queries=4, seed=9,
+                                     generator_config=TINY_CONFIG)
+        for e1, e2 in zip(b1.entries, b2.entries):
+            for p in e1.runs:
+                assert e1.runs[p].runtime == pytest.approx(e2.runs[p].runtime)

@@ -1,0 +1,147 @@
+"""CFG builder tests: structure, transforms, ablation switches, properties."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cfg import UDFGraphConfig, UDFNodeType, build_udf_graph
+from repro.sql import CompareOp
+from repro.storage import Table
+from repro.storage.datatypes import DataType
+from repro.udf import UDF, UDFGenerator, UDFGeneratorConfig
+from repro.udf.udf import BranchInfo, LoopInfo
+
+FIG2 = UDF(
+    name="fig2",
+    source=(
+        "def fig2(x, y):\n"
+        "    v = x * 2.0\n"
+        "    if x < 20:\n"
+        "        v = v ** 2\n"
+        "    else:\n"
+        "        for i in range(100):\n"
+        "            v = v + math.pow(math.sqrt(abs(y)), i % 7)\n"
+        "    return v\n"
+    ),
+    arg_types=(DataType.FLOAT, DataType.FLOAT),
+    branches=(BranchInfo(0, CompareOp.LT, 20, has_else=True),),
+    loops=(LoopInfo("for", 100),),
+)
+
+
+def _nx(graph):
+    g = nx.DiGraph(graph.edges)
+    g.add_nodes_from(n.node_id for n in graph.nodes)
+    return g
+
+
+class TestStructure:
+    def test_fig2_node_types(self):
+        graph = build_udf_graph(FIG2)
+        kinds = [n.ntype for n in graph.nodes]
+        assert kinds.count(UDFNodeType.INV) == 1
+        assert kinds.count(UDFNodeType.RET) == 1
+        assert kinds.count(UDFNodeType.BRANCH) == 1
+        assert kinds.count(UDFNodeType.LOOP) == 1
+        assert kinds.count(UDFNodeType.LOOP_END) == 1
+
+    def test_split_math_calls(self):
+        graph = build_udf_graph(FIG2)
+        libs = [n.lib for n in graph.nodes if n.ntype is UDFNodeType.COMP]
+        assert "math.pow" in libs
+        assert "math.sqrt" in libs
+
+    def test_no_split_config(self):
+        graph = build_udf_graph(
+            FIG2, UDFGraphConfig(single_statement_split=False)
+        )
+        comp_count = sum(1 for n in graph.nodes if n.ntype is UDFNodeType.COMP)
+        split = build_udf_graph(FIG2)
+        split_count = sum(1 for n in split.nodes if n.ntype is UDFNodeType.COMP)
+        assert comp_count < split_count
+
+    def test_residual_edge_present(self):
+        graph = build_udf_graph(FIG2)
+        loop = next(n for n in graph.nodes if n.ntype is UDFNodeType.LOOP)
+        loop_end = next(n for n in graph.nodes if n.ntype is UDFNodeType.LOOP_END)
+        assert (loop.node_id, loop_end.node_id) in graph.edges
+
+    def test_residual_edge_removable(self):
+        graph = build_udf_graph(FIG2, UDFGraphConfig(residual_loop_edge=False))
+        loop = next(n for n in graph.nodes if n.ntype is UDFNodeType.LOOP)
+        loop_end = next(n for n in graph.nodes if n.ntype is UDFNodeType.LOOP_END)
+        assert (loop.node_id, loop_end.node_id) not in graph.edges
+
+    def test_loop_end_removable(self):
+        graph = build_udf_graph(FIG2, UDFGraphConfig(include_loop_end=False))
+        assert not [n for n in graph.nodes if n.ntype is UDFNodeType.LOOP_END]
+
+    def test_ret_only_config(self):
+        graph = build_udf_graph(FIG2, UDFGraphConfig(include_structure=False))
+        kinds = {n.ntype for n in graph.nodes}
+        assert kinds == {UDFNodeType.INV, UDFNodeType.RET}
+
+    def test_branch_context_marks_sides(self):
+        graph = build_udf_graph(FIG2)
+        then_nodes = [n for n in graph.nodes if n.branch_context == ((0, False),)]
+        else_nodes = [n for n in graph.nodes if n.branch_context == ((0, True),)]
+        assert then_nodes and else_nodes
+        assert all(not n.loop_part for n in then_nodes)
+        assert any(n.loop_part for n in else_nodes)
+
+    def test_loop_body_flagged_and_multiplied(self):
+        graph = build_udf_graph(FIG2)
+        body = [
+            n for n in graph.nodes
+            if n.ntype is UDFNodeType.COMP and n.loop_part
+        ]
+        assert body
+        assert all(n.iter_multiplier == 100.0 for n in body)
+
+    def test_loop_iterations_static(self):
+        graph = build_udf_graph(FIG2)
+        loop = next(n for n in graph.nodes if n.ntype is UDFNodeType.LOOP)
+        assert loop.nr_iterations == 100.0
+
+
+class TestGraphProperties:
+    def test_is_dag(self):
+        assert nx.is_directed_acyclic_graph(_nx(build_udf_graph(FIG2)))
+
+    def test_everything_reaches_ret(self):
+        graph = build_udf_graph(FIG2)
+        g = _nx(graph)
+        ret = graph.ret_node.node_id
+        reachable = nx.ancestors(g, ret) | {ret}
+        assert len(reachable) == len(graph.nodes)
+
+    def test_inv_is_single_source(self):
+        graph = build_udf_graph(FIG2)
+        g = _nx(graph)
+        sources = [n for n in g.nodes if g.in_degree(n) == 0]
+        assert sources == [graph.inv_node.node_id]
+
+    @given(st.integers(0, 3), st.integers(0, 3), st.integers(0, 1000))
+    @settings(max_examples=20, deadline=None)
+    def test_generated_udfs_give_valid_dags(self, n_branches, n_loops, seed):
+        """Property: every generated UDF builds an acyclic single-sink graph."""
+        table = Table.from_dict(
+            "t", {"a": np.arange(60, dtype=np.int64), "b": np.linspace(0, 9, 60)}
+        )
+        rng = np.random.default_rng(seed)
+        config = UDFGeneratorConfig(
+            force_branches=n_branches, force_loops=n_loops,
+            loop_iterations_range=(3, 10),
+        )
+        udf, _ = UDFGenerator(table, rng, config).generate()
+        graph = build_udf_graph(udf)
+        g = _nx(graph)
+        assert nx.is_directed_acyclic_graph(g)
+        ret = graph.ret_node.node_id
+        assert len(nx.ancestors(g, ret)) == len(graph.nodes) - 1
+        branch_count = sum(1 for n in graph.nodes if n.ntype is UDFNodeType.BRANCH)
+        loop_count = sum(1 for n in graph.nodes if n.ntype is UDFNodeType.LOOP)
+        assert branch_count == n_branches
+        assert loop_count == n_loops

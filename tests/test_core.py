@@ -1,0 +1,221 @@
+"""Core tests: hit ratios, encoding dims, joint graph construction."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.cfg import UDFGraphConfig
+from repro.core import (
+    FEATURE_DIMS,
+    JointGraphConfig,
+    build_joint_graph,
+    build_udf_only_graph,
+    estimate_hit_ratios,
+)
+from repro.core.hitratio import BranchHitRatios
+from repro.core import encoding as enc
+from repro.sql import (
+    ColumnRef,
+    CompareOp,
+    Executor,
+    FilterSpec,
+    JoinSpec,
+    Query,
+    UDFPlacement,
+    UDFSpec,
+    build_plan,
+)
+from repro.stats import (
+    ActualCardinalityEstimator,
+    QueryFragment,
+    StatisticsCatalog,
+)
+from repro.storage.datatypes import DataType
+from repro.udf import UDF
+from repro.udf.udf import BranchInfo
+
+
+BRANCHY_UDF = UDF(
+    name="branchy",
+    source=(
+        "def branchy(a):\n"
+        "    v = a * 1.0\n"
+        "    if a <= 40.0:\n"
+        "        v = v + 1.0\n"
+        "    else:\n"
+        "        v = v + 2.0\n"
+        "    return v\n"
+    ),
+    arg_types=(DataType.FLOAT,),
+    branches=(BranchInfo(0, CompareOp.LEQ, 40.0, has_else=True),),
+)
+
+
+class TestHitRatios:
+    def test_exact_with_actual_estimator(self, handmade_db):
+        est = ActualCardinalityEstimator(handmade_db)
+        frag = QueryFragment.normalized(("orders",))
+        ratios = estimate_hit_ratios(
+            BRANCHY_UDF, "orders", ("amount",), frag, est
+        )
+        # amounts 10..80; <= 40 covers 4 of 8 rows.
+        assert ratios.then_ratio(0) == pytest.approx(0.5)
+        assert ratios.else_ratio(0) == pytest.approx(0.5)
+        assert ratios.base_cardinality == 8.0
+
+    def test_conditioned_on_filters_below_udf(self, handmade_db):
+        est = ActualCardinalityEstimator(handmade_db)
+        from repro.stats import FragmentPredicate
+
+        frag = QueryFragment.normalized(
+            ("orders",),
+            (),
+            (FragmentPredicate(ColumnRef("orders", "amount"), CompareOp.GT, 40.0),),
+        )
+        ratios = estimate_hit_ratios(BRANCHY_UDF, "orders", ("amount",), frag, est)
+        assert ratios.then_ratio(0) == 0.0  # all remaining rows are > 40
+
+    def test_context_fraction_nested(self):
+        ratios = BranchHitRatios(ratios={0: 0.5, 1: 0.2}, base_cardinality=100)
+        assert ratios.context_fraction(()) == 1.0
+        assert ratios.context_fraction(((0, False),)) == 0.5
+        assert ratios.context_fraction(((0, True), (1, False))) == pytest.approx(0.1)
+
+    def test_unknown_branch_defaults_half(self):
+        ratios = BranchHitRatios(ratios={}, base_cardinality=1)
+        assert ratios.then_ratio(7) == 0.5
+
+
+class TestEncodingDims:
+    def test_all_builders_match_declared_dims(self):
+        assert len(enc.table_features(10)) == FEATURE_DIMS["TABLE"]
+        assert len(enc.column_features("int", 5, 0.1)) == FEATURE_DIMS["COLUMN"]
+        assert len(enc.scan_features(10.0)) == FEATURE_DIMS["SCAN"]
+        assert len(enc.filter_features(10.0, 2, True, ("=",))) == FEATURE_DIMS["FILTER"]
+        assert len(enc.join_features(None)) == FEATURE_DIMS["JOIN"]
+        assert len(enc.agg_features("count", 1.0)) == FEATURE_DIMS["AGG"]
+        assert len(enc.udf_filter_features(5.0, "<=")) == FEATURE_DIMS["UDF_FILTER"]
+        assert len(enc.udf_project_features(5.0)) == FEATURE_DIMS["UDF_PROJECT"]
+        assert len(enc.inv_features(5.0, 2, ("int", "float"))) == FEATURE_DIMS["INV"]
+        assert len(enc.comp_features(5.0, "math.sqrt", ("+",), True, 50.0)) == FEATURE_DIMS["COMP"]
+        assert len(enc.branch_features(5.0, "<", False, 5.0)) == FEATURE_DIMS["BRANCH"]
+        assert len(enc.loop_features(5.0, "for", 100, True, 500.0)) == FEATURE_DIMS["LOOP"]
+        assert len(enc.ret_features(5.0, "float")) == FEATURE_DIMS["RET"]
+
+    def test_unknown_categorical_maps_to_other(self):
+        vec = enc.comp_features(1.0, "weird.call", (), False)
+        assert vec[2:][len(enc.LIB_VOCAB) - 1 + 0] == 1.0 or True  # other slot set
+        # more precisely: exactly one lib slot is hot
+        lib_slice = vec[3 : 3 + len(enc.LIB_VOCAB)]
+        assert lib_slice.sum() == 1.0
+        assert lib_slice[-1] == 1.0
+
+    def test_log_transform_nonnegative(self):
+        assert enc.scan_features(None)[0] == 0.0
+        assert enc.scan_features(-5)[0] == 0.0
+        assert enc.scan_features(100)[0] > 0
+
+
+def _udf_query(handmade_db):
+    return Query(
+        dataset="shop",
+        tables=("orders", "customers"),
+        joins=(JoinSpec(ColumnRef("orders", "customer_id"), ColumnRef("customers", "id")),),
+        filters=(FilterSpec(ColumnRef("customers", "region"), CompareOp.EQ, "north"),),
+        udf=UDFSpec(
+            udf=BRANCHY_UDF, input_table="orders", input_columns=("amount",),
+            op=CompareOp.LEQ, literal=100.0,
+        ),
+    )
+
+
+class TestJointGraph:
+    @pytest.fixture()
+    def setup(self, handmade_db):
+        catalog = StatisticsCatalog(handmade_db)
+        estimator = ActualCardinalityEstimator(handmade_db)
+        return handmade_db, catalog, estimator
+
+    def test_contains_all_node_families(self, setup):
+        db, catalog, estimator = setup
+        plan = build_plan(_udf_query(db), UDFPlacement.PUSH_DOWN)
+        graph = build_joint_graph(plan, catalog, estimator)
+        kinds = set(graph.node_types)
+        for expected in ("TABLE", "COLUMN", "SCAN", "JOIN", "AGG",
+                         "UDF_FILTER", "INV", "COMP", "BRANCH", "RET"):
+            assert expected in kinds, f"missing {expected}"
+
+    def test_is_dag_rooted_at_plan_top(self, setup):
+        db, catalog, estimator = setup
+        for placement in UDFPlacement:
+            plan = build_plan(_udf_query(db), placement)
+            graph = build_joint_graph(plan, catalog, estimator)
+            g = nx.DiGraph(graph.edges)
+            g.add_nodes_from(range(graph.num_nodes))
+            assert nx.is_directed_acyclic_graph(g)
+            reach = nx.ancestors(g, graph.root_id) | {graph.root_id}
+            assert len(reach) == graph.num_nodes
+            assert graph.node_types[graph.root_id] == "AGG"
+
+    def test_branch_scales_in_rows(self, setup):
+        db, catalog, estimator = setup
+        plan = build_plan(_udf_query(db), UDFPlacement.PUSH_DOWN)
+        graph = build_joint_graph(plan, catalog, estimator)
+        comp_in_rows = [
+            np.expm1(graph.features[i][0])
+            for i, t in enumerate(graph.node_types)
+            if t == "COMP"
+        ]
+        # Both branch sides present: some nodes see fewer rows than the input.
+        assert min(comp_in_rows) < max(comp_in_rows)
+
+    def test_udf_filter_as_plain_filter_when_not_distinguished(self, setup):
+        db, catalog, estimator = setup
+        plan = build_plan(_udf_query(db), UDFPlacement.PUSH_DOWN)
+        config = JointGraphConfig(distinguish_udf_filter=False)
+        graph = build_joint_graph(plan, catalog, estimator, config)
+        assert "UDF_FILTER" not in graph.node_types
+
+    def test_query_only_graph_has_no_udf_nodes(self, setup):
+        db, catalog, estimator = setup
+        plan = build_plan(_udf_query(db), UDFPlacement.PUSH_DOWN)
+        config = JointGraphConfig(include_udf_subgraph=False)
+        graph = build_joint_graph(plan, catalog, estimator, config)
+        assert not set(graph.node_types) & {"INV", "COMP", "BRANCH", "RET"}
+
+    def test_udf_only_graph_rooted_at_ret(self, setup):
+        db, catalog, estimator = setup
+        plan = build_plan(_udf_query(db), UDFPlacement.PUSH_DOWN)
+        graph = build_udf_only_graph(plan, catalog, estimator)
+        assert graph is not None
+        assert graph.node_types[graph.root_id] == "RET"
+        assert "JOIN" not in graph.node_types
+
+    def test_udf_only_graph_none_without_udf(self, setup):
+        db, catalog, estimator = setup
+        query = Query(
+            dataset="shop",
+            tables=("orders",),
+            filters=(FilterSpec(ColumnRef("orders", "amount"), CompareOp.GT, 0.0),),
+        )
+        plan = build_plan(query)
+        assert build_udf_only_graph(plan, catalog, estimator) is None
+
+    def test_ret_only_ablation_config(self, setup):
+        db, catalog, estimator = setup
+        plan = build_plan(_udf_query(db), UDFPlacement.PUSH_DOWN)
+        config = JointGraphConfig(
+            udf_graph=UDFGraphConfig(include_structure=False),
+            distinguish_udf_filter=False,
+        )
+        graph = build_joint_graph(plan, catalog, estimator, config)
+        assert "COMP" not in graph.node_types
+        assert "RET" in graph.node_types
+
+    def test_feature_dim_validation(self):
+        from repro.core.joint_graph import JointGraph
+        from repro.exceptions import PlanError
+
+        graph = JointGraph()
+        with pytest.raises(PlanError):
+            graph.add_node("TABLE", np.zeros(7))

@@ -1,0 +1,217 @@
+"""Evaluation harness tests: metrics, folds, sample prep, record views."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    leave_one_out_folds,
+    prepare_dataset_samples,
+    q_error,
+    q_error_summary,
+    training_placements,
+)
+from repro.eval.experiments import (
+    AdvisorRecord,
+    FoldRun,
+    PredictionRecord,
+    _advisor_outcomes,
+    fig6_view,
+    fig8_view,
+    table3_view,
+    table5_view,
+)
+from repro.sql.query import UDFPlacement
+from repro.storage.generator import DATASET_NAMES
+
+
+class TestQError:
+    def test_symmetric(self):
+        assert q_error(np.array([2.0]), np.array([1.0]))[0] == 2.0
+        assert q_error(np.array([1.0]), np.array([2.0]))[0] == 2.0
+
+    def test_perfect_is_one(self):
+        assert q_error(np.array([3.3]), np.array([3.3]))[0] == 1.0
+
+    def test_always_geq_one(self):
+        rng = np.random.default_rng(0)
+        preds = rng.uniform(0.01, 100, 50)
+        trues = rng.uniform(0.01, 100, 50)
+        assert (q_error(preds, trues) >= 1.0).all()
+
+    def test_zero_protection(self):
+        assert np.isfinite(q_error(np.array([0.0]), np.array([1.0]))[0])
+
+    def test_summary_keys(self):
+        summary = q_error_summary(np.ones(10), np.ones(10))
+        assert summary["median"] == 1.0
+        assert summary["count"] == 10
+
+    def test_summary_empty(self):
+        summary = q_error_summary(np.array([]), np.array([]))
+        assert np.isnan(summary["median"])
+
+
+class TestFolds:
+    def test_all_folds(self):
+        folds = leave_one_out_folds(DATASET_NAMES)
+        assert len(folds) == 20
+        for test, train in folds:
+            assert test not in train
+            assert len(train) == 19
+
+    def test_n_folds_subset(self):
+        folds = leave_one_out_folds(DATASET_NAMES, n_folds=3)
+        assert len(folds) == 3
+        assert folds[0][0] == DATASET_NAMES[0]
+
+
+class TestPrepareSamples:
+    def test_sample_fields(self, tiny_bench):
+        samples = prepare_dataset_samples(tiny_bench, "actual")
+        assert samples
+        for sample in samples:
+            assert sample.runtime > 0
+            assert sample.joint_graph.num_nodes > 0
+            assert sample.joint_graph.root_id >= 0
+            if sample.has_udf:
+                assert sample.true_udf_input_rows >= 0
+                assert sample.udf is not None
+
+    def test_placement_filter(self, tiny_bench):
+        samples = prepare_dataset_samples(
+            tiny_bench, "actual", placements=training_placements()
+        )
+        assert all(
+            s.placement in (UDFPlacement.PUSH_DOWN, UDFPlacement.PULL_UP)
+            for s in samples
+        )
+
+    def test_baseline_graphs_present_when_requested(self, tiny_bench):
+        samples = prepare_dataset_samples(
+            tiny_bench, "actual", include_baseline_graphs=True
+        )
+        for sample in samples:
+            assert sample.query_graph is not None
+            if sample.has_udf:
+                assert sample.udf_graph is not None
+
+    def test_top_card_exact_with_actual(self, tiny_bench):
+        samples = prepare_dataset_samples(tiny_bench, "actual")
+        for sample in samples:
+            if sample.top_true_card > 0:
+                q = max(
+                    sample.top_est_card / sample.top_true_card,
+                    sample.top_true_card / max(sample.top_est_card, 1e-9),
+                )
+                assert q == pytest.approx(1.0, rel=0.01)
+
+
+def _prediction(model="GRACEFUL", estimator="actual", placement="push_down",
+                runtime=1.0, prediction=1.0, meta=None):
+    return PredictionRecord(
+        model=model, estimator=estimator, dataset="x", placement=placement,
+        runtime=runtime, prediction=prediction, has_udf=True,
+        udf_meta=meta or {"n_branches": 1, "n_loops": 0, "n_comp_nodes": 8},
+        top_card_q=1.0,
+    )
+
+
+class TestViews:
+    def test_table3_groups_by_model_and_estimator(self):
+        run = FoldRun(test_dataset="x")
+        run.predictions = [
+            _prediction(prediction=2.0),
+            _prediction(estimator="deepdb", prediction=4.0),
+            _prediction(model="Flat+Graph", prediction=8.0),
+        ]
+        rows = table3_view([run])["rows"]
+        by_key = {(r["model"], r["estimator"]): r for r in rows}
+        assert by_key[("GRACEFUL", "actual")]["overall"]["median"] == 2.0
+        assert by_key[("GRACEFUL", "deepdb")]["overall"]["median"] == 4.0
+        assert by_key[("Flat+Graph", "actual")]["overall"]["median"] == 8.0
+
+    def test_fig6_bucketing(self):
+        run = FoldRun(test_dataset="x")
+        run.predictions = [
+            _prediction(prediction=2.0, meta={"n_branches": 0, "n_loops": 0, "n_comp_nodes": 3}),
+            _prediction(prediction=3.0, meta={"n_branches": 3, "n_loops": 2, "n_comp_nodes": 50}),
+        ]
+        view = fig6_view([run])
+        assert view["branches"]["actual"]["0"]["median"] == 2.0
+        assert view["branches"]["actual"]["3"]["median"] == 3.0
+        assert view["graph_size"]["actual"]["0-6"]["median"] == 2.0
+        assert view["graph_size"]["actual"]["40-1000"]["median"] == 3.0
+
+    def _advisor_records(self):
+        return [
+            AdvisorRecord(
+                dataset="x", query_id=0, estimator="deepdb",
+                pushdown_runtime=10.0, pullup_runtime=1.0,
+                decisions={"conservative": True, "auc": True, "ubc": True},
+                overhead_seconds=0.01,
+            ),
+            AdvisorRecord(
+                dataset="x", query_id=1, estimator="deepdb",
+                pushdown_runtime=1.0, pullup_runtime=10.0,
+                decisions={"conservative": False, "auc": True, "ubc": True},
+                overhead_seconds=0.01,
+            ),
+        ]
+
+    def test_advisor_outcomes(self):
+        records = self._advisor_records()
+        outcome = _advisor_outcomes(records, "conservative")
+        # Chose pull-up on q0 (10 -> 1) and kept push-down on q1 (1).
+        assert outcome["total_runtime_s"] == pytest.approx(2.0)
+        assert outcome["total_speedup"] == pytest.approx(11.0 / 2.0)
+        assert outcome["false_positives"] == 0.0
+        # AuC pulled up q1 too: a false positive with real impact.
+        outcome_auc = _advisor_outcomes(records, "auc")
+        assert outcome_auc["false_positives"] == 0.5
+        assert outcome_auc["fp_impact"] > 0
+
+    def test_table5_and_fig8_views(self):
+        run = FoldRun(test_dataset="x")
+        run.advisor = self._advisor_records() + [
+            AdvisorRecord(
+                dataset="x", query_id=0, estimator="actual",
+                pushdown_runtime=10.0, pullup_runtime=1.0,
+                decisions={"cost": True, "conservative": True,
+                           "auc": True, "ubc": True},
+                overhead_seconds=0.01,
+            )
+        ]
+        table5 = table5_view([run])
+        assert "GRACEFUL (Cost)" in table5
+        assert "GRACEFUL (Conservative)" in table5
+        fig8 = fig8_view([run])
+        assert fig8["x"]["Optimum"] >= fig8["x"]["GRACEFUL (Conservative)"] * 0.999
+        assert fig8["x"]["No Pullup"] == 1.0
+
+
+class TestExperimentScale:
+    def test_key_stable_across_processes(self):
+        from repro.eval.experiments import ExperimentScale
+
+        key = ExperimentScale().key()
+        assert key == ExperimentScale().key()
+        assert "ds_" in key and key.startswith("v1_")
+
+    def test_key_distinguishes_params(self):
+        from repro.eval.experiments import ExperimentScale
+
+        assert ExperimentScale(epochs=10).key() != ExperimentScale(epochs=11).key()
+        assert (
+            ExperimentScale(datasets=("imdb",)).key()
+            != ExperimentScale(datasets=("ssb",)).key()
+        )
+
+    def test_scale_from_env(self, monkeypatch):
+        from repro.eval.experiments import scale_from_env
+
+        monkeypatch.setenv("REPRO_SCALE", "quick")
+        assert scale_from_env().n_folds == 1
+        monkeypatch.setenv("REPRO_SCALE", "full")
+        assert scale_from_env().n_folds == 20
+        monkeypatch.setenv("REPRO_SCALE", "default")
+        assert scale_from_env().n_folds == 2

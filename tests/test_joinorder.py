@@ -1,0 +1,141 @@
+"""Join-order enumeration and cost-based selection (extension module)."""
+
+import numpy as np
+import pytest
+
+from repro.advisor import LearnedPlanSelector
+from repro.exceptions import ModelError, PlanError
+from repro.model import CostGNN, GNNConfig
+from repro.sql import (
+    ColumnRef,
+    CompareOp,
+    CoutCost,
+    Executor,
+    FilterSpec,
+    JoinSpec,
+    Query,
+    UDFSpec,
+    enumerate_join_orders,
+    find_nodes,
+    optimize_join_order,
+    plan_tables,
+)
+from repro.sql.plan import HashJoin
+from repro.stats import ActualCardinalityEstimator, StatisticsCatalog
+from repro.storage.datatypes import DataType
+from repro.udf import UDF
+
+
+def _two_table_query():
+    return Query(
+        dataset="shop",
+        tables=("orders", "customers"),
+        joins=(JoinSpec(ColumnRef("orders", "customer_id"),
+                        ColumnRef("customers", "id")),),
+        filters=(FilterSpec(ColumnRef("customers", "region"),
+                            CompareOp.EQ, "north"),),
+    )
+
+
+def _chain_query(tables=("a", "b", "c")):
+    joins = tuple(
+        JoinSpec(ColumnRef(tables[i], f"{tables[i + 1]}_id"),
+                 ColumnRef(tables[i + 1], "id"))
+        for i in range(len(tables) - 1)
+    )
+    return Query(dataset="x", tables=tables, joins=joins)
+
+
+class TestEnumeration:
+    def test_two_tables_two_orders(self):
+        orders = enumerate_join_orders(_two_table_query())
+        assert len(orders) == 2  # orders⋈customers and customers⋈orders
+
+    def test_chain_counts(self):
+        # 3-table chain: {ab, ba} x {c} + {a} x ... -> 8 bushy/linear trees.
+        orders = enumerate_join_orders(_chain_query())
+        assert len(orders) == 8
+        for plan in orders:
+            assert sorted(plan_tables(plan)) == ["a", "b", "c"]
+
+    def test_only_connected_subplans(self):
+        # a-b-c chain: (a x c) is not joinable; no plan may contain a
+        # cross-product (every HashJoin has a real key pair).
+        for plan in enumerate_join_orders(_chain_query()):
+            for join in find_nodes(plan, HashJoin):
+                assert join.left_key is not None
+                assert join.right_key is not None
+
+    def test_single_table(self):
+        query = Query(dataset="x", tables=("a",))
+        orders = enumerate_join_orders(query)
+        assert len(orders) == 1
+
+    def test_max_plans_cap(self):
+        orders = enumerate_join_orders(_chain_query(("a", "b", "c", "d")),
+                                       max_plans=5)
+        assert len(orders) <= 5
+
+    def test_node_ids_fresh_per_candidate(self):
+        orders = enumerate_join_orders(_two_table_query())
+        ids = [n.node_id for plan in orders for n in plan.walk()]
+        assert len(ids) == len(set(ids))
+
+
+class TestCoutOptimization:
+    def test_prefers_filtered_side_first(self, handmade_db):
+        estimator = ActualCardinalityEstimator(handmade_db)
+        plan, cost = optimize_join_order(_two_table_query(), CoutCost(estimator))
+        assert cost > 0
+        # The chosen plan must execute correctly.
+        result = Executor(handmade_db).execute(plan)
+        assert result.relation.column("agg").values[0] == 4.0
+
+    def test_cost_is_minimal_over_candidates(self, handmade_db):
+        estimator = ActualCardinalityEstimator(handmade_db)
+        cost_fn = CoutCost(estimator)
+        candidates = enumerate_join_orders(_two_table_query())
+        all_costs = [cost_fn(c) for c in candidates]
+        _, best = optimize_join_order(_two_table_query(), cost_fn)
+        assert best == pytest.approx(min(all_costs))
+
+    def test_disconnected_raises(self):
+        query = Query.__new__(Query)  # bypass validate for the negative case
+        query.dataset = "x"
+        query.tables = ("a", "b")
+        query.joins = ()
+        query.filters = ()
+        query.udf = None
+        query.agg = None
+        query.query_id = 0
+        with pytest.raises(PlanError):
+            enumerate_join_orders(query)
+
+
+class TestLearnedPlanSelector:
+    def test_selects_executable_plan(self, handmade_db):
+        selector = LearnedPlanSelector(
+            model=CostGNN(GNNConfig(hidden_dim=8)),
+            catalog=StatisticsCatalog(handmade_db),
+            estimator=ActualCardinalityEstimator(handmade_db),
+        )
+        plan, predicted, n_candidates = selector.choose(_two_table_query())
+        assert n_candidates == 2
+        assert predicted > 0
+        result = Executor(handmade_db).execute(plan)
+        assert result.relation.column("agg").values[0] == 4.0
+
+    def test_rejects_udf_queries(self, handmade_db):
+        selector = LearnedPlanSelector(
+            model=CostGNN(GNNConfig(hidden_dim=8)),
+            catalog=StatisticsCatalog(handmade_db),
+            estimator=ActualCardinalityEstimator(handmade_db),
+        )
+        query = _two_table_query()
+        query.udf = UDFSpec(
+            udf=UDF(name="f", source="def f(a):\n    return a\n",
+                    arg_types=(DataType.FLOAT,)),
+            input_table="orders", input_columns=("amount",),
+        )
+        with pytest.raises(ModelError):
+            selector.choose(query)

@@ -1,0 +1,171 @@
+"""Edge-case tests across modules (paths not covered elsewhere)."""
+
+import numpy as np
+import pytest
+
+from repro.sql import ColumnRef, CompareOp
+from repro.stats import (
+    FragmentJoin,
+    FragmentPredicate,
+    QueryFragment,
+    fragment_to_plan,
+)
+from repro.stats.histogram import ColumnStats
+from repro.storage import Column, DataType
+
+
+class TestFragmentEdges:
+    def test_cycle_edge_dropped(self, handmade_db):
+        """A redundant join edge between already-covered tables is skipped."""
+        frag = QueryFragment.normalized(
+            ("orders", "customers"),
+            (
+                FragmentJoin(ColumnRef("orders", "customer_id"),
+                             ColumnRef("customers", "id")),
+                FragmentJoin(ColumnRef("customers", "id"),
+                             ColumnRef("orders", "customer_id")),
+            ),
+        )
+        plan = fragment_to_plan(frag)  # must not raise or loop forever
+        from repro.sql import Executor
+
+        result = Executor(handmade_db).execute(plan)
+        assert result.relation.num_rows == 8
+
+    def test_with_predicates_normalizes(self):
+        frag = QueryFragment.normalized(("b", "a"))
+        extended = frag.with_predicates(
+            (FragmentPredicate(ColumnRef("a", "x"), CompareOp.EQ, 1),)
+        )
+        assert extended.tables == ("a", "b")
+        assert len(extended.predicates) == 1
+
+    def test_fragment_hashable(self):
+        f1 = QueryFragment.normalized(("a",))
+        f2 = QueryFragment.normalized(("a",))
+        assert hash(f1) == hash(f2)
+        assert f1 == f2
+
+
+class TestHistogramEdges:
+    def test_like_selectivity(self):
+        values = np.array(["apple", "apricot", "banana", "avocado"], dtype=object)
+        stats = ColumnStats.from_column(Column("s", DataType.STRING, values))
+        assert stats.selectivity(CompareOp.LIKE, "ap") == pytest.approx(0.5)
+
+    def test_constant_column(self):
+        stats = ColumnStats.from_column(
+            Column("x", DataType.INT, np.full(100, 7, dtype=np.int64))
+        )
+        assert stats.selectivity(CompareOp.EQ, 7) == pytest.approx(1.0, abs=0.05)
+        assert stats.selectivity(CompareOp.LT, 7) == pytest.approx(0.0, abs=0.05)
+        assert stats.selectivity(CompareOp.GT, 7) == pytest.approx(0.0, abs=0.1)
+
+    def test_all_null_column(self):
+        col = Column("x", DataType.FLOAT, np.zeros(10), np.zeros(10, dtype=bool))
+        stats = ColumnStats.from_column(col)
+        assert stats.selectivity(CompareOp.GEQ, -1e9) == 0.0
+        assert stats.null_fraction == 1.0
+
+
+class TestUDFGeneratorEdges:
+    def test_string_only_table(self):
+        """A table with only string data columns still yields valid UDFs."""
+        from repro.storage import Table
+        from repro.udf import UDFGenerator
+
+        table = Table.from_dict(
+            "t",
+            {
+                "id": np.arange(40, dtype=np.int64),
+                "s": np.array(["alpha", "beta"] * 20, dtype=object),
+            },
+        )
+        rng = np.random.default_rng(0)
+        for _ in range(3):
+            udf, arg_cols = UDFGenerator(table, rng).generate()
+            rows = [
+                tuple(table.column(c).python_value(i) for c in arg_cols)
+                for i in range(10)
+            ]
+            values, _ = udf.evaluate_batch(rows)
+            assert any(v is not None for v in values)
+
+    def test_branchy_string_udf_metadata(self):
+        from repro.storage import Table
+        from repro.udf import UDFGenerator, UDFGeneratorConfig
+
+        table = Table.from_dict(
+            "t",
+            {
+                "id": np.arange(40, dtype=np.int64),
+                "s": np.array(["north", "south"] * 20, dtype=object),
+            },
+        )
+        rng = np.random.default_rng(1)
+        config = UDFGeneratorConfig(force_branches=1, force_loops=0)
+        udf, _ = UDFGenerator(table, rng, config).generate()
+        branch = udf.branches[0]
+        assert branch.op in (CompareOp.EQ, CompareOp.NEQ)
+        assert isinstance(branch.literal, str)
+
+
+class TestNNEdges:
+    def test_dropout_active_in_train_mode(self):
+        from repro.nn import MLP, Tensor
+
+        mlp = MLP(8, [64], 8, dropout_p=0.9, rng=np.random.default_rng(0))
+        mlp.train()
+        x = Tensor(np.ones((1, 8)))
+        out1 = mlp(x).data
+        out2 = mlp(x).data
+        assert not np.allclose(out1, out2)  # stochastic in train mode
+
+    def test_load_state_dict_missing_key(self):
+        from repro.nn import MLP
+
+        mlp = MLP(2, [4], 1)
+        with pytest.raises(KeyError):
+            mlp.load_state_dict({})
+
+    def test_scatter_add_empty_rows(self):
+        from repro.nn import Tensor
+        from repro.nn.tensor import scatter_add
+
+        out = scatter_add(Tensor(np.zeros((0, 4))), np.array([], dtype=np.int64), 3)
+        assert out.shape == (3, 4)
+        assert np.allclose(out.data, 0.0)
+
+
+class TestAdvisorCostModeConsistency:
+    def test_cost_mode_matches_distribution_endpoint(self, handmade_db):
+        """Cost mode at selectivity 0.5 must equal the distribution entry
+        for the same selectivity (same graphs, same model)."""
+        from repro.advisor import PullUpAdvisor
+        from repro.model import CostGNN, GNNConfig
+        from repro.sql import FilterSpec, JoinSpec, Query, UDFSpec
+        from repro.stats import ActualCardinalityEstimator, StatisticsCatalog
+        from repro.udf import UDF
+
+        query = Query(
+            dataset="shop",
+            tables=("orders", "customers"),
+            joins=(JoinSpec(ColumnRef("orders", "customer_id"),
+                            ColumnRef("customers", "id")),),
+            udf=UDFSpec(
+                udf=UDF(name="f", source="def f(a):\n    return a * 1.0\n",
+                        arg_types=(DataType.FLOAT,)),
+                input_table="orders", input_columns=("amount",),
+                op=CompareOp.LEQ, literal=50.0,
+            ),
+        )
+        advisor = PullUpAdvisor(
+            model=CostGNN(GNNConfig(hidden_dim=8)),
+            catalog=StatisticsCatalog(handmade_db),
+            estimator=ActualCardinalityEstimator(handmade_db),
+            selectivity_levels=(0.5,),
+        )
+        dist = advisor.decide(query)
+        point = advisor.decide(query, true_selectivity=0.5)
+        assert dist.pullup_costs[0] == pytest.approx(point.pullup_costs[0])
+        assert dist.pushdown_costs[0] == pytest.approx(point.pushdown_costs[0])

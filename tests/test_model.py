@@ -1,0 +1,230 @@
+"""Model tests: batching, GNN forward/training, GBM, FlatVector, baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core.joint_graph import JointGraph
+from repro.core import encoding as enc
+from repro.exceptions import ModelError
+from repro.model import (
+    CostGNN,
+    GBMConfig,
+    GBMRegressor,
+    GNNConfig,
+    FlatVectorUDFModel,
+    TrainConfig,
+    compute_levels,
+    flat_features,
+    make_batch,
+    predict_runtimes,
+    train_cost_model,
+)
+from repro.model.flatvector import FLAT_FEATURE_NAMES
+from repro.storage.datatypes import DataType
+from repro.udf import UDF
+from repro.udf.udf import LoopInfo
+
+
+def _chain_graph(n_nodes: int = 4, card: float = 100.0) -> JointGraph:
+    """TABLE -> SCAN -> ... -> AGG chain for batching tests."""
+    graph = JointGraph()
+    prev = graph.add_node("TABLE", enc.table_features(int(card)))
+    prev = _wire(graph, prev, "SCAN", enc.scan_features(card))
+    for _ in range(n_nodes - 3):
+        prev = _wire(graph, prev, "FILTER", enc.filter_features(card, 1, False, ("=",)))
+    graph.root_id = _wire(graph, prev, "AGG", enc.agg_features("count", 1.0))
+    return graph
+
+
+def _wire(graph, prev, gtype, feats):
+    node = graph.add_node(gtype, feats)
+    graph.add_edge(prev, node)
+    return node
+
+
+class TestComputeLevels:
+    def test_chain(self):
+        levels = compute_levels(4, [(0, 1), (1, 2), (2, 3)])
+        assert list(levels) == [0, 1, 2, 3]
+
+    def test_diamond_longest_path(self):
+        levels = compute_levels(4, [(0, 1), (0, 2), (1, 3), (2, 3), (0, 3)])
+        assert list(levels) == [0, 1, 1, 2]
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ModelError):
+            compute_levels(2, [(0, 1), (1, 0)])
+
+
+class TestMakeBatch:
+    def test_batch_shapes(self):
+        graphs = [_chain_graph(4), _chain_graph(5), _chain_graph(4)]
+        batch = make_batch(graphs, [1.0, 2.0, 3.0])
+        assert batch.n_graphs == 3
+        assert len(batch.levels) == 5  # deepest graph has 5 levels
+        assert batch.levels[0].n_nodes == 3  # one TABLE per graph
+        assert len(batch.roots) == 3
+
+    def test_indegree_counts(self):
+        graphs = [_chain_graph(4)]
+        batch = make_batch(graphs, [1.0])
+        for level in batch.levels[1:]:
+            assert (level.indegree >= 1).all()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            make_batch([], [])
+
+    def test_graph_index_assignment(self):
+        graphs = [_chain_graph(4), _chain_graph(4)]
+        batch = make_batch(graphs, [1.0, 2.0])
+        assert sorted(batch.levels[0].graph_index.tolist()) == [0, 1]
+
+
+class TestCostGNN:
+    def test_forward_shape(self):
+        graphs = [_chain_graph(4, card=10.0 ** (i + 1)) for i in range(3)]
+        batch = make_batch(graphs, [0.1, 1.0, 10.0])
+        model = CostGNN(GNNConfig(hidden_dim=8))
+        out = model.forward(batch)
+        assert out.shape == (3, 1)
+
+    def test_deterministic_after_eval(self):
+        graphs = [_chain_graph(4)]
+        batch = make_batch(graphs, [1.0])
+        model = CostGNN(GNNConfig(hidden_dim=8))
+        model.eval()
+        a = model.forward(batch).data
+        b = model.forward(batch).data
+        assert np.allclose(a, b)
+
+    def test_training_reduces_loss_and_orders_outputs(self):
+        # Runtime grows with cardinality: model must learn the ordering.
+        cards = [10.0, 100.0, 1_000.0, 10_000.0, 100_000.0]
+        graphs = [_chain_graph(4, card=c) for c in cards]
+        runtimes = [c * 1e-5 for c in cards]
+        model = CostGNN(GNNConfig(hidden_dim=16))
+        result = train_cost_model(
+            model, graphs, runtimes, TrainConfig(epochs=150, shards_per_epoch=1)
+        )
+        assert result.losses[-1] < result.losses[0]
+        preds = predict_runtimes(model, graphs)
+        assert list(np.argsort(preds)) == [0, 1, 2, 3, 4]
+
+    def test_per_type_updates_variant(self):
+        graphs = [_chain_graph(4)]
+        batch = make_batch(graphs, [1.0])
+        model = CostGNN(GNNConfig(hidden_dim=8, per_type_updates=True))
+        assert model.forward(batch).shape == (1, 1)
+
+    def test_mean_only_aggregation_variant(self):
+        graphs = [_chain_graph(4)]
+        batch = make_batch(graphs, [1.0])
+        model = CostGNN(
+            GNNConfig(hidden_dim=8, sum_aggregation=False, sum_pool_readout=False)
+        )
+        assert model.forward(batch).shape == (1, 1)
+
+    def test_gradients_flow_to_all_used_encoders(self):
+        graphs = [_chain_graph(5)]
+        batch = make_batch(graphs, [1.0])
+        model = CostGNN(GNNConfig(hidden_dim=8))
+        from repro.nn.loss import log_mse_loss
+
+        loss = log_mse_loss(model.forward(batch), np.array([[1.0]]))
+        loss.backward()
+        for gtype in ("TABLE", "SCAN", "FILTER", "AGG"):
+            grads = [p.grad for p in model.encoders[gtype].parameters()]
+            assert any(g is not None and np.abs(g).sum() > 0 for g in grads), gtype
+
+
+class TestGBM:
+    def test_fits_nonlinear_function(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(-3, 3, size=(800, 3))
+        y = np.where(X[:, 0] > 0, 5.0, -5.0) + X[:, 1] ** 2
+        model = GBMRegressor(GBMConfig(n_estimators=150, max_depth=4))
+        model.fit(X, y)
+        pred = model.predict(X)
+        rmse = float(np.sqrt(np.mean((pred - y) ** 2)))
+        assert rmse < 1.0
+
+    def test_generalizes(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(-3, 3, size=(800, 2))
+        y = 2.0 * X[:, 0] - X[:, 1]
+        model = GBMRegressor().fit(X[:600], y[:600])
+        pred = model.predict(X[600:])
+        rmse = float(np.sqrt(np.mean((pred - y[600:]) ** 2)))
+        assert rmse < 1.0
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(ModelError):
+            GBMRegressor().predict(np.zeros((1, 2)))
+
+    def test_constant_target(self):
+        X = np.random.default_rng(2).uniform(size=(50, 2))
+        y = np.full(50, 3.3)
+        model = GBMRegressor(GBMConfig(n_estimators=5)).fit(X, y)
+        assert np.allclose(model.predict(X), 3.3, atol=1e-6)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ModelError):
+            GBMRegressor().fit(np.zeros((5, 2)), np.zeros(4))
+
+
+class TestFlatVector:
+    def _udf(self, n_loops=1, iters=100):
+        return UDF(
+            name="u",
+            source="def u(a):\n    return a * 1.0\n",
+            arg_types=(DataType.FLOAT,),
+            loops=tuple(LoopInfo("for", iters) for _ in range(n_loops)),
+            op_counts={"arith": 20.0, "math_call": 5.0},
+        )
+
+    def test_feature_vector_shape(self):
+        vec = flat_features(self._udf())
+        assert len(vec) == len(FLAT_FEATURE_NAMES)
+
+    def test_scaling_by_rows(self):
+        udfs = [self._udf() for _ in range(30)]
+        rows = np.full(30, 1000.0)
+        runtimes = rows * 2e-6  # 2 microseconds per tuple
+        model = FlatVectorUDFModel().fit(udfs, runtimes, rows)
+        pred = model.predict([self._udf()], np.array([5000.0]))
+        assert pred[0] == pytest.approx(5000.0 * 2e-6, rel=0.2)
+
+    def test_loop_feature_discriminates(self):
+        light = [self._udf(n_loops=0) for _ in range(40)]
+        heavy = [self._udf(n_loops=2, iters=200) for _ in range(40)]
+        rows = np.full(80, 100.0)
+        runtimes = np.concatenate([np.full(40, 1e-4), np.full(40, 1e-2)])
+        model = FlatVectorUDFModel().fit(light + heavy, runtimes, rows)
+        pred_light = model.predict([self._udf(n_loops=0)], np.array([100.0]))[0]
+        pred_heavy = model.predict([self._udf(n_loops=2, iters=200)], np.array([100.0]))[0]
+        assert pred_heavy > pred_light * 10
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        from repro.model import load_model, save_model
+
+        graphs = [_chain_graph(4, card=10.0 ** (i + 1)) for i in range(3)]
+        batch = make_batch(graphs, [0.1, 1.0, 10.0])
+        model = CostGNN(GNNConfig(hidden_dim=8, seed=3))
+        model.eval()
+        before = model.forward(batch).data
+        path = save_model(model, tmp_path / "model.npz")
+        loaded = load_model(path)
+        after = loaded.forward(batch).data
+        assert np.allclose(before, after)
+        assert loaded.config.hidden_dim == 8
+
+    def test_load_rejects_foreign_npz(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, a=np.zeros(3))
+        from repro.model import load_model
+
+        with pytest.raises(ModelError):
+            load_model(path)

@@ -1,0 +1,213 @@
+"""Executor correctness: joins, filters, aggregates, UDF operators, counters."""
+
+import numpy as np
+import pytest
+
+from repro.sql import (
+    AggFunc,
+    Aggregate,
+    ColumnRef,
+    CompareOp,
+    Conjunction,
+    Executor,
+    Filter,
+    HashJoin,
+    Predicate,
+    Project,
+    Scan,
+    UDFFilter,
+    UDFProject,
+)
+from repro.storage.datatypes import DataType
+from repro.udf import UDF
+
+
+@pytest.fixture()
+def executor(handmade_db):
+    return Executor(handmade_db)
+
+
+def _double_udf():
+    return UDF(
+        name="double_it",
+        source="def double_it(a):\n    return a * 2.0\n",
+        arg_types=(DataType.FLOAT,),
+    )
+
+
+class TestScanFilter:
+    def test_scan_all_rows(self, executor):
+        result = executor.execute(Scan(table="orders"))
+        assert result.relation.num_rows == 8
+        assert result.counters.get("scan_row") == 8
+
+    def test_filter_rows(self, executor):
+        plan = Filter(
+            child=Scan(table="orders"),
+            predicate=Conjunction(
+                (Predicate(ColumnRef("orders", "amount"), CompareOp.GT, 40.0),)
+            ),
+        )
+        result = executor.execute(plan)
+        assert result.relation.num_rows == 4
+        assert plan.true_card == 4
+        assert plan.child.true_card == 8
+
+    def test_filter_null_semantics(self, executor):
+        """customers.score has one NULL -> excluded by any predicate."""
+        plan = Filter(
+            child=Scan(table="customers"),
+            predicate=Conjunction(
+                (Predicate(ColumnRef("customers", "score"), CompareOp.GEQ, 0.0),)
+            ),
+        )
+        result = executor.execute(plan)
+        assert result.relation.num_rows == 3
+
+
+class TestHashJoin:
+    def test_fk_join_cardinality(self, executor):
+        plan = HashJoin(
+            left=Scan(table="orders"),
+            right=Scan(table="customers"),
+            left_key=ColumnRef("orders", "customer_id"),
+            right_key=ColumnRef("customers", "id"),
+        )
+        result = executor.execute(plan)
+        assert result.relation.num_rows == 8  # FK join preserves child rows
+        assert "customers.region" in result.relation
+        assert "orders.amount" in result.relation
+
+    def test_join_values_aligned(self, executor):
+        plan = HashJoin(
+            left=Scan(table="orders"),
+            right=Scan(table="customers"),
+            left_key=ColumnRef("orders", "customer_id"),
+            right_key=ColumnRef("customers", "id"),
+        )
+        rel = executor.execute(plan).relation
+        cid = rel.column("orders.customer_id").values
+        pid = rel.column("customers.id").values
+        assert (cid == pid).all()
+
+    def test_join_counters(self, executor):
+        plan = HashJoin(
+            left=Scan(table="orders"),
+            right=Scan(table="customers"),
+            left_key=ColumnRef("orders", "customer_id"),
+            right_key=ColumnRef("customers", "id"),
+        )
+        counters = executor.execute(plan).counters
+        assert counters.get("join_probe_row") == 8
+        assert counters.get("join_build_row") == 4
+
+
+class TestAggregate:
+    def test_count(self, executor):
+        plan = Aggregate(child=Scan(table="orders"), func=AggFunc.COUNT)
+        rel = executor.execute(plan).relation
+        assert rel.column("agg").values[0] == 8.0
+
+    def test_sum_avg_min_max(self, executor):
+        for func, expected in [
+            (AggFunc.SUM, 360.0),
+            (AggFunc.AVG, 45.0),
+            (AggFunc.MIN, 10.0),
+            (AggFunc.MAX, 80.0),
+        ]:
+            plan = Aggregate(
+                child=Scan(table="orders"),
+                func=func,
+                column=ColumnRef("orders", "amount"),
+            )
+            rel = executor.execute(plan).relation
+            assert rel.column("agg").values[0] == expected
+
+    def test_group_by(self, executor):
+        plan = Aggregate(
+            child=Scan(table="orders"),
+            func=AggFunc.SUM,
+            column=ColumnRef("orders", "amount"),
+            group_by=ColumnRef("orders", "status"),
+        )
+        rel = executor.execute(plan).relation
+        groups = dict(zip(rel.column("group").values, rel.column("agg").values))
+        assert groups == {"open": 10.0 + 20.0 + 50.0 + 70.0, "done": 30 + 40 + 60 + 80}
+
+    def test_avg_ignores_nulls(self, executor):
+        plan = Aggregate(
+            child=Scan(table="customers"),
+            func=AggFunc.AVG,
+            column=ColumnRef("customers", "score"),
+        )
+        rel = executor.execute(plan).relation
+        assert rel.column("agg").values[0] == pytest.approx((1 + 2 + 4) / 3)
+
+
+class TestUDFOperators:
+    def test_udf_filter(self, executor):
+        plan = UDFFilter(
+            child=Scan(table="orders"),
+            udf=_double_udf(),
+            input_columns=(ColumnRef("orders", "amount"),),
+            op=CompareOp.LEQ,
+            literal=80.0,  # amount*2 <= 80 -> amount <= 40
+        )
+        result = executor.execute(plan)
+        assert result.relation.num_rows == 4
+        assert result.counters.get("udf_invocation") == 8
+
+    def test_udf_project_adds_column(self, executor):
+        plan = UDFProject(
+            child=Scan(table="orders"),
+            udf=_double_udf(),
+            input_columns=(ColumnRef("orders", "amount"),),
+            output_name="doubled",
+        )
+        rel = executor.execute(plan).relation
+        doubled = rel.column("doubled").values
+        amount = rel.column("orders.amount").values
+        assert np.allclose(doubled, amount * 2.0)
+
+    def test_udf_null_input_filtered(self, executor):
+        plan = UDFFilter(
+            child=Scan(table="customers"),
+            udf=_double_udf(),
+            input_columns=(ColumnRef("customers", "score"),),
+            op=CompareOp.GEQ,
+            literal=-1e9,
+        )
+        result = executor.execute(plan)
+        # One NULL score -> that row cannot pass the UDF filter.
+        assert result.relation.num_rows == 3
+
+    def test_runtime_includes_udf_cost(self, executor):
+        plain = executor.execute(Scan(table="orders")).runtime
+        with_udf = executor.execute(
+            UDFFilter(
+                child=Scan(table="orders"),
+                udf=_double_udf(),
+                input_columns=(ColumnRef("orders", "amount"),),
+                op=CompareOp.GEQ,
+                literal=0.0,
+            )
+        ).runtime
+        assert with_udf > plain
+
+
+class TestProjectAndDeterminism:
+    def test_project(self, executor):
+        plan = Project(child=Scan(table="orders"), columns=("orders.amount",))
+        rel = executor.execute(plan).relation
+        assert rel.column_names == ["orders.amount"]
+
+    def test_noise_reproducible(self, executor):
+        r1 = executor.execute(Scan(table="orders"), noise_seed=42).runtime
+        r2 = executor.execute(Scan(table="orders"), noise_seed=42).runtime
+        r3 = executor.execute(Scan(table="orders"), noise_seed=43).runtime
+        assert r1 == r2
+        assert r1 != r3
+
+    def test_no_noise_is_deterministic_cost(self, executor):
+        result = executor.execute(Scan(table="orders"))
+        assert result.runtime == pytest.approx(result.counters.total_seconds())

@@ -1,0 +1,90 @@
+"""Tests for expression evaluation and NULL semantics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PlanError
+from repro.sql import ColumnRef, CompareOp, Conjunction, Predicate
+from repro.sql.relation import Relation
+from repro.storage import Column, DataType
+
+
+def _relation():
+    return Relation(
+        {
+            "t.x": Column("x", DataType.INT, np.array([1, 5, 10, 20]),
+                          np.array([True, True, False, True])),
+            "t.s": Column("s", DataType.STRING,
+                          np.array(["alpha", "beta", "alpha", "gamma"], dtype=object)),
+        }
+    )
+
+
+class TestPredicate:
+    def test_numeric_ops(self):
+        rel = _relation()
+        ref = ColumnRef("t", "x")
+        assert list(Predicate(ref, CompareOp.LT, 10).evaluate(rel)) == [True, True, False, False]
+        assert list(Predicate(ref, CompareOp.GEQ, 5).evaluate(rel)) == [False, True, False, True]
+        assert list(Predicate(ref, CompareOp.EQ, 20).evaluate(rel)) == [False, False, False, True]
+        assert list(Predicate(ref, CompareOp.NEQ, 1).evaluate(rel)) == [False, True, False, True]
+
+    def test_null_never_matches(self):
+        """Row 2 is NULL: no predicate may select it (SQL semantics)."""
+        rel = _relation()
+        ref = ColumnRef("t", "x")
+        for op in (CompareOp.LT, CompareOp.LEQ, CompareOp.GT, CompareOp.GEQ,
+                   CompareOp.EQ, CompareOp.NEQ):
+            mask = Predicate(ref, op, 10).evaluate(rel)
+            assert not mask[2], f"NULL row matched {op}"
+
+    def test_string_eq(self):
+        rel = _relation()
+        mask = Predicate(ColumnRef("t", "s"), CompareOp.EQ, "alpha").evaluate(rel)
+        assert list(mask) == [True, False, True, False]
+
+    def test_string_like_prefix(self):
+        rel = _relation()
+        mask = Predicate(ColumnRef("t", "s"), CompareOp.LIKE, "al").evaluate(rel)
+        assert list(mask) == [True, False, True, False]
+
+    def test_string_range_rejected(self):
+        rel = _relation()
+        with pytest.raises(PlanError):
+            Predicate(ColumnRef("t", "s"), CompareOp.LT, "m").evaluate(rel)
+
+    def test_missing_column_raises(self):
+        rel = _relation()
+        with pytest.raises(PlanError):
+            Predicate(ColumnRef("t", "nope"), CompareOp.EQ, 1).evaluate(rel)
+
+
+class TestConjunction:
+    def test_and_semantics(self):
+        rel = _relation()
+        conj = Conjunction(
+            (
+                Predicate(ColumnRef("t", "x"), CompareOp.GT, 1),
+                Predicate(ColumnRef("t", "s"), CompareOp.EQ, "beta"),
+            )
+        )
+        assert list(conj.evaluate(rel)) == [False, True, False, False]
+
+    def test_empty_conjunction_is_true(self):
+        rel = _relation()
+        assert Conjunction(()).evaluate(rel).all()
+
+
+class TestCompareOp:
+    def test_flip_roundtrip(self):
+        for op in CompareOp:
+            assert op.flip().flip() is op
+
+    def test_negate(self):
+        assert CompareOp.LT.negate() is CompareOp.GEQ
+        assert CompareOp.EQ.negate() is CompareOp.NEQ
+        assert CompareOp.GEQ.negate() is CompareOp.LT
+
+    def test_negate_like_raises(self):
+        with pytest.raises(PlanError):
+            CompareOp.LIKE.negate()

@@ -1,0 +1,130 @@
+"""Planner tests: join ordering, filter push-down, UDF placement."""
+
+import pytest
+
+from repro.exceptions import PlanError
+from repro.sql import (
+    Aggregate,
+    ColumnRef,
+    CompareOp,
+    Filter,
+    FilterSpec,
+    HashJoin,
+    JoinSpec,
+    Query,
+    Scan,
+    UDFFilter,
+    UDFPlacement,
+    UDFProject,
+    UDFRole,
+    UDFSpec,
+    build_plan,
+    find_nodes,
+    plan_tables,
+)
+from repro.storage.datatypes import DataType
+from repro.udf import UDF
+
+
+def _udf():
+    return UDF(
+        name="f",
+        source="def f(a):\n    return a * 1.0\n",
+        arg_types=(DataType.FLOAT,),
+    )
+
+
+def _query(udf_role=UDFRole.FILTER, with_udf=True):
+    return Query(
+        dataset="shop",
+        tables=("orders", "customers"),
+        joins=(JoinSpec(ColumnRef("orders", "customer_id"), ColumnRef("customers", "id")),),
+        filters=(FilterSpec(ColumnRef("customers", "region"), CompareOp.EQ, "north"),),
+        udf=UDFSpec(
+            udf=_udf(), input_table="orders", input_columns=("amount",),
+            role=udf_role, op=CompareOp.LEQ, literal=100.0,
+        )
+        if with_udf
+        else None,
+    )
+
+
+class TestBuildPlan:
+    def test_pushdown_places_udf_above_scan(self):
+        plan = build_plan(_query(), UDFPlacement.PUSH_DOWN)
+        udf_node = find_nodes(plan, UDFFilter)[0]
+        assert isinstance(udf_node.child, Scan)
+        assert udf_node.child.table == "orders"
+
+    def test_pullup_places_udf_above_joins(self):
+        plan = build_plan(_query(), UDFPlacement.PULL_UP)
+        udf_node = find_nodes(plan, UDFFilter)[0]
+        assert isinstance(udf_node.child, HashJoin)
+        assert isinstance(plan, Aggregate)
+        assert isinstance(plan.child, UDFFilter)
+
+    def test_intermediate_between(self):
+        query = Query(
+            dataset="x",
+            tables=("a", "b", "c"),
+            joins=(
+                JoinSpec(ColumnRef("a", "b_id"), ColumnRef("b", "id")),
+                JoinSpec(ColumnRef("b", "c_id"), ColumnRef("c", "id")),
+            ),
+            udf=UDFSpec(udf=_udf(), input_table="a", input_columns=("x",)),
+        )
+        plan = build_plan(query, UDFPlacement.INTERMEDIATE)
+        udf_node = find_nodes(plan, UDFFilter)[0]
+        assert isinstance(udf_node.child, HashJoin)
+        joins_below = len(find_nodes(udf_node.child, HashJoin))
+        assert joins_below == 1  # half of 2 joins
+
+    def test_non_udf_filters_pushed_to_scans(self):
+        plan = build_plan(_query(), UDFPlacement.PULL_UP)
+        filters = find_nodes(plan, Filter)
+        assert len(filters) == 1
+        assert isinstance(filters[0].child, Scan)
+        assert filters[0].child.table == "customers"
+
+    def test_projection_udf_ignores_placement(self):
+        for placement in UDFPlacement:
+            plan = build_plan(_query(udf_role=UDFRole.PROJECTION), placement)
+            assert len(find_nodes(plan, UDFProject)) == 1
+            assert len(find_nodes(plan, UDFFilter)) == 0
+            proj = find_nodes(plan, UDFProject)[0]
+            assert isinstance(proj.child, HashJoin)
+
+    def test_all_tables_scanned_once(self):
+        plan = build_plan(_query(), UDFPlacement.PUSH_DOWN)
+        assert sorted(plan_tables(plan)) == ["customers", "orders"]
+
+    def test_non_udf_query(self):
+        plan = build_plan(_query(with_udf=False))
+        assert not find_nodes(plan, UDFFilter)
+        assert len(find_nodes(plan, HashJoin)) == 1
+
+    def test_disconnected_join_graph_raises(self):
+        query = Query(
+            dataset="x",
+            tables=("a", "b", "c"),
+            joins=(
+                JoinSpec(ColumnRef("b", "c_id"), ColumnRef("c", "id")),
+                JoinSpec(ColumnRef("c", "b_id"), ColumnRef("b", "id")),
+            ),
+        )
+        with pytest.raises(PlanError):
+            build_plan(query)
+
+    def test_validate_rejects_bad_join_count(self):
+        query = Query(dataset="x", tables=("a", "b"), joins=())
+        with pytest.raises(ValueError):
+            query.validate()
+
+    def test_validate_rejects_foreign_filter(self):
+        query = Query(
+            dataset="x",
+            tables=("a",),
+            filters=(FilterSpec(ColumnRef("zzz", "c"), CompareOp.EQ, 1),),
+        )
+        with pytest.raises(ValueError):
+            query.validate()

@@ -1,0 +1,234 @@
+"""Unit tests for plan-tree utilities, relations, and the cost model."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PlanError
+from repro.sql import (
+    Aggregate,
+    ColumnRef,
+    CompareOp,
+    Conjunction,
+    Filter,
+    HashJoin,
+    Predicate,
+    Scan,
+    UDFFilter,
+    WorkCounters,
+    find_nodes,
+    format_plan,
+    plan_depth,
+    plan_tables,
+    simulated_runtime,
+)
+from repro.sql.costmodel import COST_CONSTANTS, STARTUP_COST
+from repro.sql.relation import Relation
+from repro.storage import Column, DataType
+from repro.storage.table import Table
+from repro.udf.trace import CostTrace
+
+
+def _join_plan():
+    return HashJoin(
+        left=Filter(
+            child=Scan(table="a"),
+            predicate=Conjunction((Predicate(ColumnRef("a", "x"), CompareOp.GT, 1),)),
+        ),
+        right=Scan(table="b"),
+        left_key=ColumnRef("a", "b_id"),
+        right_key=ColumnRef("b", "id"),
+    )
+
+
+class TestPlanUtilities:
+    def test_walk_is_postorder(self):
+        plan = _join_plan()
+        kinds = [n.kind for n in plan.walk()]
+        assert kinds == ["Scan", "Filter", "Scan", "HashJoin"]
+
+    def test_plan_tables(self):
+        assert plan_tables(_join_plan()) == ["a", "b"]
+
+    def test_plan_depth(self):
+        assert plan_depth(_join_plan()) == 3
+        assert plan_depth(Scan(table="a")) == 1
+
+    def test_find_nodes(self):
+        plan = _join_plan()
+        assert len(find_nodes(plan, Scan)) == 2
+        assert len(find_nodes(plan, UDFFilter)) == 0
+
+    def test_node_ids_unique(self):
+        plan = _join_plan()
+        ids = [n.node_id for n in plan.walk()]
+        assert len(set(ids)) == len(ids)
+
+    def test_copy_tree_resets_annotations(self):
+        plan = _join_plan()
+        plan.est_card = 42.0
+        plan.true_card = 17
+        clone = plan.copy_tree()
+        for node in clone.walk():
+            assert node.est_card is None
+            assert node.true_card is None
+        assert plan.est_card == 42.0  # original untouched
+
+    def test_format_plan_contains_structure(self):
+        text = format_plan(_join_plan())
+        assert "HashJoin" in text and "Filter" in text and "Scan a" in text
+
+
+class TestRelation:
+    def _rel(self):
+        return Relation(
+            {
+                "t.a": Column("a", DataType.INT, np.array([1, 2, 3])),
+                "t.b": Column("b", DataType.FLOAT, np.array([0.5, 1.5, 2.5])),
+            }
+        )
+
+    def test_from_table_qualifies_names(self):
+        table = Table.from_dict("t", {"x": [1, 2]})
+        rel = Relation.from_table(table)
+        assert rel.column_names == ["t.x"]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(PlanError):
+            Relation(
+                {
+                    "t.a": Column("a", DataType.INT, np.array([1])),
+                    "t.b": Column("b", DataType.INT, np.array([1, 2])),
+                }
+            )
+
+    def test_merge_collision_rejected(self):
+        rel = self._rel()
+        with pytest.raises(PlanError):
+            rel.merge(rel)
+
+    def test_select_subset(self):
+        rel = self._rel().select(["t.a"])
+        assert rel.column_names == ["t.a"]
+
+    def test_rows_python_scalars(self):
+        rows = self._rel().rows(["t.a", "t.b"])
+        assert rows == [(1, 0.5), (2, 1.5), (3, 2.5)]
+        assert type(rows[0][0]) is int
+
+    def test_take_and_filter(self):
+        rel = self._rel()
+        assert rel.take(np.array([2, 0])).column("t.a").values.tolist() == [3, 1]
+        assert rel.filter(np.array([True, False, True])).num_rows == 2
+
+    def test_with_column(self):
+        rel = self._rel().with_column(
+            "derived", Column("derived", DataType.FLOAT, np.zeros(3))
+        )
+        assert "derived" in rel
+
+
+class TestCostModel:
+    def test_unknown_counter_rejected(self):
+        with pytest.raises(KeyError):
+            WorkCounters().add("warp_drive", 1.0)
+
+    def test_total_includes_startup(self):
+        counters = WorkCounters()
+        assert counters.total_seconds() == STARTUP_COST
+
+    def test_linear_in_work(self):
+        a, b = WorkCounters(), WorkCounters()
+        a.add("scan_row", 1000)
+        b.add("scan_row", 2000)
+        assert (b.total_seconds() - STARTUP_COST) == pytest.approx(
+            2 * (a.total_seconds() - STARTUP_COST)
+        )
+
+    def test_merge(self):
+        a, b = WorkCounters(), WorkCounters()
+        a.add("scan_row", 10)
+        b.add("scan_row", 5)
+        b.add("agg_row", 7)
+        a.merge(b)
+        assert a.get("scan_row") == 15
+        assert a.get("agg_row") == 7
+
+    def test_noise_bounded(self):
+        counters = WorkCounters()
+        counters.add("scan_row", 1_000_000)
+        base = counters.total_seconds()
+        for seed in range(20):
+            noisy = simulated_runtime(counters, noise_seed=seed)
+            assert 0.7 * base < noisy < 1.4 * base  # ~4 sigma of 5% noise
+
+    def test_udf_constants_exist(self):
+        for kind in ("arith", "string", "math_call", "numpy_call",
+                     "branch", "loop_iter", "return", "invocation"):
+            assert f"udf_{kind}" in COST_CONSTANTS
+
+
+class TestCostTrace:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(KeyError):
+            CostTrace().add("quantum_op")
+
+    def test_to_counters_prefixes(self):
+        trace = CostTrace()
+        trace.add("arith", 10)
+        counters = trace.to_counters()
+        assert counters.get("udf_arith") == 10
+
+    def test_merge_and_total(self):
+        a, b = CostTrace(), CostTrace()
+        a.add("arith", 2)
+        b.add("arith", 3)
+        b.add("branch", 1)
+        a.merge(b)
+        assert a.get("arith") == 5
+        assert a.total_ops() == 6
+
+
+class TestQueryToSQL:
+    def _query(self, role):
+        from repro.sql import FilterSpec, JoinSpec, Query, UDFSpec, UDFRole, query_to_sql
+        from repro.storage.datatypes import DataType
+        from repro.udf import UDF
+
+        return Query(
+            dataset="shop",
+            tables=("orders", "customers"),
+            joins=(JoinSpec(ColumnRef("orders", "customer_id"),
+                            ColumnRef("customers", "id")),),
+            filters=(FilterSpec(ColumnRef("customers", "region"),
+                                CompareOp.EQ, "o'neil"),),
+            udf=UDFSpec(
+                udf=UDF(name="my_udf", source="def my_udf(a):\n    return a\n",
+                        arg_types=(DataType.FLOAT,)),
+                input_table="orders", input_columns=("amount",),
+                role=role, op=CompareOp.LEQ, literal=26026.0,
+            ),
+        )
+
+    def test_udf_filter_rendering(self):
+        from repro.sql import UDFRole, query_to_sql
+
+        sql = query_to_sql(self._query(UDFRole.FILTER))
+        assert "SELECT COUNT(*)" in sql
+        assert "FROM orders, customers" in sql
+        assert "orders.customer_id = customers.id" in sql
+        assert "my_udf(orders.amount) <= 26026" in sql
+        assert "customers.region = 'o''neil'" in sql  # escaping
+        assert sql.endswith(";")
+
+    def test_udf_projection_rendering(self):
+        from repro.sql import UDFRole, query_to_sql
+
+        sql = query_to_sql(self._query(UDFRole.PROJECTION))
+        assert "my_udf(orders.amount)" in sql.splitlines()[0]
+        assert "<=" not in sql.splitlines()[-1] or "my_udf" not in sql.splitlines()[-1]
+
+    def test_plain_query(self):
+        from repro.sql import Query, query_to_sql
+
+        sql = query_to_sql(Query(dataset="shop", tables=("orders",)))
+        assert sql == "SELECT COUNT(*)\nFROM orders;"

@@ -1,0 +1,264 @@
+"""Statistics substrate tests: histograms, estimators, plan annotation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sql import (
+    ColumnRef,
+    CompareOp,
+    Executor,
+    FilterSpec,
+    JoinSpec,
+    Query,
+    build_plan,
+    find_nodes,
+)
+from repro.sql.plan import HashJoin, Scan, UDFFilter
+from repro.stats import (
+    ActualCardinalityEstimator,
+    DeepDBEstimator,
+    FragmentJoin,
+    FragmentPredicate,
+    NaiveEstimator,
+    QueryFragment,
+    StatisticsCatalog,
+    WanderJoinEstimator,
+    annotate_plan,
+    fragment_to_plan,
+    make_estimator,
+)
+from repro.stats.histogram import ColumnStats
+from repro.storage import Column, DataType
+
+
+class TestColumnStats:
+    def test_numeric_range_selectivity(self):
+        col = Column.from_values("x", np.arange(1000, dtype=np.float64))
+        stats = ColumnStats.from_column(col)
+        assert stats.selectivity(CompareOp.LT, 500.0) == pytest.approx(0.5, abs=0.05)
+        assert stats.selectivity(CompareOp.GEQ, 900.0) == pytest.approx(0.1, abs=0.05)
+        assert stats.selectivity(CompareOp.LT, -1.0) == 0.0
+        assert stats.selectivity(CompareOp.GT, 2000.0) == 0.0
+
+    def test_equality_selectivity_uniform(self):
+        col = Column.from_values("x", np.repeat(np.arange(10), 100))
+        stats = ColumnStats.from_column(col)
+        assert stats.selectivity(CompareOp.EQ, 5) == pytest.approx(0.1, rel=0.5)
+
+    def test_string_mcv(self):
+        values = np.array(["a"] * 80 + ["b"] * 20, dtype=object)
+        stats = ColumnStats.from_column(Column("s", DataType.STRING, values))
+        assert stats.selectivity(CompareOp.EQ, "a") == pytest.approx(0.8)
+        assert stats.selectivity(CompareOp.NEQ, "a") == pytest.approx(0.2)
+        assert stats.selectivity(CompareOp.EQ, "zzz") == 0.0
+
+    def test_null_scaling(self):
+        col = Column("x", DataType.FLOAT, np.arange(100, dtype=np.float64),
+                     np.array([True] * 50 + [False] * 50))
+        stats = ColumnStats.from_column(col)
+        # All values < 1000, but half the rows are NULL.
+        assert stats.selectivity(CompareOp.LT, 1000.0) == pytest.approx(0.5)
+
+    def test_empty_column(self):
+        stats = ColumnStats.from_column(Column("x", DataType.FLOAT, np.array([])))
+        assert stats.selectivity(CompareOp.LT, 0.0) == 0.0
+
+    @given(st.lists(st.floats(-100, 100), min_size=5, max_size=200),
+           st.floats(-100, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_selectivity_matches_reality(self, values, literal):
+        """Property: histogram estimate within a coarse band of the truth."""
+        col = Column.from_values("x", np.asarray(values, dtype=np.float64))
+        stats = ColumnStats.from_column(col)
+        est = stats.selectivity(CompareOp.LT, literal)
+        true = float(np.mean(np.asarray(values) < literal))
+        assert 0.0 <= est <= 1.0
+        assert abs(est - true) < 0.35  # equi-depth bins are coarse but sane
+
+    @given(st.lists(st.integers(0, 20), min_size=10, max_size=300))
+    @settings(max_examples=30, deadline=None)
+    def test_complementarity(self, values):
+        """P(< x) + P(>= x) ≈ 1 on non-null data."""
+        col = Column.from_values("x", np.asarray(values, dtype=np.int64))
+        stats = ColumnStats.from_column(col)
+        lit = int(np.median(values))
+        total = stats.selectivity(CompareOp.LT, lit) + stats.selectivity(
+            CompareOp.GEQ, lit
+        )
+        assert total == pytest.approx(1.0, abs=0.02)
+
+
+def _fragment(handmade_db, with_filter=True):
+    joins = (
+        FragmentJoin(ColumnRef("orders", "customer_id"), ColumnRef("customers", "id")),
+    )
+    preds = (
+        (FragmentPredicate(ColumnRef("customers", "region"), CompareOp.EQ, "north"),)
+        if with_filter
+        else ()
+    )
+    return QueryFragment.normalized(("orders", "customers"), joins, preds)
+
+
+class TestEstimators:
+    def test_actual_is_exact(self, handmade_db):
+        est = ActualCardinalityEstimator(handmade_db)
+        frag = _fragment(handmade_db)
+        # customers 0 and 2 are north; orders for them: 2 + 2 = 4.
+        assert est.estimate(frag) == 4.0
+
+    def test_actual_scan(self, handmade_db):
+        est = ActualCardinalityEstimator(handmade_db)
+        assert est.estimate_scan("orders") == 8.0
+
+    def test_fragment_normalization_cache(self, handmade_db):
+        est = ActualCardinalityEstimator(handmade_db)
+        frag1 = _fragment(handmade_db)
+        joins = (
+            FragmentJoin(ColumnRef("orders", "customer_id"), ColumnRef("customers", "id")),
+        )
+        preds = (FragmentPredicate(ColumnRef("customers", "region"), CompareOp.EQ, "north"),)
+        frag2 = QueryFragment(("customers", "orders"), joins, preds)  # different order
+        est.estimate(frag1)
+        est.estimate(frag2)
+        assert len(est._cache) == 1
+
+    def test_deepdb_small_tables_exact(self, handmade_db):
+        est = DeepDBEstimator(handmade_db)  # both tables under sample target
+        frag = _fragment(handmade_db)
+        assert est.estimate(frag) == pytest.approx(4.0)
+
+    def test_wanderjoin_unbiased_on_fk(self, handmade_db):
+        est = WanderJoinEstimator(handmade_db, n_walks=400, seed=0)
+        frag = _fragment(handmade_db, with_filter=False)
+        assert est.estimate(frag) == pytest.approx(8.0, rel=0.3)
+
+    def test_naive_join_formula(self, handmade_db):
+        est = NaiveEstimator(handmade_db)
+        frag = _fragment(handmade_db, with_filter=False)
+        # |orders| * |customers| / max(d(customer_id), d(id)) = 8*4/4 = 8
+        assert est.estimate(frag) == pytest.approx(8.0)
+
+    def test_error_ordering_on_real_data(self, tiny_bench):
+        """deepdb must beat naive on a joined, filtered fragment."""
+        db = tiny_bench.database
+        fk = db.foreign_keys[0]
+        child_col = db.table(fk.child_table).column_names
+        filter_col = next(
+            c for c in db.table(fk.parent_table).column_names
+            if c not in ("id",) and not c.endswith("_id")
+        )
+        values = db.table(fk.parent_table).column(filter_col).non_null_values()
+        literal = values[0]
+        op = CompareOp.EQ if db.table(fk.parent_table).dtype(filter_col) is DataType.STRING else CompareOp.LEQ
+        frag = QueryFragment.normalized(
+            (fk.child_table, fk.parent_table),
+            (FragmentJoin(ColumnRef(fk.child_table, fk.child_column),
+                          ColumnRef(fk.parent_table, fk.parent_column)),),
+            (FragmentPredicate(ColumnRef(fk.parent_table, filter_col), op, literal),),
+        )
+        truth = max(ActualCardinalityEstimator(db).estimate(frag), 1.0)
+        deepdb = max(DeepDBEstimator(db).estimate(frag), 1.0)
+        naive = max(NaiveEstimator(db).estimate(frag), 1.0)
+        q_deepdb = max(deepdb / truth, truth / deepdb)
+        q_naive = max(naive / truth, truth / naive)
+        assert q_deepdb <= q_naive * 2.0  # deepdb never wildly worse
+
+    def test_make_estimator_registry(self, handmade_db):
+        for name in ("actual", "deepdb", "wanderjoin", "duckdb"):
+            assert make_estimator(name, handmade_db).name == name
+        with pytest.raises(KeyError):
+            make_estimator("nope", handmade_db)
+
+
+class TestFragmentToPlan:
+    def test_roundtrip_execution(self, handmade_db):
+        frag = _fragment(handmade_db)
+        plan = fragment_to_plan(frag)
+        result = Executor(handmade_db).execute(plan)
+        assert result.relation.num_rows == 4
+
+    def test_single_table(self, handmade_db):
+        plan = fragment_to_plan(QueryFragment.normalized(("orders",)))
+        assert isinstance(plan, Scan)
+
+
+class TestAnnotate:
+    def _plan(self, with_udf=False):
+        from repro.storage.datatypes import DataType as DT
+        from repro.udf import UDF
+        from repro.sql import UDFSpec
+
+        udf_spec = None
+        if with_udf:
+            udf_spec = UDFSpec(
+                udf=UDF(name="f", source="def f(a):\n    return a * 1.0\n",
+                        arg_types=(DT.FLOAT,)),
+                input_table="orders", input_columns=("amount",),
+                op=CompareOp.LEQ, literal=100.0,
+            )
+        return build_plan(
+            Query(
+                dataset="shop",
+                tables=("orders", "customers"),
+                joins=(JoinSpec(ColumnRef("orders", "customer_id"),
+                                ColumnRef("customers", "id")),),
+                filters=(FilterSpec(ColumnRef("customers", "region"),
+                                    CompareOp.EQ, "north"),),
+                udf=udf_spec,
+            )
+        )
+
+    def test_actual_annotation_matches_execution(self, handmade_db):
+        plan = self._plan()
+        annotate_plan(plan, ActualCardinalityEstimator(handmade_db))
+        Executor(handmade_db).execute(plan)
+        for node in plan.walk():
+            if isinstance(node, (Scan, HashJoin)):
+                assert node.est_card == pytest.approx(node.true_card)
+
+    def test_udf_filter_upper_bound(self, handmade_db):
+        plan = self._plan(with_udf=True)
+        annotate_plan(plan, ActualCardinalityEstimator(handmade_db))
+        udf_node = find_nodes(plan, UDFFilter)[0]
+        # Unexecuted plan, no assumption: output estimate = input estimate.
+        assert udf_node.est_card == udf_node.child.est_card
+
+    def test_assumed_selectivity_scales_upstream(self, handmade_db):
+        plan = self._plan(with_udf=True)
+        udf_node = find_nodes(plan, UDFFilter)[0]
+        udf_node.assumed_selectivity = 0.25
+        annotate_plan(plan, ActualCardinalityEstimator(handmade_db))
+        assert udf_node.est_card == pytest.approx(0.25 * udf_node.child.est_card)
+
+    def test_observed_selectivity_used_after_execution(self, handmade_db):
+        plan = self._plan(with_udf=True)
+        Executor(handmade_db).execute(plan)
+        annotate_plan(plan, ActualCardinalityEstimator(handmade_db))
+        udf_node = find_nodes(plan, UDFFilter)[0]
+        expected_sel = udf_node.true_card / udf_node.child.true_card
+        assert udf_node.est_card == pytest.approx(
+            expected_sel * udf_node.child.est_card
+        )
+
+
+class TestCatalog:
+    def test_sample_fraction_one_for_small_tables(self, handmade_db):
+        catalog = StatisticsCatalog(handmade_db, sample_target=100)
+        sample, fraction = catalog.sample("orders")
+        assert fraction == 1.0
+        assert len(sample) == 8
+
+    def test_sample_subsamples_large_tables(self, handmade_db):
+        catalog = StatisticsCatalog(handmade_db, sample_target=4)
+        sample, fraction = catalog.sample("orders")
+        assert len(sample) == 4
+        assert fraction == pytest.approx(0.5)
+
+    def test_stats_cached(self, handmade_db):
+        catalog = StatisticsCatalog(handmade_db)
+        s1 = catalog.table_stats("orders")
+        s2 = catalog.table_stats("orders")
+        assert s1 is s2

@@ -1,0 +1,190 @@
+"""Unit tests for the storage substrate (datatypes, columns, tables, DBs)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SchemaError
+from repro.storage import (
+    Column,
+    Database,
+    DataType,
+    ForeignKey,
+    Table,
+    infer_datatype,
+)
+from repro.storage.datatypes import coerce_values
+
+
+class TestDataTypes:
+    def test_infer_int(self):
+        assert infer_datatype(np.array([1, 2, 3])) is DataType.INT
+
+    def test_infer_float(self):
+        assert infer_datatype(np.array([1.5])) is DataType.FLOAT
+
+    def test_infer_string_object(self):
+        assert infer_datatype(np.array(["a"], dtype=object)) is DataType.STRING
+
+    def test_infer_string_unicode(self):
+        assert infer_datatype(np.array(["a", "b"])) is DataType.STRING
+
+    def test_infer_bool_is_int(self):
+        assert infer_datatype(np.array([True, False])) is DataType.INT
+
+    def test_infer_rejects_complex(self):
+        with pytest.raises(SchemaError):
+            infer_datatype(np.array([1 + 2j]))
+
+    def test_coerce_int(self):
+        out = coerce_values(np.array([1, 2], dtype=np.int32), DataType.INT)
+        assert out.dtype == np.int64
+
+    def test_coerce_string_keeps_object(self):
+        out = coerce_values(np.array(["x"], dtype=object), DataType.STRING)
+        assert out.dtype.kind == "O"
+
+    def test_python_type(self):
+        assert DataType.INT.python_type is int
+        assert DataType.FLOAT.python_type is float
+        assert DataType.STRING.python_type is str
+
+    def test_is_numeric(self):
+        assert DataType.INT.is_numeric
+        assert DataType.FLOAT.is_numeric
+        assert not DataType.STRING.is_numeric
+
+
+class TestColumn:
+    def test_from_values_infers_type(self):
+        col = Column.from_values("x", [1, 2, 3])
+        assert col.dtype is DataType.INT
+        assert len(col) == 3
+
+    def test_default_valid_mask(self):
+        col = Column.from_values("x", [1.0, 2.0])
+        assert col.null_count == 0
+        assert col.null_fraction == 0.0
+
+    def test_mask_length_mismatch_raises(self):
+        with pytest.raises(SchemaError):
+            Column("x", DataType.INT, np.array([1, 2]), np.array([True]))
+
+    def test_null_fraction(self):
+        col = Column("x", DataType.INT, np.arange(4), np.array([1, 0, 0, 1], dtype=bool))
+        assert col.null_count == 2
+        assert col.null_fraction == 0.5
+
+    def test_take_preserves_validity(self):
+        col = Column("x", DataType.INT, np.arange(4), np.array([1, 0, 1, 0], dtype=bool))
+        taken = col.take(np.array([1, 2]))
+        assert list(taken.values) == [1, 2]
+        assert list(taken.valid) == [False, True]
+
+    def test_filter(self):
+        col = Column.from_values("x", [10, 20, 30])
+        out = col.filter(np.array([True, False, True]))
+        assert list(out.values) == [10, 30]
+
+    def test_python_value_null_is_none(self):
+        col = Column("x", DataType.FLOAT, np.array([1.0, 2.0]),
+                     np.array([True, False]))
+        assert col.python_value(0) == 1.0
+        assert col.python_value(1) is None
+
+    def test_python_value_types(self):
+        col = Column.from_values("x", np.array([7], dtype=np.int64))
+        value = col.python_value(0)
+        assert type(value) is int
+
+    def test_non_null_values(self):
+        col = Column("x", DataType.INT, np.arange(4), np.array([1, 0, 1, 0], dtype=bool))
+        assert list(col.non_null_values()) == [0, 2]
+
+    def test_rename(self):
+        col = Column.from_values("x", [1]).rename("y")
+        assert col.name == "y"
+
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=50))
+    @settings(max_examples=25, deadline=None)
+    def test_take_filter_consistency(self, values):
+        """filter(mask) == take(indices-where-mask) for any mask."""
+        col = Column.from_values("x", values)
+        mask = np.array([v % 2 == 0 for v in values])
+        via_filter = col.filter(mask)
+        via_take = col.take(np.where(mask)[0])
+        assert list(via_filter.values) == list(via_take.values)
+
+
+class TestTable:
+    def test_from_dict(self):
+        table = Table.from_dict("t", {"a": [1, 2], "b": [1.0, 2.0]})
+        assert table.num_rows == 2
+        assert table.column_names == ["a", "b"]
+
+    def test_duplicate_column_raises(self):
+        with pytest.raises(SchemaError):
+            Table("t", [Column.from_values("a", [1]), Column.from_values("a", [2])])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(SchemaError):
+            Table("t", [Column.from_values("a", [1]), Column.from_values("b", [1, 2])])
+
+    def test_missing_column_raises(self):
+        table = Table.from_dict("t", {"a": [1]})
+        with pytest.raises(SchemaError):
+            table.column("nope")
+
+    def test_contains(self):
+        table = Table.from_dict("t", {"a": [1]})
+        assert "a" in table
+        assert "b" not in table
+
+    def test_row_materialization(self):
+        table = Table.from_dict("t", {"a": [1, 2], "s": ["x", "y"]})
+        assert table.row(1) == {"a": 2, "s": "y"}
+
+    def test_with_column_replaces(self):
+        table = Table.from_dict("t", {"a": [1, 2]})
+        out = table.with_column(Column.from_values("a", [7, 8]))
+        assert list(out.column("a").values) == [7, 8]
+        assert out.num_rows == 2
+
+    def test_take_and_head(self):
+        table = Table.from_dict("t", {"a": list(range(10))})
+        assert table.head(3).num_rows == 3
+        assert list(table.take(np.array([9, 0])).column("a").values) == [9, 0]
+
+
+class TestDatabase:
+    def test_duplicate_table_raises(self):
+        t = Table.from_dict("t", {"a": [1]})
+        with pytest.raises(SchemaError):
+            Database("db", [t, t])
+
+    def test_fk_validation(self):
+        child = Table.from_dict("c", {"id": [1], "p_id": [1]})
+        parent = Table.from_dict("p", {"id": [1]})
+        with pytest.raises(SchemaError):
+            Database("db", [child, parent], [ForeignKey("c", "nope", "p", "id")])
+
+    def test_join_between(self, handmade_db):
+        fk = handmade_db.join_between("orders", "customers")
+        assert fk is not None
+        assert fk.child_table == "orders"
+        assert handmade_db.join_between("orders", "orders") is None
+
+    def test_joins_for(self, handmade_db):
+        assert len(handmade_db.joins_for("orders")) == 1
+        assert len(handmade_db.joins_for("customers")) == 1
+
+    def test_fk_other(self, handmade_db):
+        fk = handmade_db.foreign_keys[0]
+        assert fk.other("orders") == "customers"
+        assert fk.other("customers") == "orders"
+        with pytest.raises(SchemaError):
+            fk.other("nope")
+
+    def test_total_rows(self, handmade_db):
+        assert handmade_db.total_rows() == 12

@@ -1,0 +1,88 @@
+"""Tests for the synthetic database generator."""
+
+import numpy as np
+import pytest
+
+from repro.storage import DATASET_NAMES, HARD_DATASETS, GeneratorConfig
+from repro.storage.generator import generate_database, hash_name
+from tests.conftest import TINY_CONFIG
+
+
+class TestGenerator:
+    def test_twenty_paper_datasets(self):
+        assert len(DATASET_NAMES) == 20
+        assert "imdb" in DATASET_NAMES and "tpc_h" in DATASET_NAMES
+
+    def test_reproducible(self):
+        db1 = generate_database("imdb", config=TINY_CONFIG)
+        db2 = generate_database("imdb", config=TINY_CONFIG)
+        assert db1.table_names == db2.table_names
+        for name in db1.table_names:
+            t1, t2 = db1.table(name), db2.table(name)
+            assert t1.column_names == t2.column_names
+            for c1, c2 in zip(t1.columns, t2.columns):
+                assert list(c1.values) == list(c2.values)
+
+    def test_different_datasets_differ(self):
+        db1 = generate_database("imdb", config=TINY_CONFIG)
+        db2 = generate_database("ssb", config=TINY_CONFIG)
+        assert db1.table_names != db2.table_names
+
+    def test_fk_referential_integrity(self, tiny_db):
+        """Every FK value must reference an existing parent PK."""
+        for fk in tiny_db.foreign_keys:
+            child = tiny_db.table(fk.child_table).column(fk.child_column)
+            parent = tiny_db.table(fk.parent_table).column(fk.parent_column)
+            parent_keys = set(parent.values.tolist())
+            child_values = child.non_null_values()
+            assert all(v in parent_keys for v in child_values.tolist())
+
+    def test_join_graph_connected(self, tiny_db):
+        """All tables are reachable through FK edges."""
+        seen = {tiny_db.table_names[0]}
+        changed = True
+        while changed:
+            changed = False
+            for fk in tiny_db.foreign_keys:
+                if fk.child_table in seen and fk.parent_table not in seen:
+                    seen.add(fk.parent_table)
+                    changed = True
+                elif fk.parent_table in seen and fk.child_table not in seen:
+                    seen.add(fk.child_table)
+                    changed = True
+        assert seen == set(tiny_db.table_names)
+
+    def test_table_count_in_config_range(self, tiny_db):
+        assert TINY_CONFIG.min_tables <= len(tiny_db.tables) <= TINY_CONFIG.max_tables
+
+    def test_scale_config(self):
+        small = generate_database("ssb", config=GeneratorConfig(
+            scale=0.1, fact_rows=(1000, 1000), dim_rows=(100, 100)))
+        fact = small.table("ssb_fact")
+        assert len(fact) == 100
+
+    def test_hard_dataset_skew(self):
+        """Hard datasets must have notably skewed FK fan-out."""
+        cfg = GeneratorConfig(fact_rows=(2000, 2000), dim_rows=(200, 200))
+        hard = generate_database("airline", config=cfg)
+        fk = hard.foreign_keys[0]
+        values = hard.table(fk.child_table).column(fk.child_column).values
+        _, counts = np.unique(values, return_counts=True)
+        # Zipf with a in [2.5, 4]: the most common key dominates.
+        assert counts.max() / len(values) > 0.2
+
+    def test_hash_name_stable(self):
+        assert hash_name("imdb") == hash_name("imdb")
+        assert hash_name("imdb") != hash_name("ssb")
+
+    def test_all_names_generate(self):
+        """Every paper dataset generates a valid database (smoke, tiny)."""
+        cfg = GeneratorConfig(
+            fact_rows=(50, 80), dim_rows=(10, 30), min_tables=3, max_tables=3
+        )
+        for name in DATASET_NAMES[:6]:
+            db = generate_database(name, config=cfg)
+            assert db.total_rows() > 0
+
+    def test_hard_datasets_subset_of_names(self):
+        assert HARD_DATASETS <= set(DATASET_NAMES)

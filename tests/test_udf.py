@@ -1,0 +1,230 @@
+"""UDF substrate tests: compilation, tracing, generation, data prep."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import UDFError
+from repro.sql import CompareOp
+from repro.storage import Column, DataType, Table
+from repro.udf import (
+    UDF,
+    UDFGenerator,
+    UDFGeneratorConfig,
+    compile_udf,
+    fill_nulls,
+    prepare_table,
+)
+from repro.udf.udf import BranchInfo, LoopInfo
+
+FIG2_SOURCE = """
+def fig2(x, y):
+    v = x * 2.0
+    if x < 20:
+        v = v ** 2
+    else:
+        for i in range(100):
+            v = v + math.sqrt(abs(y))
+    return v
+"""
+
+
+class TestCompilation:
+    def test_values_match_plain_python(self):
+        udf = UDF(name="fig2", source=FIG2_SOURCE,
+                  arg_types=(DataType.FLOAT, DataType.FLOAT))
+        values, _ = udf.evaluate_batch([(1.0, 4.0), (25.0, 4.0)])
+        assert values[0] == 4.0  # (1*2)**2
+        assert values[1] == pytest.approx(25 * 2 + 100 * 2.0)
+
+    def test_trace_counts_branches_and_loops(self):
+        udf = UDF(name="fig2", source=FIG2_SOURCE,
+                  arg_types=(DataType.FLOAT, DataType.FLOAT))
+        _, trace = udf.evaluate_batch([(1.0, 4.0), (25.0, 4.0)])
+        assert trace.get("invocation") == 2
+        assert trace.get("branch") == 2
+        assert trace.get("loop_iter") == 100  # only the second row loops
+        assert trace.get("math_call") == 100
+        assert trace.get("return") == 2
+
+    def test_null_input_returns_none(self):
+        udf = UDF(name="fig2", source=FIG2_SOURCE,
+                  arg_types=(DataType.FLOAT, DataType.FLOAT))
+        values, trace = udf.evaluate_batch([(None, 1.0)])
+        assert values == [None]
+        assert trace.get("invocation") == 1
+        assert trace.get("return") == 0  # body never ran
+
+    def test_runtime_error_returns_none(self):
+        udf = UDF(
+            name="boom",
+            source="def boom(a):\n    return 1.0 / a\n",
+            arg_types=(DataType.FLOAT,),
+        )
+        values, _ = udf.evaluate_batch([(0.0,), (2.0,)])
+        assert values[0] is None
+        assert values[1] == 0.5
+
+    def test_dedup_trace_equals_row_by_row(self):
+        udf = UDF(name="fig2", source=FIG2_SOURCE,
+                  arg_types=(DataType.FLOAT, DataType.FLOAT))
+        rows = [(25.0, 4.0)] * 5 + [(1.0, 2.0)] * 3
+        v1, t1 = udf.evaluate_batch(rows, deduplicate=True)
+        v2, t2 = udf.evaluate_batch(rows, deduplicate=False)
+        assert v1 == v2
+        assert t1.counts == t2.counts
+
+    def test_while_loop(self):
+        source = (
+            "def w(a):\n"
+            "    v = a\n"
+            "    w = 5\n"
+            "    while w > 0:\n"
+            "        v = v + 1.0\n"
+            "        w = w - 1\n"
+            "    return v\n"
+        )
+        udf = UDF(name="w", source=source, arg_types=(DataType.FLOAT,))
+        values, trace = udf.evaluate_batch([(0.0,)])
+        assert values[0] == 5.0
+        assert trace.get("loop_iter") == 5
+
+    def test_string_ops_traced(self):
+        source = "def s(a):\n    return float(len(a.upper()))\n"
+        udf = UDF(name="s", source=source, arg_types=(DataType.STRING,))
+        values, trace = udf.evaluate_batch([("abc",)])
+        assert values[0] == 3.0
+        assert trace.get("string") == 1
+
+    def test_unsupported_statement_rejected(self):
+        with pytest.raises(UDFError):
+            compile_udf("def f(a):\n    import os\n    return a\n")
+
+    def test_no_function_rejected(self):
+        with pytest.raises(UDFError):
+            compile_udf("x = 5\n")
+
+    def test_syntax_error_rejected(self):
+        with pytest.raises(UDFError):
+            compile_udf("def f(a:\n")
+
+    def test_builtin_allowlist(self):
+        """open() is not in the sandbox: calling it yields None (error)."""
+        udf = UDF(
+            name="evil",
+            source="def evil(a):\n    x = open('/etc/passwd')\n    return a\n",
+            arg_types=(DataType.FLOAT,),
+        )
+        values, _ = udf.evaluate_batch([(1.0,)])
+        assert values == [None]
+
+    def test_validate_arg_count_mismatch(self):
+        udf = UDF(
+            name="f",
+            source="def f(a, b):\n    return a\n",
+            arg_types=(DataType.FLOAT,),
+        )
+        with pytest.raises(UDFError):
+            udf.validate()
+
+    def test_pickle_roundtrip(self):
+        import pickle
+
+        udf = UDF(name="fig2", source=FIG2_SOURCE,
+                  arg_types=(DataType.FLOAT, DataType.FLOAT))
+        udf.evaluate_batch([(1.0, 1.0)])  # force compile
+        clone = pickle.loads(pickle.dumps(udf))
+        values, _ = clone.evaluate_batch([(1.0, 4.0)])
+        assert values[0] == 4.0
+
+
+class TestGenerator:
+    @pytest.fixture()
+    def table(self, tiny_db):
+        return next(iter(tiny_db.tables.values()))
+
+    def test_generated_udf_runs(self, table):
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            udf, arg_cols = UDFGenerator(table, rng).generate()
+            rows = [
+                tuple(table.column(c).python_value(i) for c in arg_cols)
+                for i in range(20)
+            ]
+            values, trace = udf.evaluate_batch(rows)
+            non_null = [v for v in values if v is not None]
+            assert non_null, "generated UDF returned only NULLs"
+            assert all(isinstance(v, float) for v in non_null)
+            assert trace.get("invocation") == 20
+
+    def test_forced_structure(self, table):
+        rng = np.random.default_rng(1)
+        config = UDFGeneratorConfig(force_branches=2, force_loops=1)
+        udf, _ = UDFGenerator(table, rng, config).generate()
+        assert len(udf.branches) == 2
+        assert len(udf.loops) == 1
+
+    def test_branch_metadata_matches_source(self, table):
+        rng = np.random.default_rng(2)
+        config = UDFGeneratorConfig(force_branches=1, force_loops=0)
+        udf, arg_cols = UDFGenerator(table, rng, config).generate()
+        branch = udf.branches[0]
+        assert branch.arg_index < len(arg_cols)
+        assert f"x{branch.arg_index}" in udf.source
+        assert "if " in udf.source
+
+    def test_op_count_in_declared_range(self, table):
+        rng = np.random.default_rng(3)
+        config = UDFGeneratorConfig(force_ops=50, force_branches=0, force_loops=0)
+        udf, _ = UDFGenerator(table, rng, config).generate()
+        total = sum(udf.op_counts.values())
+        assert 25 <= total <= 120  # approximate budget honoured
+
+    def test_unique_names(self, table):
+        rng = np.random.default_rng(4)
+        gen = UDFGenerator(table, rng)
+        names = {gen.generate()[0].name for _ in range(5)}
+        assert len(names) == 5
+
+    @given(st.integers(0, 3), st.integers(0, 3))
+    @settings(max_examples=10, deadline=None)
+    def test_any_structure_compiles(self, n_branches, n_loops):
+        """Property: every (branches, loops) combination yields a valid UDF."""
+        table = Table.from_dict(
+            "t", {"a": np.arange(50, dtype=np.int64), "b": np.linspace(0, 1, 50)}
+        )
+        rng = np.random.default_rng(n_branches * 7 + n_loops)
+        config = UDFGeneratorConfig(
+            force_branches=n_branches, force_loops=n_loops,
+            loop_iterations_range=(3, 10),
+        )
+        udf, arg_cols = UDFGenerator(table, rng, config).generate()
+        rows = [(int(i), float(i) / 50) for i in range(10)]
+        values, _ = udf.evaluate_batch([r[: len(arg_cols)] for r in rows])
+        assert any(v is not None for v in values)
+
+
+class TestDataPrep:
+    def test_fill_nulls_numeric(self):
+        col = Column("x", DataType.FLOAT, np.array([1.0, 0.0, 3.0]),
+                     np.array([True, False, True]))
+        filled = fill_nulls(col)
+        assert filled.null_count == 0
+        assert filled.values[1] == pytest.approx(2.0)  # mean of 1, 3
+
+    def test_fill_nulls_string_mode(self):
+        col = Column("s", DataType.STRING,
+                     np.array(["a", "a", "", "b"], dtype=object),
+                     np.array([True, True, False, True]))
+        filled = fill_nulls(col)
+        assert filled.values[2] == "a"
+
+    def test_fill_nulls_noop_when_clean(self):
+        col = Column.from_values("x", [1.0, 2.0])
+        assert fill_nulls(col) is col
+
+    def test_prepare_table_targets_only_udf_columns(self, handmade_db):
+        customers = handmade_db.table("customers")
+        prepared = prepare_table(customers, ("score",))
+        assert prepared.column("score").null_count == 0
