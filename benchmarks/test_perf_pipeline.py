@@ -1,0 +1,189 @@
+"""Pipeline throughput benchmark: batching, training, inference.
+
+Measures the vectorized batching pipeline (DESIGN.md §8) against the
+retained reference implementation (:mod:`repro.model._reference`) and
+writes ``BENCH_pipeline.json`` at the repo root:
+
+* ``batching``  — 512-graph ``make_batch``: cold (includes per-graph
+  preparation), warm (prepared-graph cache hit, the steady-state cost
+  inside training/prediction loops), and the reference loops;
+* ``training``  — epochs/sec of the float32 cached-shard loop vs a
+  seed-style loop (reference batching per shard per epoch, float64);
+* ``inference`` — predictions/sec through the batch cache vs reference.
+
+Marked ``perf`` and therefore excluded from the default pytest run
+(see pytest.ini); invoke via ``scripts/bench.sh``.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import encoding as enc
+from repro.core.joint_graph import JointGraph
+from repro.model import (
+    CostGNN,
+    GNNConfig,
+    PreparedGraphCache,
+    TrainConfig,
+    clear_caches,
+    make_batch,
+    predict_runtimes,
+    train_cost_model,
+)
+from repro.model._reference import reference_make_batch
+from repro.nn.loss import log_mse_loss
+from repro.nn.optim import Adam, clip_grad_norm
+
+pytestmark = pytest.mark.perf
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
+
+
+def synthetic_graphs(n_graphs: int, seed: int = 0) -> tuple[list, np.ndarray]:
+    """Random typed DAGs shaped like small joint graphs (15-45 nodes)."""
+    rng = np.random.default_rng(seed)
+    graphs = []
+    types = list(enc.NODE_TYPES)
+    for _ in range(n_graphs):
+        n = int(rng.integers(15, 45))
+        graph = JointGraph()
+        for _ in range(n):
+            gtype = types[int(rng.integers(len(types)))]
+            graph.add_node(gtype, rng.random(enc.FEATURE_DIMS[gtype]))
+        for node in range(1, n):
+            graph.add_edge(int(rng.integers(node)), node)
+        for _ in range(n // 3):
+            a, b = sorted(rng.integers(0, n, size=2).tolist())
+            if a != b:
+                graph.add_edge(a, b)
+        graph.root_id = n - 1
+        graphs.append(graph)
+    return graphs, rng.random(n_graphs) + 0.1
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_pipeline_throughput():
+    results: dict[str, dict] = {}
+
+    # --- batching: 512-graph batch --------------------------------------
+    graphs, targets = synthetic_graphs(512)
+    t_ref = _best_of(lambda: reference_make_batch(graphs, targets), 5)
+    t_cold = _best_of(
+        lambda: make_batch(graphs, targets, cache=PreparedGraphCache()), 5
+    )
+    warm_cache = PreparedGraphCache()
+    make_batch(graphs, targets, cache=warm_cache)
+    t_warm = _best_of(lambda: make_batch(graphs, targets, cache=warm_cache), 20)
+    results["batching"] = {
+        "batch_size": 512,
+        "reference_seconds": t_ref,
+        "cold_seconds": t_cold,
+        "warm_seconds": t_warm,
+        "cold_speedup": t_ref / t_cold,
+        "warm_speedup": t_ref / t_warm,
+        "warm_graphs_per_second": 512 / t_warm,
+        "reference_graphs_per_second": 512 / t_ref,
+    }
+
+    # --- training: epochs/sec -------------------------------------------
+    train_graphs, train_targets = synthetic_graphs(256, seed=1)
+    epochs = 8
+
+    clear_caches()
+    model = CostGNN(GNNConfig(hidden_dim=32))
+    t0 = time.perf_counter()
+    train_cost_model(
+        model, train_graphs, train_targets, TrainConfig(epochs=epochs)
+    )
+    t_train_new = (time.perf_counter() - t0) / epochs
+
+    ref_model = CostGNN(GNNConfig(hidden_dim=32, dtype="float64"))
+    config = TrainConfig(epochs=epochs)
+    rng = np.random.default_rng(config.seed)
+    runtimes = np.asarray(train_targets, dtype=np.float64)
+    optimizer = Adam(
+        ref_model.parameters(), lr=config.lr, weight_decay=config.weight_decay
+    )
+    n = len(train_graphs)
+    ref_model.train()
+    t0 = time.perf_counter()
+    for _ in range(epochs):
+        order = rng.permutation(n)
+        for shard in np.array_split(order, config.shards_per_epoch):
+            batch = reference_make_batch(
+                [train_graphs[i] for i in shard], runtimes[shard]
+            )
+            optimizer.zero_grad()
+            loss = log_mse_loss(
+                ref_model.forward(batch), batch.targets.reshape(-1, 1)
+            )
+            loss.backward()
+            clip_grad_norm(ref_model.parameters(), config.grad_clip)
+            optimizer.step()
+    t_train_ref = (time.perf_counter() - t0) / epochs
+    results["training"] = {
+        "n_graphs": n,
+        "epochs_measured": epochs,
+        "seconds_per_epoch": t_train_new,
+        "reference_seconds_per_epoch": t_train_ref,
+        "epochs_per_second": 1.0 / t_train_new,
+        "reference_epochs_per_second": 1.0 / t_train_ref,
+        "speedup": t_train_ref / t_train_new,
+    }
+
+    # --- inference: predictions/sec -------------------------------------
+    test_graphs, _ = synthetic_graphs(1024, seed=2)
+    model.eval()
+    predict_runtimes(model, test_graphs)  # warm the caches
+    t_inf = _best_of(lambda: predict_runtimes(model, test_graphs), 5)
+
+    def reference_predict():
+        for start in range(0, len(test_graphs), 512):
+            chunk = test_graphs[start : start + 512]
+            batch = reference_make_batch(chunk, np.zeros(len(chunk)))
+            ref_model.predict_runtimes(batch)
+
+    ref_model.eval()
+    t_inf_ref = _best_of(reference_predict, 3)
+    results["inference"] = {
+        "n_graphs": len(test_graphs),
+        "predictions_per_second": len(test_graphs) / t_inf,
+        "reference_predictions_per_second": len(test_graphs) / t_inf_ref,
+        "speedup": t_inf_ref / t_inf,
+    }
+
+    BENCH_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    print()
+    print("=" * 78)
+    print("Pipeline throughput (written to BENCH_pipeline.json)")
+    print("=" * 78)
+    b = results["batching"]
+    print(f"  batching 512 graphs: ref {b['reference_seconds']*1e3:7.2f} ms | "
+          f"cold {b['cold_seconds']*1e3:7.2f} ms ({b['cold_speedup']:.1f}x) | "
+          f"warm {b['warm_seconds']*1e3:7.2f} ms ({b['warm_speedup']:.1f}x)")
+    t = results["training"]
+    print(f"  training {t['n_graphs']} graphs: "
+          f"{t['epochs_per_second']:.2f} epochs/s vs "
+          f"{t['reference_epochs_per_second']:.2f} ({t['speedup']:.1f}x)")
+    i = results["inference"]
+    print(f"  inference: {i['predictions_per_second']:,.0f} preds/s vs "
+          f"{i['reference_predictions_per_second']:,.0f} ({i['speedup']:.1f}x)")
+
+    # Acceptance: steady-state batching of a 512-graph batch >= 10x seed.
+    assert b["warm_speedup"] >= 10.0, (
+        f"warm batching speedup {b['warm_speedup']:.1f}x < 10x"
+    )
+    assert t["speedup"] > 1.0
+    assert i["speedup"] > 1.0

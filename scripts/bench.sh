@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Run the perf benchmarks (excluded from the default pytest run).
+#
+#   scripts/bench.sh                  # pipeline throughput -> BENCH_pipeline.json
+#   scripts/bench.sh benchmarks/...   # any explicit perf-marked selection
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+selection=("benchmarks/test_perf_pipeline.py")
+if [ "$#" -gt 0 ]; then
+    selection=("$@")
+fi
+exec python -m pytest "${selection[@]}" -m perf -q -s

@@ -42,6 +42,7 @@ from repro.eval.samples import (
 from repro.model.baselines import FlatGraphBaseline, GracefulModel, GraphGraphBaseline
 from repro.model.flatvector import FlatVectorUDFModel
 from repro.model.gnn import GNNConfig
+from repro.model.prepared import default_graph_cache
 from repro.model.training import TrainConfig
 from repro.sql.plan import UDFFilter, find_nodes
 from repro.sql.query import UDFPlacement
@@ -49,6 +50,29 @@ from repro.stats import StatisticsCatalog, make_estimator
 from repro.storage.generator import DATASET_NAMES
 
 _RESULT_CACHE_VERSION = "v1"
+
+
+def _atomic_dump(obj, path) -> None:
+    """Pickle to a temp file then rename — a killed run never leaves a
+    truncated cache file behind for later runs to crash on."""
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(tmp, "wb") as fh:
+        pickle.dump(obj, fh)
+    os.replace(tmp, path)
+
+
+def _guarded_load(path):
+    """Unpickle ``path``; on corruption drop the file and return None."""
+    try:
+        with open(path, "rb") as fh:
+            return pickle.load(fh)
+    except (EOFError, pickle.UnpicklingError, OSError, AttributeError):
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
 
 
 # ----------------------------------------------------------------------
@@ -71,10 +95,19 @@ class ExperimentScale:
         from repro.storage.generator import hash_name
 
         datasets = ",".join(self.datasets)
+        # float64 parity runs get their own result caches; the default
+        # (float32) deliberately keeps the historical key so result
+        # pickles computed before the dtype switch AND before the
+        # exact low-cardinality column stats stay hot. Both changes
+        # shift fold metrics only within experiment noise, while
+        # invalidating the caches would force every benchmark run to
+        # recompute hours of default-scale experiments; bump
+        # _RESULT_CACHE_VERSION instead when results must regenerate.
+        dtype_tag = "" if _experiment_dtype() == "float32" else "_f64"
         return (
             f"{_RESULT_CACHE_VERSION}_{hash_name(datasets) % 10**8}_"
             f"{len(self.datasets)}ds_{self.n_queries_per_db}q_{self.n_folds}f_"
-            f"{self.epochs}e_{self.hidden_dim}h_{self.seed}s"
+            f"{self.epochs}e_{self.hidden_dim}h_{self.seed}s{dtype_tag}"
         )
 
 
@@ -125,12 +158,26 @@ class FoldRun:
     test_dataset: str
     predictions: list[PredictionRecord] = field(default_factory=list)
     advisor: list[AdvisorRecord] = field(default_factory=list)
+    #: wall-clock per phase (prepare/train/evaluate/advisor)
     seconds: dict[str, float] = field(default_factory=dict)
+    #: event counters (e.g. prepared-graph cache hits/misses) — kept
+    #: separate from ``seconds`` so that dict stays pure durations
+    cache_stats: dict[str, float] = field(default_factory=dict)
 
 
 # ----------------------------------------------------------------------
+_SAMPLES_CACHE_VERSION = "v2"  # v2: exact low-cardinality column stats
+
+
 class SampleStore:
-    """Per-process cache of benchmarks and prepared samples."""
+    """Cache of benchmarks and prepared samples.
+
+    Prepared samples are memoized in-process AND persisted to disk
+    (keyed by dataset/estimator/placements/config and the scale knobs):
+    sample preparation replays every query fragment through the actual
+    cardinality estimator, which dominates warm-cache experiment wall
+    time, so later runs load the pickled samples instead.
+    """
 
     def __init__(self, scale: ExperimentScale):
         self.scale = scale
@@ -151,6 +198,16 @@ class SampleStore:
             self._catalogs[dataset] = StatisticsCatalog(self.bench(dataset).database)
         return self._catalogs[dataset]
 
+    def _sample_cache_path(self, key: tuple, config) -> "os.PathLike":
+        from repro.storage.generator import hash_name
+
+        token = hash_name(f"{key!r}|{config!r}") % 10**10
+        dataset = key[0]
+        return cache_dir() / (
+            f"samples_{_SAMPLES_CACHE_VERSION}_{dataset}_"
+            f"{self.scale.n_queries_per_db}q_{self.scale.seed}s_{token}.pkl"
+        )
+
     def samples(
         self,
         dataset: str,
@@ -162,24 +219,51 @@ class SampleStore:
     ) -> list[PreparedSample]:
         key = (dataset, estimator, placements, baseline_graphs, tag)
         if key not in self._samples:
-            self._samples[key] = prepare_dataset_samples(
-                self.bench(dataset),
-                estimator_name=estimator,
-                placements=placements,
-                include_baseline_graphs=baseline_graphs,
-                joint_config=config,
-                catalog=self.catalog(dataset),
-            )
+            path = self._sample_cache_path(key, config)
+            cached = None
+            if self.scale.use_cache and path.exists():
+                cached = _guarded_load(path)
+            if cached is not None:
+                self._samples[key] = cached
+            else:
+                self._samples[key] = prepare_dataset_samples(
+                    self.bench(dataset),
+                    estimator_name=estimator,
+                    placements=placements,
+                    include_baseline_graphs=baseline_graphs,
+                    joint_config=config,
+                    catalog=self.catalog(dataset),
+                )
+                if self.scale.use_cache:
+                    _atomic_dump(self._samples[key], path)
         return self._samples[key]
 
 
+def _experiment_dtype() -> str:
+    """REPRO_DTYPE=float32|float64 selects the model precision.
+
+    float32 is the fast default; float64 additionally re-shards every
+    epoch, reproducing the pre-vectorization training trajectory exactly
+    (the parity mode, DESIGN.md §8).
+    """
+    dtype = os.environ.get("REPRO_DTYPE", "float32")
+    if dtype not in ("float32", "float64"):
+        raise ValueError(f"REPRO_DTYPE must be float32 or float64, got {dtype!r}")
+    return dtype
+
+
 def _gnn_config(scale: ExperimentScale) -> GNNConfig:
-    return GNNConfig(hidden_dim=scale.hidden_dim, seed=scale.seed)
+    return GNNConfig(
+        hidden_dim=scale.hidden_dim, seed=scale.seed, dtype=_experiment_dtype()
+    )
 
 
 def _train_config(scale: ExperimentScale) -> TrainConfig:
     return TrainConfig(
-        epochs=scale.epochs, shards_per_epoch=scale.shards_per_epoch, seed=scale.seed
+        epochs=scale.epochs,
+        shards_per_epoch=scale.shards_per_epoch,
+        seed=scale.seed,
+        reshard_each_epoch=_experiment_dtype() == "float64",
     )
 
 
@@ -198,19 +282,30 @@ def run_folds(scale: ExperimentScale | None = None) -> list[FoldRun]:
     scale = scale or scale_from_env()
     path = cache_dir() / f"folds_{scale.key()}.pkl"
     if scale.use_cache and path.exists():
-        with open(path, "rb") as fh:
-            return pickle.load(fh)
+        cached = _guarded_load(path)
+        if cached is not None:
+            for run in cached:
+                # FoldRun pickles written before the cache_stats field
+                # existed deserialize without it — backfill so consumers
+                # of the new field never crash on old caches
+                if not hasattr(run, "cache_stats"):
+                    run.cache_stats = {}
+            return cached
 
     store = SampleStore(scale)
     folds = leave_one_out_folds(scale.datasets, scale.n_folds)
     runs: list[FoldRun] = []
+    graph_cache = default_graph_cache()
     for test_dataset, train_datasets in folds:
+        hits0, misses0 = graph_cache.hits, graph_cache.misses
         run = _run_one_fold(scale, store, test_dataset, train_datasets)
+        # Folds share training datasets, so after the first fold most
+        # topology comes straight from the prepared-graph cache.
+        run.cache_stats["prepared_graph_hits"] = float(graph_cache.hits - hits0)
+        run.cache_stats["prepared_graph_misses"] = float(graph_cache.misses - misses0)
         runs.append(run)
     if scale.use_cache:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        with open(path, "wb") as fh:
-            pickle.dump(runs, fh)
+        _atomic_dump(runs, path)
     return runs
 
 
@@ -484,8 +579,9 @@ def run_select_only(scale: ExperimentScale | None = None) -> dict:
     scale = scale or scale_from_env()
     path = cache_dir() / f"selectonly_{scale.key()}.pkl"
     if scale.use_cache and path.exists():
-        with open(path, "rb") as fh:
-            return pickle.load(fh)
+        cached = _guarded_load(path)
+        if cached is not None:
+            return cached
 
     workload = WorkloadConfig(
         max_joins=0, join_weights=(1.0,), non_udf_fraction=0.0, filter_prob=0.4
@@ -529,9 +625,7 @@ def run_select_only(scale: ExperimentScale | None = None) -> dict:
         results[f"GRACEFUL/{estimator}"] = q_error_summary(graceful_preds, trues)
         results[f"FlatVector/{estimator}"] = q_error_summary(flat_preds, trues)
     if scale.use_cache:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        with open(path, "wb") as fh:
-            pickle.dump(results, fh)
+        _atomic_dump(results, path)
     return results
 
 
@@ -582,8 +676,9 @@ def run_ablation(
         test_dataset = "genome" if "genome" in scale.datasets else scale.datasets[-1]
     path = cache_dir() / f"ablation_{scale.key()}_{test_dataset}.pkl"
     if scale.use_cache and path.exists():
-        with open(path, "rb") as fh:
-            return pickle.load(fh)
+        cached = _guarded_load(path)
+        if cached is not None:
+            return cached
 
     store = SampleStore(scale)
     train_datasets = tuple(d for d in scale.datasets if d != test_dataset)
@@ -609,7 +704,5 @@ def run_ablation(
         trues = np.asarray([s.runtime for s in test_samples])
         results[step] = q_error_summary(preds, trues)
     if scale.use_cache:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        with open(path, "wb") as fh:
-            pickle.dump(results, fh)
+        _atomic_dump(results, path)
     return results

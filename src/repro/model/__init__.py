@@ -5,8 +5,22 @@ from repro.model.baselines import (
     GracefulModel,
     GraphGraphBaseline,
 )
-from repro.model.batching import GraphBatch, compute_levels, make_batch
+from repro.model.batching import (
+    GraphBatch,
+    compute_levels,
+    make_batch,
+    make_batch_prepared,
+)
 from repro.model.flatvector import FLAT_FEATURE_NAMES, FlatVectorUDFModel, flat_features
+from repro.model.prepared import (
+    BatchCache,
+    PreparedGraph,
+    PreparedGraphCache,
+    clear_caches,
+    default_batch_cache,
+    default_graph_cache,
+    prepare_graph,
+)
 from repro.model.gbm import GBMConfig, GBMRegressor
 from repro.model.gnn import CostGNN, GNNConfig
 from repro.model.persistence import load_model, save_model
@@ -19,6 +33,7 @@ from repro.model.training import (
 )
 
 __all__ = [
+    "BatchCache",
     "CostGNN",
     "FLAT_FEATURE_NAMES",
     "FlatGraphBaseline",
@@ -29,14 +44,21 @@ __all__ = [
     "GracefulModel",
     "GraphBatch",
     "GraphGraphBaseline",
+    "PreparedGraph",
+    "PreparedGraphCache",
     "TrainConfig",
     "TrainResult",
+    "clear_caches",
     "compute_levels",
+    "default_batch_cache",
+    "default_graph_cache",
     "evaluate_cost_model",
     "flat_features",
     "load_model",
     "save_model",
     "make_batch",
+    "make_batch_prepared",
     "predict_runtimes",
+    "prepare_graph",
     "train_cost_model",
 ]

@@ -9,17 +9,41 @@ processed as ``max_depth`` vectorized steps:
 * per level: incoming edges grouped by source level (gather from the
   source level's hidden states, scatter-add into this level),
 * per graph: where its root landed, for the readout.
+
+Assembly is pure numpy over :class:`~repro.model.prepared.PreparedGraph`
+arrays (DESIGN.md §8): local positions come from one stable argsort by
+level, (level, type) node groups and (dst level, src level) edge buckets
+from stable argsorts over composite keys, in-degrees from ``np.bincount``.
+There are no per-node or per-edge Python loops — the only loops run over
+levels and groups. The original loop-based implementation is retained in
+:mod:`repro.model._reference` for equivalence tests and benchmarks.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core import encoding as enc
 from repro.core.joint_graph import JointGraph
 from repro.exceptions import ModelError
+from repro.model.prepared import (
+    NUM_TYPES,
+    PreparedGraph,
+    PreparedGraphCache,
+    compute_levels,
+    default_graph_cache,
+    group_bounds,
+)
+
+__all__ = [
+    "GraphBatch",
+    "LevelData",
+    "compute_levels",
+    "make_batch",
+    "make_batch_prepared",
+]
 
 
 @dataclass
@@ -34,7 +58,11 @@ class LevelData:
     #: in-degree per node, clipped to >= 1 (shape (n_nodes, 1))
     indegree: np.ndarray
     #: graph index of each node in the level (n_nodes,)
-    graph_index: np.ndarray = None  # type: ignore[assignment]
+    graph_index: np.ndarray
+    #: row of each node (by local position) inside the batch-level
+    #: type-major encoding (``GraphBatch.type_feats`` concatenated in
+    #: type order); None on reference-built batches
+    encode_rows: np.ndarray | None = None
 
 
 @dataclass
@@ -46,115 +74,211 @@ class GraphBatch:
     roots: list[tuple[int, int]]
     targets: np.ndarray  # (B,) true runtimes in seconds
     n_graphs: int
+    #: root level per graph (B,) — vectorized view of ``roots``
+    root_levels: np.ndarray
+    #: root local position per graph (B,)
+    root_positions: np.ndarray
     meta: list[dict] = field(default_factory=list)
-
-
-def compute_levels(n_nodes: int, edges: list[tuple[int, int]]) -> np.ndarray:
-    """Longest-path-from-source level per node (Kahn's algorithm)."""
-    indeg = np.zeros(n_nodes, dtype=np.int64)
-    succs: dict[int, list[int]] = defaultdict(list)
-    for src, dst in edges:
-        indeg[dst] += 1
-        succs[src].append(dst)
-    level = np.zeros(n_nodes, dtype=np.int64)
-    queue = [i for i in range(n_nodes) if indeg[i] == 0]
-    seen = 0
-    while queue:
-        node = queue.pop()
-        seen += 1
-        for succ in succs.get(node, ()):
-            level[succ] = max(level[succ], level[node] + 1)
-            indeg[succ] -= 1
-            if indeg[succ] == 0:
-                queue.append(succ)
-    if seen != n_nodes:
-        raise ModelError("graph contains a cycle; joint graphs must be DAGs")
-    return level
+    #: type -> features of ALL nodes of that type across levels, in
+    #: (type, level, graph, node) order. Lets the GNN run each per-type
+    #: encoder once per batch instead of once per (level, type); each
+    #: level then gathers its rows via ``LevelData.encode_rows``. None
+    #: on reference-built batches (per-level encoding fallback).
+    type_feats: dict[str, np.ndarray] | None = None
 
 
 def make_batch(
     graphs: list[JointGraph],
     targets: np.ndarray | list[float],
     meta: list[dict] | None = None,
+    *,
+    dtype: np.dtype | str = np.float64,
+    cache: PreparedGraphCache | None = None,
 ) -> GraphBatch:
-    """Merge graphs into one level-indexed batch."""
+    """Merge graphs into one level-indexed batch.
+
+    Per-graph topology is fetched from ``cache`` (the process default
+    when None), so repeated batching of the same graphs only pays for
+    assembly. ``dtype`` selects the precision of the feature and
+    in-degree arrays (DESIGN.md §8 dtype policy).
+    """
     if not graphs:
         raise ModelError("cannot batch zero graphs")
-    # Global ids: (graph_index, node_id) -> (level, local position).
-    level_of: list[np.ndarray] = []
-    for graph in graphs:
-        level_of.append(compute_levels(graph.num_nodes, graph.edges))
-    max_level = int(max(lv.max() if len(lv) else 0 for lv in level_of))
+    cache = cache if cache is not None else default_graph_cache()
+    prepared = cache.get_many(graphs)
+    return make_batch_prepared(prepared, targets, meta, dtype=dtype)
 
-    # Assign local positions per level.
-    position: list[np.ndarray] = []
-    level_sizes = np.zeros(max_level + 1, dtype=np.int64)
-    for gi, graph in enumerate(graphs):
-        pos = np.zeros(graph.num_nodes, dtype=np.int64)
-        for node in range(graph.num_nodes):
-            lv = level_of[gi][node]
-            pos[node] = level_sizes[lv]
-            level_sizes[lv] += 1
-        position.append(pos)
 
-    # Group node features by (level, type); track each node's graph.
-    feats_by: dict[tuple[int, str], list[np.ndarray]] = defaultdict(list)
-    pos_by: dict[tuple[int, str], list[int]] = defaultdict(list)
-    graph_index = [np.zeros(int(size), dtype=np.int64) for size in level_sizes]
-    for gi, graph in enumerate(graphs):
-        for node in range(graph.num_nodes):
-            lv = int(level_of[gi][node])
-            gtype = graph.node_types[node]
-            feats_by[(lv, gtype)].append(graph.features[node])
-            pos_by[(lv, gtype)].append(int(position[gi][node]))
-            graph_index[lv][position[gi][node]] = gi
+def make_batch_prepared(
+    prepared: list[PreparedGraph],
+    targets: np.ndarray | list[float],
+    meta: list[dict] | None = None,
+    *,
+    dtype: np.dtype | str = np.float64,
+) -> GraphBatch:
+    """Assemble a :class:`GraphBatch` from prepared graphs (numpy only)."""
+    if not prepared:
+        raise ModelError("cannot batch zero graphs")
+    dtype = np.dtype(dtype)
+    n_graphs = len(prepared)
+    n_per = np.asarray([p.n_nodes for p in prepared], dtype=np.int64)
+    node_offset = np.zeros(n_graphs + 1, dtype=np.int64)
+    np.cumsum(n_per, out=node_offset[1:])
+    n_total = int(node_offset[-1])
 
-    # Group edges by (dst level, src level).
-    edges_by: dict[tuple[int, int], tuple[list[int], list[int]]] = defaultdict(
-        lambda: ([], [])
+    node_meta = (
+        np.concatenate([p.node_meta for p in prepared], axis=0)
+        if n_total
+        else np.zeros((0, 5), dtype=np.int64)
     )
-    indegree = [np.zeros(int(size), dtype=np.float64) for size in level_sizes]
-    for gi, graph in enumerate(graphs):
-        for src, dst in graph.edges:
-            src_lv, dst_lv = int(level_of[gi][src]), int(level_of[gi][dst])
-            src_list, dst_list = edges_by[(dst_lv, src_lv)]
-            src_list.append(int(position[gi][src]))
-            dst_list.append(int(position[gi][dst]))
-            indegree[dst_lv][position[gi][dst]] += 1.0
+    levels_cat = node_meta[:, 0]
+    type_cat = node_meta[:, 1]
+    graph_idx = np.repeat(np.arange(n_graphs, dtype=np.int64), n_per)
+    max_level = max(p.max_level for p in prepared)
 
-    levels: list[LevelData] = []
-    for lv in range(max_level + 1):
-        type_groups = {
-            gtype: (
-                np.vstack(feats_by[(l, gtype)]),
-                np.asarray(pos_by[(l, gtype)], dtype=np.int64),
+    # Local positions per level: each node's prepared rank within its
+    # own (graph, level) group plus the cumulative size of that level in
+    # earlier graphs — identical to the order the reference
+    # implementation assigns by (graph, node-id) iteration, without
+    # re-sorting the batch.
+    per_graph_level_counts = np.zeros((n_graphs, max_level + 1), dtype=np.int64)
+    for gi, p in enumerate(prepared):
+        per_graph_level_counts[gi, : p.level_counts.size] = p.level_counts
+    level_base = np.zeros_like(per_graph_level_counts)
+    np.cumsum(per_graph_level_counts[:-1], axis=0, out=level_base[1:])
+    position = node_meta[:, 3] + level_base[graph_idx, levels_cat]
+    level_sizes = per_graph_level_counts.sum(axis=0)
+    level_starts = np.zeros(max_level + 2, dtype=np.int64)
+    np.cumsum(level_sizes, out=level_starts[1:])
+    #: batch-global slot of each node: level block start + local position
+    slot = level_starts[levels_cat] + position
+    graph_index_flat = np.empty(n_total, dtype=np.int64)
+    graph_index_flat[slot] = graph_idx
+    graph_index_by_level = np.split(graph_index_flat, level_starts[1:-1])
+
+    # Per-type feature sources. When every graph comes from the same
+    # prepare call (the common case: one joint preparation of the
+    # training/prediction set), its per-type matrices are slices of one
+    # shared base and each node already knows its base row — groups
+    # gather straight from the shared matrices, a single copy per group
+    # and no batch-level concatenation. Mixed provenance falls back to
+    # concatenating per-graph matrices.
+    token = prepared[0].base_token
+    if all(p.base_token == token for p in prepared):
+        feature_mat = prepared[0].base_matrices
+        global_row = node_meta[:, 4]
+    else:
+        mats_by_code: dict[int, list[tuple[int, np.ndarray]]] = {}
+        for gi, p in enumerate(prepared):
+            for code, mat in p.features_by_type.items():
+                mats_by_code.setdefault(code, []).append((gi, mat))
+        start_arr = np.zeros((n_graphs, NUM_TYPES), dtype=np.int64)
+        feature_mat = {}
+        for code, entries in mats_by_code.items():
+            offset = 0
+            for gi, m in entries:
+                start_arr[gi, code] = offset
+                offset += m.shape[0]
+            feature_mat[code] = (
+                entries[0][1]
+                if len(entries) == 1
+                else np.concatenate([m for _, m in entries], axis=0)
             )
-            for (l, gtype) in feats_by
-            if l == lv
-        }
-        edge_groups = [
-            (src_lv, np.asarray(srcs, dtype=np.int64), np.asarray(dsts, dtype=np.int64))
-            for (dst_lv, src_lv), (srcs, dsts) in edges_by.items()
-            if dst_lv == lv
-        ]
-        levels.append(
-            LevelData(
-                n_nodes=int(level_sizes[lv]),
-                type_groups=type_groups,
-                edge_groups=edge_groups,
-                indegree=np.maximum(indegree[lv], 1.0).reshape(-1, 1),
-                graph_index=graph_index[lv],
+        global_row = node_meta[:, 2] + start_arr[graph_idx, type_cat]
+
+    # Type-major node groups via one stable sort over a composite
+    # (type, level) key; group boundaries by diffing the sorted keys
+    # (already sorted, so np.unique's extra sort would be wasted).
+    # Type-major order means each type's features across ALL levels are
+    # one contiguous block — gathered once per type for the batch-level
+    # encoders — and every (level, type) group is a view slice of it.
+    type_key = type_cat * np.int64(max_level + 1) + levels_cat
+    t_order = np.argsort(type_key, kind="stable")
+    sorted_keys = type_key[t_order]
+    t_keys, t_bounds = group_bounds(sorted_keys)
+    pos_by_group = position[t_order]
+    row_by_group = global_row[t_order]
+    # row of each node inside the type-major concatenation, scattered
+    # into its (level, position) slot for the per-level encode gathers
+    rank_type_major = np.empty(n_total, dtype=np.int64)
+    rank_type_major[t_order] = np.arange(n_total, dtype=np.int64)
+    encode_rows_flat = np.empty(n_total, dtype=np.int64)
+    encode_rows_flat[slot] = rank_type_major
+    encode_rows_by_level = np.split(encode_rows_flat, level_starts[1:-1])
+
+    type_feats: dict[str, np.ndarray] = {}
+    type_groups_by_level: dict[int, dict[str, tuple[np.ndarray, np.ndarray]]] = {}
+    prev_code = -1
+    block_start = 0
+    for key, start, stop in zip(t_keys, t_bounds[:-1], t_bounds[1:]):
+        code, lv = divmod(int(key), max_level + 1)
+        if code != prev_code:
+            # all rows of this type across levels: one gather per type
+            type_stop = int(
+                np.searchsorted(sorted_keys, (code + 1) * (max_level + 1))
             )
+            type_feats[enc.NODE_TYPES[code]] = feature_mat[code][
+                row_by_group[start:type_stop]
+            ].astype(dtype, copy=False)
+            prev_code = code
+            block_start = start
+        type_groups_by_level.setdefault(lv, {})[enc.NODE_TYPES[code]] = (
+            type_feats[enc.NODE_TYPES[code]][start - block_start : stop - block_start],
+            pos_by_group[start:stop],
         )
 
-    roots = [
-        (int(level_of[gi][graph.root_id]), int(position[gi][graph.root_id]))
-        for gi, graph in enumerate(graphs)
+    # Edge buckets by (dst level, src level) + per-node in-degrees.
+    e_per = np.asarray([p.edge_meta.shape[0] for p in prepared], dtype=np.int64)
+    n_edges = int(e_per.sum())
+    edge_groups_by_level: dict[int, list[tuple[int, np.ndarray, np.ndarray]]] = {}
+    indegree_flat = np.zeros(n_total, dtype=np.float64)
+    if n_edges:
+        shift = np.repeat(node_offset[:-1], e_per)
+        edge_meta = np.concatenate([p.edge_meta for p in prepared], axis=0)
+        src_g = edge_meta[:, 0] + shift
+        dst_g = edge_meta[:, 1] + shift
+        # scatter in-degrees straight into level-block slots
+        indegree_flat += np.bincount(
+            slot[dst_g], minlength=n_total
+        )
+        edge_key = edge_meta[:, 3] * np.int64(max_level + 1) + edge_meta[:, 2]
+        e_order = np.argsort(edge_key, kind="stable")
+        e_keys, e_bounds = group_bounds(edge_key[e_order])
+        src_pos = position[src_g[e_order]]
+        dst_pos = position[dst_g[e_order]]
+        for key, start, stop in zip(e_keys, e_bounds[:-1], e_bounds[1:]):
+            dst_lv, src_lv = divmod(int(key), max_level + 1)
+            edge_groups_by_level.setdefault(dst_lv, []).append(
+                (src_lv, src_pos[start:stop], dst_pos[start:stop])
+            )
+    indegree_by_level = np.split(indegree_flat, level_starts[1:-1])
+
+    levels = [
+        LevelData(
+            n_nodes=int(level_sizes[lv]),
+            type_groups=type_groups_by_level.get(lv, {}),
+            edge_groups=edge_groups_by_level.get(lv, []),
+            indegree=np.maximum(indegree_by_level[lv], 1.0)
+            .reshape(-1, 1)
+            .astype(dtype, copy=False),
+            graph_index=graph_index_by_level[lv],
+            encode_rows=encode_rows_by_level[lv],
+        )
+        for lv in range(max_level + 1)
     ]
+
+    root_global = node_offset[:-1] + np.asarray(
+        [p.root_id for p in prepared], dtype=np.int64
+    )
+    root_levels = np.asarray([p.root_level for p in prepared], dtype=np.int64)
+    root_positions = position[root_global]
     return GraphBatch(
         levels=levels,
-        roots=roots,
+        roots=list(zip(root_levels.tolist(), root_positions.tolist())),
         targets=np.asarray(targets, dtype=np.float64),
-        n_graphs=len(graphs),
-        meta=meta or [{} for _ in graphs],
+        n_graphs=n_graphs,
+        root_levels=root_levels,
+        root_positions=root_positions,
+        meta=meta or [{} for _ in prepared],
+        type_feats=type_feats,
     )

@@ -12,6 +12,11 @@ the zero-shot cost model [11]):
 3. *readout*: the root node's state (the plan's top operator, which has
    aggregated the whole query and UDF) feeds a regression MLP that
    predicts log(runtime).
+
+The model computes in ``GNNConfig.dtype`` — float32 by default, float64
+as the opt-in parity mode (DESIGN.md §8). Batches prepared with the
+matching dtype flow through without copies; mismatched batches are cast
+on entry.
 """
 
 from __future__ import annotations
@@ -48,6 +53,10 @@ class GNNConfig:
     per_type_updates: bool = False
     node_types: tuple[str, ...] = field(default_factory=lambda: NODE_TYPES)
     seed: int = 0
+    #: compute precision: "float32" (default, fast) or "float64"
+    #: (parity mode for equivalence checks against the reference
+    #: pipeline). Initialization draws the same rng stream either way.
+    dtype: str = "float32"
 
 
 class CostGNN(Module):
@@ -57,6 +66,7 @@ class CostGNN(Module):
         super().__init__()
         self.config = config or GNNConfig()
         cfg = self.config
+        dtype = np.dtype(cfg.dtype)
         rng = np.random.default_rng(cfg.seed)
         self.encoders: dict[str, MLP] = {}
         for gtype in cfg.node_types:
@@ -66,6 +76,7 @@ class CostGNN(Module):
                 cfg.hidden_dim,
                 dropout_p=cfg.dropout,
                 rng=rng,
+                dtype=dtype,
             )
             self.add_module(f"enc_{gtype}", encoder)
             self.encoders[gtype] = encoder
@@ -75,7 +86,7 @@ class CostGNN(Module):
             for gtype in cfg.node_types:
                 update = MLP(
                     update_in, list(cfg.update_hidden), cfg.hidden_dim,
-                    dropout_p=cfg.dropout, rng=rng,
+                    dropout_p=cfg.dropout, rng=rng, dtype=dtype,
                 )
                 self.add_module(f"upd_{gtype}", update)
                 self.updates[gtype] = update
@@ -83,23 +94,53 @@ class CostGNN(Module):
         else:
             self.shared_update = MLP(
                 update_in, list(cfg.update_hidden), cfg.hidden_dim,
-                dropout_p=cfg.dropout, rng=rng,
+                dropout_p=cfg.dropout, rng=rng, dtype=dtype,
             )
             self.add_module("upd_shared", self.shared_update)
             self.updates = {}
         head_in = cfg.hidden_dim * (2 if cfg.sum_pool_readout else 1)
         self.head = MLP(
-            head_in, list(cfg.head_hidden), 1, dropout_p=cfg.dropout, rng=rng
+            head_in, list(cfg.head_hidden), 1, dropout_p=cfg.dropout, rng=rng,
+            dtype=dtype,
         )
         self.add_module("head", self.head)
 
     # ------------------------------------------------------------------
-    def _encode_level(self, level) -> Tensor:
-        """Per-type encoders scattered into a (n_nodes, hidden) tensor."""
+    @property
+    def dtype(self) -> np.dtype:
+        return np.dtype(self.config.dtype)
+
+    # ------------------------------------------------------------------
+    def _encode_batch(self, batch: GraphBatch) -> Tensor | None:
+        """Run every per-type encoder once over the whole batch.
+
+        Returns the type-major concatenation of encodings; per level the
+        forward pass gathers its rows via ``LevelData.encode_rows``.
+        None when the batch carries no type-major layout (reference
+        batches), falling back to per-level encoding.
+        """
+        if batch.type_feats is None:
+            return None
+        dtype = self.dtype
+        parts = [
+            self.encoders[gtype](Tensor(features.astype(dtype, copy=False)))
+            for gtype, features in batch.type_feats.items()
+        ]
+        return parts[0] if len(parts) == 1 else concat(parts, axis=0)
+
+    def _encode_level(self, level, encoded_all: Tensor | None) -> Tensor:
+        """This level's (n_nodes, hidden) encodings."""
+        if encoded_all is not None:
+            return gather_rows(encoded_all, level.encode_rows)
+        dtype = self.dtype
         parts = []
         for gtype, (features, positions) in level.type_groups.items():
-            encoded = self.encoders[gtype](Tensor(features))
-            parts.append(scatter_add(encoded, positions, level.n_nodes))
+            encoded = self.encoders[gtype](
+                Tensor(features.astype(dtype, copy=False))
+            )
+            # positions within one type group are distinct by
+            # construction, so the scatter is a plain assignment
+            parts.append(scatter_add(encoded, positions, level.n_nodes, unique=True))
         out = parts[0]
         for part in parts[1:]:
             out = out + part
@@ -113,7 +154,7 @@ class CostGNN(Module):
         for gtype, (_, positions) in level.type_groups.items():
             rows = gather_rows(combined, positions)
             updated = self.updates[gtype](rows)
-            parts.append(scatter_add(updated, positions, level.n_nodes))
+            parts.append(scatter_add(updated, positions, level.n_nodes, unique=True))
         out = parts[0]
         for part in parts[1:]:
             out = out + part
@@ -121,12 +162,16 @@ class CostGNN(Module):
 
     def forward(self, batch: GraphBatch) -> Tensor:
         """Predicted log(runtime), shape (n_graphs,)."""
+        dtype = self.dtype
+        encoded_all = self._encode_batch(batch)
         level_states: list[Tensor] = []
         for lv, level in enumerate(batch.levels):
             if level.n_nodes == 0:
-                level_states.append(Tensor(np.zeros((0, self.config.hidden_dim))))
+                level_states.append(
+                    Tensor(np.zeros((0, self.config.hidden_dim), dtype=dtype))
+                )
                 continue
-            self_enc = self._encode_level(level)
+            self_enc = self._encode_level(level, encoded_all)
             if lv == 0 or not level.edge_groups:
                 level_states.append(self_enc)
                 continue
@@ -137,23 +182,26 @@ class CostGNN(Module):
             agg_sum = agg_parts[0]
             for part in agg_parts[1:]:
                 agg_sum = agg_sum + part
-            agg_mean = agg_sum * Tensor(1.0 / level.indegree)
+            inv_indegree = (1.0 / level.indegree).astype(dtype, copy=False)
+            agg_mean = agg_sum * Tensor(inv_indegree)
             if self.config.sum_aggregation:
                 combined = concat([self_enc, agg_sum, agg_mean], axis=-1)
             else:
                 combined = concat([self_enc, agg_mean], axis=-1)
             level_states.append(self._update_level(level, combined))
 
-        # Readout: gather each graph's root state.
-        roots_by_level: dict[int, tuple[list[int], list[int]]] = {}
-        for graph_index, (lv, pos) in enumerate(batch.roots):
-            roots_by_level.setdefault(lv, ([], []))[0].append(pos)
-            roots_by_level[lv][1].append(graph_index)
+        # Readout: gather each graph's root state, grouped by root level.
+        root_order = np.argsort(batch.root_levels, kind="stable")
+        root_lvs, first = np.unique(batch.root_levels[root_order], return_index=True)
+        bounds = np.append(first, len(root_order))
         parts = []
-        for lv, (positions, graph_indices) in roots_by_level.items():
-            rows = gather_rows(level_states[lv], np.asarray(positions))
+        for lv, start, stop in zip(root_lvs, bounds[:-1], bounds[1:]):
+            graph_indices = root_order[start:stop]
+            rows = gather_rows(
+                level_states[int(lv)], batch.root_positions[graph_indices]
+            )
             parts.append(
-                scatter_add(rows, np.asarray(graph_indices), batch.n_graphs)
+                scatter_add(rows, graph_indices, batch.n_graphs, unique=True)
             )
         pooled = parts[0]
         for part in parts[1:]:
@@ -178,7 +226,7 @@ class CostGNN(Module):
         """Runtimes in seconds (eval mode, no tape)."""
         was_training = self.training
         self.eval()
-        log_pred = self.forward(batch).data.reshape(-1)
+        log_pred = self.forward(batch).data.reshape(-1).astype(np.float64)
         if was_training:
             self.train()
         return np.exp(log_pred)

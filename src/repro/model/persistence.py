@@ -43,6 +43,9 @@ def load_model(path: str | Path) -> CostGNN:
         if _CONFIG_KEY not in archive:
             raise ModelError(f"{path} is not a saved CostGNN (missing config)")
         config_raw = json.loads(bytes(archive[_CONFIG_KEY].tobytes()).decode())
+        # archives written before the dtype-configurable engine carry
+        # float64 weights and no dtype entry — don't downcast them
+        config_raw.setdefault("dtype", "float64")
         config_raw["node_types"] = tuple(config_raw["node_types"])
         for key in ("encoder_hidden", "update_hidden", "head_hidden"):
             config_raw[key] = tuple(config_raw[key])

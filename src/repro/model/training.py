@@ -1,4 +1,13 @@
-"""Training loop for graph-based cost models."""
+"""Training loop for graph-based cost models.
+
+The loop never rebuilds topology: graphs are prepared once through the
+process-wide :class:`~repro.model.prepared.PreparedGraphCache`, shards
+are assembled into batches up front, and epochs only shuffle index
+arrays over the cached shard batches (DESIGN.md §8). The pre-refactor
+behavior — a fresh random partition every epoch — remains available as
+``TrainConfig.reshard_each_epoch`` and is the parity mode used by the
+equivalence tests (together with ``GNNConfig(dtype="float64")``).
+"""
 
 from __future__ import annotations
 
@@ -8,8 +17,13 @@ import numpy as np
 
 from repro.core.joint_graph import JointGraph
 from repro.eval.metrics import q_error_summary
-from repro.model.batching import make_batch
+from repro.model.batching import make_batch, make_batch_prepared
 from repro.model.gnn import CostGNN
+from repro.model.prepared import (
+    default_batch_cache,
+    default_graph_cache,
+    prepare_graphs,
+)
 from repro.nn.loss import log_mse_loss
 from repro.nn.optim import Adam, clip_grad_norm
 
@@ -27,6 +41,14 @@ class TrainConfig:
     verbose: bool = False
     #: early-stopping patience on training loss plateaus (epochs); 0 = off.
     patience: int = 0
+    #: draw a fresh random partition every epoch instead of shuffling the
+    #: order of fixed, pre-assembled shard batches. Slower (one batch
+    #: assembly per shard per epoch) but reproduces the reference
+    #: training trajectory exactly — the float64 parity mode. Exact
+    #: parity assumes dropout == 0 (the default): with dropout active
+    #: the batch-level encoders consume the rng in a different order
+    #: than the reference's per-level encoder calls.
+    reshard_each_epoch: bool = False
 
 
 @dataclass
@@ -46,29 +68,56 @@ def train_cost_model(
     config = config or TrainConfig()
     rng = np.random.default_rng(config.seed)
     runtimes = np.asarray(runtimes, dtype=np.float64)
-    optimizer = Adam(
-        model.parameters(), lr=config.lr, weight_decay=config.weight_decay
-    )
+    params = model.parameters()
+    optimizer = Adam(params, lr=config.lr, weight_decay=config.weight_decay)
+    dtype = getattr(model, "dtype", np.dtype(np.float64))
     n = len(graphs)
     n_shards = max(1, min(config.shards_per_epoch, n))
+    graph_cache = default_graph_cache()
+    prepared = graph_cache.get_many(graphs)
+
+    shard_sizes: list[int] = []
+    shard_batches = []
+    if not config.reshard_each_epoch:
+        base_order = rng.permutation(n)
+        for shard in np.array_split(base_order, n_shards):
+            if len(shard) == 0:
+                continue
+            shard_sizes.append(len(shard))
+            shard_batches.append(
+                make_batch_prepared(
+                    [prepared[i] for i in shard], runtimes[shard], dtype=dtype
+                )
+            )
+
     losses: list[float] = []
     best = float("inf")
     stall = 0
     model.train()
     for epoch in range(config.epochs):
-        order = rng.permutation(n)
+        if config.reshard_each_epoch:
+            order = rng.permutation(n)
+            epoch_shards = [s for s in np.array_split(order, n_shards) if len(s)]
+            epoch_batches = [
+                make_batch_prepared(
+                    [prepared[i] for i in s], runtimes[s], dtype=dtype
+                )
+                for s in epoch_shards
+            ]
+            epoch_sizes = [len(s) for s in epoch_shards]
+        else:
+            shard_order = rng.permutation(len(shard_batches))
+            epoch_batches = [shard_batches[i] for i in shard_order]
+            epoch_sizes = [shard_sizes[i] for i in shard_order]
         epoch_loss = 0.0
-        for shard in np.array_split(order, n_shards):
-            if len(shard) == 0:
-                continue
-            batch = make_batch([graphs[i] for i in shard], runtimes[shard])
+        for batch, size in zip(epoch_batches, epoch_sizes):
             optimizer.zero_grad()
             prediction = model.forward(batch)
             loss = log_mse_loss(prediction, batch.targets.reshape(-1, 1))
             loss.backward()
-            clip_grad_norm(model.parameters(), config.grad_clip)
+            clip_grad_norm(params, config.grad_clip)
             optimizer.step()
-            epoch_loss += loss.item() * len(shard)
+            epoch_loss += loss.item() * size
         epoch_loss /= n
         losses.append(epoch_loss)
         if config.verbose and (epoch % 10 == 0 or epoch == config.epochs - 1):
@@ -98,10 +147,31 @@ def evaluate_cost_model(
 def predict_runtimes(
     model: CostGNN, graphs: list[JointGraph], batch_size: int = 512
 ) -> np.ndarray:
-    """Predicted runtimes (seconds) for a list of graphs."""
+    """Predicted runtimes (seconds) for a list of graphs.
+
+    Assembled inference batches are memoized in the process-wide
+    :class:`~repro.model.prepared.BatchCache`: predicting the same chunk
+    of graphs again (e.g. several models evaluating one test set) skips
+    batching entirely. Tiny chunks are not cached — the advisor costs a
+    ~6-graph selectivity grid of freshly built graphs per decision, so
+    their identity keys never repeat and caching would only evict the
+    fold loop's reusable topology. Test sets (20+ graphs even at quick
+    scale) stay above the threshold and remain cached.
+    """
+    dtype = getattr(model, "dtype", np.dtype(np.float64))
+    batch_cache = default_batch_cache()
     predictions = np.empty(len(graphs), dtype=np.float64)
     for start in range(0, len(graphs), batch_size):
         chunk = graphs[start : start + batch_size]
-        batch = make_batch(chunk, np.zeros(len(chunk)))
+        if len(chunk) < 16:
+            batch = make_batch_prepared(
+                prepare_graphs(chunk), np.zeros(len(chunk)), dtype=dtype
+            )
+        else:
+            key = (tuple(id(g) for g in chunk), dtype.str)
+            batch = batch_cache.get(key)
+            if batch is None:
+                batch = make_batch(chunk, np.zeros(len(chunk)), dtype=dtype)
+                batch_cache.put(key, batch, pins=tuple(chunk))
         predictions[start : start + len(chunk)] = model.predict_runtimes(batch)
     return predictions

@@ -76,21 +76,28 @@ class Module:
         if missing:
             raise KeyError(f"state dict missing parameters: {sorted(missing)}")
         for name, param in own.items():
-            param.data = np.asarray(state[name], dtype=np.float64).reshape(param.shape)
+            param.data = np.asarray(state[name], dtype=param.data.dtype).reshape(
+                param.shape
+            )
 
 
 class Linear(Module):
-    """Affine layer with Kaiming-uniform initialization."""
+    """Affine layer with Kaiming-uniform initialization.
+
+    ``dtype`` selects the parameter precision (DESIGN.md §8): the same
+    rng draws are made regardless of dtype, so a float32 model is the
+    rounded image of its float64 parity twin.
+    """
 
     def __init__(self, in_features: int, out_features: int,
-                 rng: np.random.Generator | None = None):
+                 rng: np.random.Generator | None = None,
+                 dtype: np.dtype | str = np.float64):
         super().__init__()
         rng = rng or np.random.default_rng(0)
         bound = np.sqrt(6.0 / in_features)
-        self.weight = self.register(
-            "weight", Tensor(rng.uniform(-bound, bound, size=(in_features, out_features)))
-        )
-        self.bias = self.register("bias", Tensor(np.zeros(out_features)))
+        weight = rng.uniform(-bound, bound, size=(in_features, out_features))
+        self.weight = self.register("weight", Tensor(weight, dtype=dtype))
+        self.bias = self.register("bias", Tensor(np.zeros(out_features), dtype=dtype))
 
     def __call__(self, x: Tensor) -> Tensor:
         return add(matmul(x, self.weight), self.bias)
@@ -99,10 +106,11 @@ class Linear(Module):
 class LayerNorm(Module):
     """Layer normalization over the last axis."""
 
-    def __init__(self, dim: int, eps: float = 1e-5):
+    def __init__(self, dim: int, eps: float = 1e-5,
+                 dtype: np.dtype | str = np.float64):
         super().__init__()
-        self.gamma = self.register("gamma", Tensor(np.ones(dim)))
-        self.beta = self.register("beta", Tensor(np.zeros(dim)))
+        self.gamma = self.register("gamma", Tensor(np.ones(dim), dtype=dtype))
+        self.beta = self.register("beta", Tensor(np.zeros(dim), dtype=dtype))
         self.eps = eps
 
     def __call__(self, x: Tensor) -> Tensor:
@@ -125,6 +133,7 @@ class MLP(Module):
         layer_norm: bool = False,
         dropout_p: float = 0.0,
         rng: np.random.Generator | None = None,
+        dtype: np.dtype | str = np.float64,
     ):
         super().__init__()
         rng = rng or np.random.default_rng(0)
@@ -135,11 +144,11 @@ class MLP(Module):
         self.layers: list[Linear] = []
         self.norms: list[LayerNorm | None] = []
         for i, (d_in, d_out) in enumerate(zip(dims[:-1], dims[1:])):
-            layer = Linear(d_in, d_out, rng)
+            layer = Linear(d_in, d_out, rng, dtype=dtype)
             self.add_module(f"linear{i}", layer)
             self.layers.append(layer)
             if layer_norm and i < len(dims) - 2:
-                norm = LayerNorm(d_out)
+                norm = LayerNorm(d_out, dtype=dtype)
                 self.add_module(f"norm{i}", norm)
                 self.norms.append(norm)
             else:

@@ -20,9 +20,14 @@ def mse_loss(pred: Tensor, target: Tensor) -> Tensor:
 
 
 def log_mse_loss(pred_log: Tensor, true_runtime: np.ndarray) -> Tensor:
-    """MSE between predicted log-runtimes and log of true runtimes."""
-    target = Tensor(np.log(np.maximum(np.asarray(true_runtime), 1e-9)))
-    return mse_loss(pred_log, target)
+    """MSE between predicted log-runtimes and log of true runtimes.
+
+    The target adopts the prediction's dtype so a float32 model trains
+    entirely in float32 (DESIGN.md §8) instead of silently promoting the
+    whole backward pass to float64.
+    """
+    target = np.log(np.maximum(np.asarray(true_runtime), 1e-9))
+    return mse_loss(pred_log, Tensor(target.astype(pred_log.data.dtype, copy=False)))
 
 
 def huber_loss(pred: Tensor, target: Tensor, delta: float = 1.0) -> Tensor:
@@ -36,8 +41,8 @@ def huber_loss(pred: Tensor, target: Tensor, delta: float = 1.0) -> Tensor:
     # |x| via sign multiplication keeps the graph differentiable a.e.
     sign = Tensor(np.sign(diff))
     linear = residual * sign * delta - (0.5 * delta * delta)
-    mask = Tensor(quad.astype(np.float64))
-    inv_mask = Tensor(1.0 - quad.astype(np.float64))
+    mask = Tensor(quad.astype(diff.dtype))
+    inv_mask = Tensor(1.0 - quad.astype(diff.dtype))
     return mean(squared * mask + linear * inv_mask)
 
 

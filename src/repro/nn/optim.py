@@ -1,4 +1,12 @@
-"""Optimizers: Adam and SGD, with gradient clipping."""
+"""Optimizers: Adam and SGD, with gradient clipping.
+
+All update rules run in place: moment buffers and the per-parameter
+scratch arrays are allocated once at construction, so a training step
+performs no per-step allocations beyond what numpy needs internally.
+``p.grad is None`` marks parameters no gradient flowed into this step —
+those are skipped, matching the reference behavior for e.g. node-type
+encoders that never appeared in a shard.
+"""
 
 from __future__ import annotations
 
@@ -50,29 +58,43 @@ class Adam(Optimizer):
         self.weight_decay = weight_decay
         self._m = [np.zeros_like(p.data) for p in self.params]
         self._v = [np.zeros_like(p.data) for p in self.params]
+        # scratch pair reused for m_hat / v_hat (and decayed gradients)
+        self._s1 = [np.empty_like(p.data) for p in self.params]
+        self._s2 = [np.empty_like(p.data) for p in self.params]
         self._t = 0
 
     def step(self) -> None:
         self._t += 1
         bias1 = 1.0 - self.beta1**self._t
         bias2 = 1.0 - self.beta2**self._t
-        for p, m, v in zip(self.params, self._m, self._v):
+        for p, m, v, s1, s2 in zip(self.params, self._m, self._v, self._s1, self._s2):
             if p.grad is None:
                 continue
             grad = p.grad
             if self.weight_decay:
-                grad = grad + self.weight_decay * p.data
+                np.multiply(p.data, self.weight_decay, out=s1)
+                s1 += grad
+                grad = s1
+            np.multiply(grad, 1.0 - self.beta1, out=s2)
             m *= self.beta1
-            m += (1.0 - self.beta1) * grad
+            m += s2
+            np.multiply(grad, 1.0 - self.beta2, out=s2)
+            s2 *= grad
             v *= self.beta2
-            v += (1.0 - self.beta2) * grad * grad
-            m_hat = m / bias1
-            v_hat = v / bias2
-            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            v += s2
+            # p -= (lr * m_hat) / (sqrt(v_hat) + eps), evaluated with the
+            # same association as the out-of-place reference formula
+            np.divide(v, bias2, out=s2)
+            np.sqrt(s2, out=s2)
+            s2 += self.eps
+            np.divide(m, bias1, out=s1)
+            s1 *= self.lr
+            s1 /= s2
+            p.data -= s1
 
 
 def clip_grad_norm(params: list[Tensor], max_norm: float) -> float:
-    """Scale gradients so their global L2 norm is at most ``max_norm``."""
+    """Scale gradients in place so their global L2 norm is at most ``max_norm``."""
     total = 0.0
     for p in params:
         if p.grad is not None:

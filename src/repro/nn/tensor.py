@@ -7,6 +7,20 @@ gather/scatter-add pair that implements message passing over graphs.
 
 Gradients are accumulated into ``.grad`` by :meth:`Tensor.backward`, which
 runs a topological sweep over the recorded tape.
+
+Dtype policy (DESIGN.md §8): the engine is dtype-polymorphic. A tensor
+built from a floating-point array keeps that array's dtype; anything else
+is cast to the engine default (:func:`set_default_dtype`, float64 out of
+the box so numerical gradient checks stay exact). Scalar operands adopt
+the tensor's dtype, so a float32 model never silently promotes to
+float64 mid-graph. Training runs float32 by default (``GNNConfig.dtype``)
+with float64 available as the parity mode.
+
+Backward-pass allocation policy: leaf gradients accumulate in place into
+preallocated ``.grad`` buffers (see :meth:`Optimizer.zero_grad`), and the
+scratch arrays used for scatter gradients are recycled across sweeps
+through a shape-keyed buffer pool — iteration N+1 reuses iteration N's
+buffers instead of hitting the allocator.
 """
 
 from __future__ import annotations
@@ -15,11 +29,80 @@ from typing import Callable, Iterable
 
 import numpy as np
 
+_DEFAULT_DTYPE = np.dtype(np.float64)
+_FLOAT_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+
+def set_default_dtype(dtype: np.dtype | str) -> None:
+    """Set the dtype used when tensor inputs are not already float arrays."""
+    global _DEFAULT_DTYPE
+    dtype = np.dtype(dtype)
+    if dtype not in _FLOAT_DTYPES:
+        raise ValueError(f"unsupported tensor dtype {dtype}")
+    _DEFAULT_DTYPE = dtype
+
+
+def get_default_dtype() -> np.dtype:
+    return _DEFAULT_DTYPE
+
+
+class _GradBufferPool:
+    """Recycles backward-pass scratch arrays across sweeps.
+
+    Buffers are lent out for the duration of one ``backward()`` sweep
+    (nothing produced inside a sweep outlives it: leaf grads are copied
+    into their own ``.grad`` buffers) and returned wholesale at the end,
+    so the next sweep — typically identical shapes — allocates nothing.
+    """
+
+    #: retention caps: shapes churn when batches vary (e.g. parity-mode
+    #: resharding draws new partitions every epoch), so the free list is
+    #: bounded per shape and overall instead of growing for process life
+    MAX_PER_KEY = 4
+    MAX_KEYS = 128
+
+    def __init__(self) -> None:
+        self._free: dict[tuple, list[np.ndarray]] = {}
+        self._lent: list[tuple[tuple, np.ndarray]] = []
+        self.active = False
+
+    def zeros(self, shape: tuple[int, ...], dtype: np.dtype) -> np.ndarray:
+        if not self.active:
+            return np.zeros(shape, dtype=dtype)
+        key = (shape, dtype)
+        stack = self._free.get(key)
+        if stack:
+            buf = stack.pop()
+            buf.fill(0.0)
+        else:
+            buf = np.zeros(shape, dtype=dtype)
+        self._lent.append((key, buf))
+        return buf
+
+    def release_all(self) -> None:
+        for key, buf in self._lent:
+            stack = self._free.get(key)
+            if stack is None:
+                if len(self._free) >= self.MAX_KEYS:
+                    # drop the least-recently-added shape class
+                    self._free.pop(next(iter(self._free)))
+                stack = self._free[key] = []
+            if len(stack) < self.MAX_PER_KEY:
+                stack.append(buf)
+        self._lent.clear()
+
+    def clear(self) -> None:
+        self._free.clear()
+        self._lent.clear()
+
+
+_GRAD_POOL = _GradBufferPool()
+
 
 class Tensor:
     """An array with an optional gradient tape entry."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward")
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward", "_grad_buf")
 
     def __init__(
         self,
@@ -27,17 +110,30 @@ class Tensor:
         requires_grad: bool = False,
         _parents: tuple["Tensor", ...] = (),
         _backward: Callable[[np.ndarray], None] | None = None,
+        dtype: np.dtype | str | None = None,
     ):
-        self.data = np.asarray(data, dtype=np.float64)
+        if dtype is not None:
+            arr = np.asarray(data, dtype=dtype)
+        else:
+            arr = np.asarray(data)
+            if arr.dtype not in _FLOAT_DTYPES:
+                arr = arr.astype(_DEFAULT_DTYPE)
+        self.data = arr
         self.grad: np.ndarray | None = None
         self.requires_grad = requires_grad
         self._parents = _parents
         self._backward = _backward
+        #: persistent accumulation buffer, reused across backward sweeps
+        self._grad_buf: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     @property
     def shape(self) -> tuple[int, ...]:
         return self.data.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
 
     @property
     def ndim(self) -> int:
@@ -59,6 +155,27 @@ class Tensor:
         return float(self.data)
 
     # ------------------------------------------------------------------
+    def _accumulate_grad(self, g: np.ndarray) -> None:
+        """Accumulate ``g`` in place into the persistent ``.grad`` buffer.
+
+        ``.grad is None`` still means "no gradient flowed since the last
+        zero_grad" (optimizers rely on that to skip untouched params);
+        the backing buffer itself is allocated once and reused.
+        """
+        if self.grad is None:
+            buf = self._grad_buf
+            if (
+                buf is None
+                or buf.shape != self.data.shape
+                or buf.dtype != self.data.dtype
+            ):
+                buf = np.empty_like(self.data)
+                self._grad_buf = buf
+            np.copyto(buf, g)
+            self.grad = buf
+        else:
+            self.grad += g
+
     def backward(self, grad: np.ndarray | None = None) -> None:
         """Backpropagate from this tensor (must be scalar if grad is None)."""
         if grad is None:
@@ -82,53 +199,79 @@ class Tensor:
             for parent in tensor._parents:
                 if id(parent) not in visited:
                     stack.append((parent, False))
-        grads: dict[int, np.ndarray] = {id(self): np.asarray(grad, dtype=np.float64)}
-        for t in reversed(topo):
-            g = grads.pop(id(t), None)
-            if g is None:
-                continue
-            if t.requires_grad:
-                t.grad = g if t.grad is None else t.grad + g
-            if t._backward is not None:
-                for parent, pg in t._backward(g):
-                    if parent.requires_grad or parent._backward is not None:
-                        if id(parent) in grads:
-                            grads[id(parent)] += pg
-                        else:
-                            grads[id(parent)] = pg
+        # grads maps id -> (array, owned). Arrays returned by backward
+        # closures may alias each other (e.g. ``add`` hands the same
+        # array to both parents), so an entry is only mutated in place
+        # once this sweep owns it.
+        grads: dict[int, tuple[np.ndarray, bool]] = {
+            id(self): (np.asarray(grad, dtype=self.data.dtype), False)
+        }
+        reentrant = _GRAD_POOL.active
+        _GRAD_POOL.active = True
+        try:
+            for t in reversed(topo):
+                entry = grads.pop(id(t), None)
+                if entry is None:
+                    continue
+                g = entry[0]
+                if t.requires_grad:
+                    t._accumulate_grad(g)
+                if t._backward is not None:
+                    for parent, pg in t._backward(g):
+                        if parent.requires_grad or parent._backward is not None:
+                            pid = id(parent)
+                            existing = grads.get(pid)
+                            if existing is None:
+                                grads[pid] = (pg, False)
+                            else:
+                                arr, owned = existing
+                                if owned:
+                                    arr += pg
+                                else:
+                                    grads[pid] = (arr + pg, True)
+        finally:
+            if not reentrant:
+                _GRAD_POOL.active = False
+                _GRAD_POOL.release_all()
 
     # ------------------------------------------------------------------
     # operator sugar
     def __add__(self, other) -> "Tensor":
-        return add(self, _wrap(other))
+        return add(self, _wrap(other, self))
 
     def __radd__(self, other) -> "Tensor":
-        return add(_wrap(other), self)
+        return add(_wrap(other, self), self)
 
     def __sub__(self, other) -> "Tensor":
-        return add(self, mul(_wrap(other), _wrap(-1.0)))
+        return add(self, mul(_wrap(other, self), _wrap(-1.0, self)))
 
     def __rsub__(self, other) -> "Tensor":
-        return add(_wrap(other), mul(self, _wrap(-1.0)))
+        return add(_wrap(other, self), mul(self, _wrap(-1.0, self)))
 
     def __mul__(self, other) -> "Tensor":
-        return mul(self, _wrap(other))
+        return mul(self, _wrap(other, self))
 
     def __rmul__(self, other) -> "Tensor":
-        return mul(_wrap(other), self)
+        return mul(_wrap(other, self), self)
 
     def __truediv__(self, other) -> "Tensor":
-        return mul(self, pow_scalar(_wrap(other), -1.0))
+        return mul(self, pow_scalar(_wrap(other, self), -1.0))
 
     def __matmul__(self, other) -> "Tensor":
         return matmul(self, other)
 
     def __neg__(self) -> "Tensor":
-        return mul(self, _wrap(-1.0))
+        return mul(self, _wrap(-1.0, self))
 
 
-def _wrap(value) -> Tensor:
-    return value if isinstance(value, Tensor) else Tensor(value)
+def _wrap(value, like: Tensor | None = None) -> Tensor:
+    """Lift ``value`` to a Tensor; scalars adopt ``like``'s dtype so mixed
+    scalar arithmetic never promotes a float32 graph to float64."""
+    if isinstance(value, Tensor):
+        return value
+    if like is not None and np.isscalar(value):
+        return Tensor(np.asarray(value, dtype=like.data.dtype))
+    return Tensor(value)
 
 
 def _needs_tape(*tensors: Tensor) -> bool:
@@ -207,12 +350,13 @@ def relu(a: Tensor) -> Tensor:
 
 
 def leaky_relu(a: Tensor, slope: float = 0.01) -> Tensor:
-    out_data = np.where(a.data > 0.0, a.data, slope * a.data)
+    out_data = np.where(a.data > 0.0, a.data, a.data.dtype.type(slope) * a.data)
     if not _needs_tape(a):
         return Tensor(out_data)
 
     def backward(g: np.ndarray):
-        return ((a, g * np.where(a.data > 0.0, 1.0, slope)),)
+        one = a.data.dtype.type(1.0)
+        return ((a, g * np.where(a.data > 0.0, one, a.data.dtype.type(slope))),)
 
     return Tensor(out_data, _parents=(a,), _backward=backward)
 
@@ -307,18 +451,28 @@ def gather_rows(a: Tensor, indices: np.ndarray) -> Tensor:
         return Tensor(out_data)
 
     def backward(g: np.ndarray):
-        grad = np.zeros_like(a.data)
+        grad = _GRAD_POOL.zeros(a.data.shape, a.data.dtype)
         np.add.at(grad, idx, g)
         return ((a, grad),)
 
     return Tensor(out_data, _parents=(a,), _backward=backward)
 
 
-def scatter_add(src: Tensor, indices: np.ndarray, n_rows: int) -> Tensor:
-    """``out[indices[i]] += src[i]``; shape (n_rows, src.shape[1])."""
+def scatter_add(
+    src: Tensor, indices: np.ndarray, n_rows: int, *, unique: bool = False
+) -> Tensor:
+    """``out[indices[i]] += src[i]``; shape (n_rows, src.shape[1]).
+
+    Pass ``unique=True`` when every index occurs at most once (e.g. the
+    per-type position scatters of the GNN encoders): plain fancy
+    assignment then replaces the much slower ``np.add.at``.
+    """
     idx = np.asarray(indices, dtype=np.int64)
-    out_data = np.zeros((n_rows,) + src.data.shape[1:], dtype=np.float64)
-    np.add.at(out_data, idx, src.data)
+    out_data = np.zeros((n_rows,) + src.data.shape[1:], dtype=src.data.dtype)
+    if unique:
+        out_data[idx] = src.data
+    else:
+        np.add.at(out_data, idx, src.data)
     if not _needs_tape(src):
         return Tensor(out_data)
 
@@ -332,7 +486,7 @@ def dropout(a: Tensor, p: float, rng: np.random.Generator, training: bool) -> Te
     """Inverted dropout; identity when not training or p == 0."""
     if not training or p <= 0.0:
         return a
-    mask = (rng.random(a.shape) >= p) / (1.0 - p)
+    mask = ((rng.random(a.shape) >= p) / (1.0 - p)).astype(a.data.dtype, copy=False)
     return mul(a, Tensor(mask))
 
 

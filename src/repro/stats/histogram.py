@@ -29,6 +29,11 @@ class ColumnStats:
     bin_counts: np.ndarray | None = None
     min_value: float | None = None
     max_value: float | None = None
+    #: low-cardinality numeric columns store exact per-value counts:
+    #: bin_edges then holds the distinct values and bin_counts their
+    #: frequencies, so range/point selectivities are exact instead of
+    #: interpolated (point masses break within-bin uniformity badly)
+    exact_values: bool = False
     # String-only: value -> frequency (over non-null rows)
     mcv: dict[str, float] = field(default_factory=dict)
 
@@ -62,6 +67,19 @@ class ColumnStats:
         numeric = values.astype(np.float64)
         if len(numeric) == 0:
             return cls(dtype=column.dtype, n_rows=n_rows, n_nulls=n_nulls, n_distinct=0)
+        uniques, unique_counts = np.unique(numeric, return_counts=True)
+        if len(uniques) <= n_bins:
+            return cls(
+                dtype=column.dtype,
+                n_rows=n_rows,
+                n_nulls=n_nulls,
+                n_distinct=int(len(uniques)),
+                bin_edges=uniques,
+                bin_counts=unique_counts.astype(np.float64),
+                min_value=float(numeric.min()),
+                max_value=float(numeric.max()),
+                exact_values=True,
+            )
         quantiles = np.linspace(0.0, 1.0, n_bins + 1)
         edges = np.quantile(numeric, quantiles)
         edges = np.unique(edges)  # collapse duplicate edges on skewed data
@@ -75,7 +93,7 @@ class ColumnStats:
             dtype=column.dtype,
             n_rows=n_rows,
             n_nulls=n_nulls,
-            n_distinct=int(len(np.unique(numeric))),
+            n_distinct=int(len(uniques)),
             bin_edges=edges,
             bin_counts=counts,
             min_value=float(numeric.min()),
@@ -109,6 +127,25 @@ class ColumnStats:
 
     def _numeric_selectivity(self, op: CompareOp, literal: float) -> float:
         if self.bin_edges is None or self.bin_counts is None:
+            return 0.0
+        if self.exact_values:
+            total = self.bin_counts.sum()
+            if total == 0:
+                return 0.0
+            below = float(self.bin_counts[self.bin_edges < literal].sum()) / total
+            at = float(self.bin_counts[self.bin_edges == literal].sum()) / total
+            if op is CompareOp.LT:
+                return below
+            if op is CompareOp.LEQ:
+                return below + at
+            if op is CompareOp.GT:
+                return 1.0 - below - at
+            if op is CompareOp.GEQ:
+                return 1.0 - below
+            if op is CompareOp.EQ:
+                return at
+            if op is CompareOp.NEQ:
+                return 1.0 - at
             return 0.0
         frac_below = self._fraction_below(literal)
         eq_frac = 1.0 / max(1, self.n_distinct)

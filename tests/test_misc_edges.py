@@ -137,6 +137,111 @@ class TestNNEdges:
         assert np.allclose(out.data, 0.0)
 
 
+class TestBatchingEdges:
+    """Regression cases for the vectorized batching pipeline."""
+
+    @staticmethod
+    def _graph(edges, types=None, n=None):
+        from repro.core import encoding as enc
+        from repro.core.joint_graph import JointGraph
+
+        n = n if n is not None else (max((max(e) for e in edges), default=0) + 1)
+        types = types or ["SCAN"] * n
+        graph = JointGraph()
+        rng = np.random.default_rng(0)
+        for gtype in types:
+            graph.add_node(gtype, rng.random(enc.FEATURE_DIMS[gtype]))
+        for src, dst in edges:
+            graph.add_edge(src, dst)
+        graph.root_id = n - 1
+        return graph
+
+    def test_duplicate_edges_counted_in_indegree(self):
+        from repro.model import make_batch
+
+        # 0 -> 1 twice, plus 0 -> 2 -> ... root sees both parallel edges.
+        graph = self._graph([(0, 1), (0, 1), (1, 2)])
+        batch = make_batch([graph], [1.0])
+        assert batch.levels[1].indegree.reshape(-1).tolist() == [2.0]
+        assert batch.levels[2].indegree.reshape(-1).tolist() == [1.0]
+        # both copies of the duplicate edge land in the edge bucket
+        (src_lv, srcs, dsts) = batch.levels[1].edge_groups[0]
+        assert src_lv == 0 and len(srcs) == 2 and len(dsts) == 2
+
+    def test_single_node_graph(self):
+        from repro.model import CostGNN, GNNConfig, make_batch
+
+        graph = self._graph([], types=["SCAN"], n=1)
+        batch = make_batch([graph], [2.0])
+        assert len(batch.levels) == 1
+        assert batch.levels[0].n_nodes == 1
+        assert batch.roots == [(0, 0)]
+        out = CostGNN(GNNConfig(hidden_dim=8)).forward(batch)
+        assert out.shape == (1, 1)
+
+    def test_levels_are_contiguous(self):
+        """Longest-path levels cannot skip a level: every level of a
+        batch contains at least one node."""
+        from repro.model import make_batch
+
+        # the 0 -> 4 shortcut spans levels but node 4 still sits at level 4
+        graph = self._graph([(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)])
+        batch = make_batch([graph], [1.0])
+        assert [level.n_nodes for level in batch.levels] == [1, 1, 1, 1, 1]
+        assert all(level.n_nodes > 0 for level in batch.levels)
+
+    def test_gnn_forward_handles_empty_intermediate_level(self):
+        """Defensive: an artificially emptied level flows through the GNN
+        (upstream producers cannot create one, but the forward pass must
+        not rely on that)."""
+        from repro.model import CostGNN, GNNConfig, make_batch
+        from repro.model.batching import LevelData
+
+        graph = self._graph([(0, 1), (1, 2)])
+        batch = make_batch([graph], [1.0])
+        empty = LevelData(
+            n_nodes=0,
+            type_groups={},
+            edge_groups=[],
+            indegree=np.zeros((0, 1)),
+            graph_index=np.zeros(0, dtype=np.int64),
+        )
+        batch.levels.append(empty)  # trailing empty level
+        out = CostGNN(GNNConfig(hidden_dim=8)).forward(batch)
+        assert out.shape == (1, 1)
+        assert np.isfinite(out.data).all()
+
+    def test_root_below_batch_max_level(self):
+        """A shallow graph batched with a deep one keeps its root at its
+        own (lower) level, and the readout picks the right rows."""
+        from repro.model import CostGNN, GNNConfig, make_batch
+
+        deep = self._graph([(0, 1), (1, 2), (2, 3), (3, 4)])
+        shallow = self._graph([(0, 1)])
+        batch = make_batch([deep, shallow], [1.0, 2.0])
+        assert batch.roots[0] == (4, 0)
+        assert batch.roots[1][0] == 1  # root level 1 < batch max level 4
+        model = CostGNN(GNNConfig(hidden_dim=8))
+        model.eval()
+        paired = model.forward(batch).data.reshape(-1)
+        alone = model.forward(make_batch([shallow], [2.0])).data.reshape(-1)
+        assert paired[1] == pytest.approx(alone[0], rel=1e-5)
+
+    def test_batch_dtype_selects_feature_precision(self):
+        from repro.model import make_batch
+
+        graph = self._graph([(0, 1)])
+        batch32 = make_batch([graph], [1.0], dtype=np.float32)
+        batch64 = make_batch([graph], [1.0], dtype=np.float64)
+        feats32, _ = batch32.levels[0].type_groups["SCAN"]
+        feats64, _ = batch64.levels[0].type_groups["SCAN"]
+        assert feats32.dtype == np.float32
+        assert feats64.dtype == np.float64
+        assert batch32.levels[0].indegree.dtype == np.float32
+        # targets stay float64 regardless (they feed metrics, not the GNN)
+        assert batch32.targets.dtype == np.float64
+
+
 class TestAdvisorCostModeConsistency:
     def test_cost_mode_matches_distribution_endpoint(self, handmade_db):
         """Cost mode at selectivity 0.5 must equal the distribution entry
