@@ -6,6 +6,11 @@ monotonically 2.05 -> 1.41 -> 1.26 -> 1.20 -> 1.13 as structure nodes,
 the on-udf filter flag, LOOP_END nodes, and the residual LOOP edge are
 added.
 
+Protocol (DESIGN.md §7): each step trains `scale.n_ablation_seeds`
+models with independent seeds; reported metrics are the median over
+seeds (median-of-medians), so the shape checks below test
+representation signal rather than single-seed training noise.
+
 Shape checks: the full representation (step 5) clearly beats the
 black-box RET-only baseline (step 1), and adding structure (step 2) never
 hurts the median by much.
@@ -23,8 +28,10 @@ def test_fig7(benchmark, scale):
     print_header("Fig. 7 — feature ablation (paper: 2.05 -> 1.41 -> 1.26 -> 1.20 -> 1.13)")
     for step, _ in ABLATION_STEPS:
         summary = view[step]
+        seeds = ", ".join(f"{m:.2f}" for m in summary["seed_medians"])
         print(f"  {step:32s} median={summary['median']:6.2f} "
-              f"p95={summary['p95']:8.2f} p99={summary['p99']:8.2f}")
+              f"p95={summary['p95']:8.2f} p99={summary['p99']:8.2f} "
+              f"[seed medians: {seeds}]")
 
     first = view[ABLATION_STEPS[0][0]]
     structured = view[ABLATION_STEPS[1][0]]

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Inspect and manage the experiment result store (.bench_cache).
+
+    scripts/cache.py list [--kind KIND]     # entries, newest first
+    scripts/cache.py stats                  # per-kind counts and bytes
+    scripts/cache.py clear [--kind KIND]    # delete entries
+    scripts/cache.py gc --max-bytes SIZE    # LRU-evict down to SIZE (e.g. 2G)
+
+The store root is ``$REPRO_CACHE_DIR`` or ``<repo>/.bench_cache``; every
+entry is keyed by a config fingerprint (see ``repro/eval/resultstore.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.eval.resultstore import default_store  # noqa: E402
+
+_UNITS = {"": 1, "k": 1024, "m": 1024**2, "g": 1024**3, "t": 1024**4}
+
+
+def parse_size(text: str) -> int:
+    """'500m', '2G', '1048576' -> bytes."""
+    text = text.strip().lower().removesuffix("b")
+    unit = text[-1] if text and text[-1] in _UNITS else ""
+    number = text[: len(text) - len(unit)]
+    try:
+        return int(float(number) * _UNITS[unit])
+    except ValueError:
+        raise SystemExit(f"unparseable size {text!r} (try 500M, 2G, ...)")
+
+
+def fmt_size(n: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(n) < 1024 or unit == "GiB":
+            return f"{n:7.1f} {unit}"
+        n /= 1024
+    return f"{n:.1f}"
+
+
+def cmd_list(store, args) -> int:
+    entries = sorted(store.entries(), key=lambda e: e.created, reverse=True)
+    if args.kind:
+        entries = [e for e in entries if e.kind == args.kind]
+    if not entries:
+        print("store is empty" + (f" (kind {args.kind!r})" if args.kind else ""))
+        return 0
+    for e in entries:
+        created = time.strftime("%Y-%m-%d %H:%M", time.localtime(e.created))
+        print(f"{e.kind:10s} {e.fingerprint:16s} {fmt_size(e.bytes)}  "
+              f"{created}  {e.description}")
+    print(f"-- {len(entries)} entries, {fmt_size(sum(e.bytes for e in entries))}")
+    return 0
+
+
+def cmd_stats(store, args) -> int:
+    print(json.dumps(store.stats(), indent=2))
+    return 0
+
+
+def cmd_clear(store, args) -> int:
+    removed = store.clear(kind=args.kind)
+    print(f"removed {removed} entries" + (f" of kind {args.kind!r}" if args.kind else ""))
+    return 0
+
+
+def cmd_gc(store, args) -> int:
+    report = store.gc(parse_size(args.max_bytes))
+    print(f"evicted {len(report['evicted'])} entries, "
+          f"freed {fmt_size(report['freed_bytes'])}, "
+          f"{fmt_size(report['remaining_bytes'])} remain")
+    for name in report["evicted"]:
+        print(f"  - {name}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_list = sub.add_parser("list", help="list entries, newest first")
+    p_list.add_argument("--kind", help="only this entry kind (bench/samples/folds/...)")
+    p_list.set_defaults(fn=cmd_list)
+    p_stats = sub.add_parser("stats", help="per-kind counts and bytes")
+    p_stats.set_defaults(fn=cmd_stats)
+    p_clear = sub.add_parser("clear", help="delete entries")
+    p_clear.add_argument("--kind", help="only this entry kind")
+    p_clear.set_defaults(fn=cmd_clear)
+    p_gc = sub.add_parser("gc", help="LRU-evict entries down to a byte budget")
+    p_gc.add_argument("--max-bytes", required=True,
+                      help="target total size, e.g. 500M or 2G")
+    p_gc.set_defaults(fn=cmd_gc)
+    args = parser.parse_args(argv)
+    return args.fn(default_store(), args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,14 +10,15 @@ single natural plan otherwise) and records:
 * true cardinalities on every plan node,
 * UDF complexity metadata (branch/loop/COMP-node counts for Exp 2).
 
-Built benchmarks are pickled to a cache directory so experiments across
-processes (pytest benches) don't rebuild them.
+Built benchmarks persist through :mod:`repro.eval.resultstore`, keyed
+by a fingerprint over (dataset, queries, seed, generator + workload
+configs), so experiments across processes (pytest benches, parallel
+fold workers) don't rebuild them — and a config change can never serve
+a stale benchmark.
 """
 
 from __future__ import annotations
 
-import os
-import pickle
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -38,9 +39,6 @@ from repro.storage.generator import (
 from repro.storage.table import Table
 from repro.udf.dataprep import fill_nulls
 from repro.bench.workload import WorkloadConfig, WorkloadGenerator
-
-#: bump when the on-disk format changes
-_CACHE_VERSION = "v1"
 
 
 @dataclass
@@ -171,10 +169,10 @@ def build_dataset_benchmark(
 
 # ----------------------------------------------------------------------
 def cache_dir() -> Path:
-    root = os.environ.get("REPRO_CACHE_DIR")
-    if root:
-        return Path(root)
-    return Path(__file__).resolve().parents[3] / ".bench_cache"
+    """The result-store root (re-exported for callers of the old API)."""
+    from repro.eval.resultstore import cache_dir as _store_cache_dir
+
+    return _store_cache_dir()
 
 
 def load_or_build_dataset(
@@ -185,20 +183,28 @@ def load_or_build_dataset(
     generator_config: GeneratorConfig | None = None,
     workload_config: WorkloadConfig | None = None,
 ) -> DatasetBenchmark:
-    """Disk-cached version of :func:`build_dataset_benchmark`."""
-    path = cache_dir() / f"{_CACHE_VERSION}_{name}_{n_queries}_{seed}.pkl"
-    if use_cache and path.exists():
-        with open(path, "rb") as fh:
-            return pickle.load(fh)
-    bench = build_dataset_benchmark(
-        name, n_queries, seed,
-        generator_config=generator_config, workload_config=workload_config,
+    """Store-cached version of :func:`build_dataset_benchmark`.
+
+    (Imports the result store lazily: ``repro.eval`` pulls in the
+    sample-prep stack, which itself imports this module.)
+    """
+    from repro.eval.resultstore import default_store
+
+    store = default_store()
+    fp = store.fingerprint(
+        "bench", name, n_queries, seed,
+        generator_config or GeneratorConfig(),
+        workload_config or WorkloadConfig(),
     )
-    if use_cache:
-        path.parent.mkdir(parents=True, exist_ok=True)
-        with open(path, "wb") as fh:
-            pickle.dump(bench, fh)
-    return bench
+    return store.get_or_compute(
+        "bench", fp,
+        lambda: build_dataset_benchmark(
+            name, n_queries, seed,
+            generator_config=generator_config, workload_config=workload_config,
+        ),
+        use_cache=use_cache,
+        description=f"benchmark {name} ({n_queries} queries, seed {seed})",
+    )
 
 
 def build_benchmark(

@@ -14,13 +14,21 @@ those records:
 
 Exp 3 (Table IV, select-only workload) and Exp 4 (Fig. 7, feature
 ablation) need different workloads/representations and have their own
-drivers. Results are cached on disk keyed by the experiment scale.
+drivers.
+
+Every on-disk artifact flows through :mod:`repro.eval.resultstore`:
+entries are keyed by a fingerprint hashed from the *full* serialized
+config (scale knobs, graph ablation switches, GNN/training configs
+including dtype, estimators, placements), so a config or schema change
+can never serve stale results. Fold and ablation runs fan out across
+``REPRO_JOBS`` worker processes (:mod:`repro.eval.parallel`); results
+merge in deterministic task order, identical to a serial run.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import os
-import pickle
 import time
 from dataclasses import dataclass, field
 
@@ -28,12 +36,14 @@ import numpy as np
 
 from repro.advisor.advisor import PullUpAdvisor
 from repro.advisor.strategies import STRATEGIES
-from repro.bench.builder import DatasetBenchmark, cache_dir, load_or_build_dataset
+from repro.bench.builder import DatasetBenchmark, load_or_build_dataset
 from repro.bench.workload import WorkloadConfig
 from repro.cfg.builder import UDFGraphConfig
 from repro.core.joint_graph import JointGraphConfig
 from repro.eval.folds import leave_one_out_folds
 from repro.eval.metrics import q_error, q_error_summary
+from repro.eval.parallel import parallel_map, resolve_jobs
+from repro.eval.resultstore import default_store, fingerprint
 from repro.eval.samples import (
     PreparedSample,
     prepare_dataset_samples,
@@ -47,32 +57,7 @@ from repro.model.training import TrainConfig
 from repro.sql.plan import UDFFilter, find_nodes
 from repro.sql.query import UDFPlacement
 from repro.stats import StatisticsCatalog, make_estimator
-from repro.storage.generator import DATASET_NAMES
-
-_RESULT_CACHE_VERSION = "v1"
-
-
-def _atomic_dump(obj, path) -> None:
-    """Pickle to a temp file then rename — a killed run never leaves a
-    truncated cache file behind for later runs to crash on."""
-    tmp = path.with_suffix(path.suffix + ".tmp")
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with open(tmp, "wb") as fh:
-        pickle.dump(obj, fh)
-    os.replace(tmp, path)
-
-
-def _guarded_load(path):
-    """Unpickle ``path``; on corruption drop the file and return None."""
-    try:
-        with open(path, "rb") as fh:
-            return pickle.load(fh)
-    except (EOFError, pickle.UnpicklingError, OSError, AttributeError):
-        try:
-            path.unlink()
-        except OSError:
-            pass
-        return None
+from repro.storage.generator import DATASET_NAMES, GeneratorConfig
 
 
 # ----------------------------------------------------------------------
@@ -90,25 +75,12 @@ class ExperimentScale:
     use_cache: bool = True
     estimators: tuple[str, ...] = ("actual", "deepdb", "wanderjoin", "duckdb")
     advisor_max_queries: int = 40
-
-    def key(self) -> str:
-        from repro.storage.generator import hash_name
-
-        datasets = ",".join(self.datasets)
-        # float64 parity runs get their own result caches; the default
-        # (float32) deliberately keeps the historical key so result
-        # pickles computed before the dtype switch AND before the
-        # exact low-cardinality column stats stay hot. Both changes
-        # shift fold metrics only within experiment noise, while
-        # invalidating the caches would force every benchmark run to
-        # recompute hours of default-scale experiments; bump
-        # _RESULT_CACHE_VERSION instead when results must regenerate.
-        dtype_tag = "" if _experiment_dtype() == "float32" else "_f64"
-        return (
-            f"{_RESULT_CACHE_VERSION}_{hash_name(datasets) % 10**8}_"
-            f"{len(self.datasets)}ds_{self.n_queries_per_db}q_{self.n_folds}f_"
-            f"{self.epochs}e_{self.hidden_dim}h_{self.seed}s{dtype_tag}"
-        )
+    #: independent training seeds per Fig. 7 ablation step; reported
+    #: metrics are the median over seeds (median-of-medians), so the
+    #: monotonicity checks measure signal, not single-seed noise
+    n_ablation_seeds: int = 3
+    #: database-size override (tests use tiny databases); None = defaults
+    generator: GeneratorConfig | None = None
 
 
 def scale_from_env() -> ExperimentScale:
@@ -118,11 +90,13 @@ def scale_from_env() -> ExperimentScale:
         return ExperimentScale(
             datasets=DATASET_NAMES[:4], n_queries_per_db=20, n_folds=1,
             epochs=15, hidden_dim=16, advisor_max_queries=15,
+            n_ablation_seeds=2,
         )
     if mode == "full":
         return ExperimentScale(
             datasets=DATASET_NAMES, n_queries_per_db=150, n_folds=20,
             epochs=60, hidden_dim=32, advisor_max_queries=200,
+            n_ablation_seeds=5,
         )
     return ExperimentScale()
 
@@ -166,23 +140,23 @@ class FoldRun:
 
 
 # ----------------------------------------------------------------------
-_SAMPLES_CACHE_VERSION = "v2"  # v2: exact low-cardinality column stats
-
-
 class SampleStore:
     """Cache of benchmarks and prepared samples.
 
-    Prepared samples are memoized in-process AND persisted to disk
-    (keyed by dataset/estimator/placements/config and the scale knobs):
-    sample preparation replays every query fragment through the actual
-    cardinality estimator, which dominates warm-cache experiment wall
-    time, so later runs load the pickled samples instead.
+    Prepared samples are memoized in-process AND persisted through the
+    result store, keyed by a fingerprint over every input that shapes
+    them (dataset, workload size/seed, generator override, estimator,
+    placements, graph config): sample preparation replays every query
+    fragment through the actual cardinality estimator, which dominates
+    warm-cache experiment wall time, so later runs — and parallel
+    workers — load the stored samples instead.
     """
 
-    def __init__(self, scale: ExperimentScale):
+    def __init__(self, scale: ExperimentScale, store=None):
         self.scale = scale
+        self.store = store or default_store()
         self._benches: dict[str, DatasetBenchmark] = {}
-        self._samples: dict[tuple, list[PreparedSample]] = {}
+        self._samples: dict[str, list[PreparedSample]] = {}
         self._catalogs: dict[str, StatisticsCatalog] = {}
 
     def bench(self, dataset: str) -> DatasetBenchmark:
@@ -190,6 +164,7 @@ class SampleStore:
             self._benches[dataset] = load_or_build_dataset(
                 dataset, self.scale.n_queries_per_db, self.scale.seed,
                 use_cache=self.scale.use_cache,
+                generator_config=self.scale.generator,
             )
         return self._benches[dataset]
 
@@ -198,14 +173,19 @@ class SampleStore:
             self._catalogs[dataset] = StatisticsCatalog(self.bench(dataset).database)
         return self._catalogs[dataset]
 
-    def _sample_cache_path(self, key: tuple, config) -> "os.PathLike":
-        from repro.storage.generator import hash_name
-
-        token = hash_name(f"{key!r}|{config!r}") % 10**10
-        dataset = key[0]
-        return cache_dir() / (
-            f"samples_{_SAMPLES_CACHE_VERSION}_{dataset}_"
-            f"{self.scale.n_queries_per_db}q_{self.scale.seed}s_{token}.pkl"
+    def sample_fingerprint(
+        self,
+        dataset: str,
+        estimator: str,
+        placements: tuple[UDFPlacement, ...] | None,
+        baseline_graphs: bool,
+        config: JointGraphConfig | None = None,
+    ) -> str:
+        return fingerprint(
+            "samples", dataset, self.scale.n_queries_per_db, self.scale.seed,
+            self.scale.generator or GeneratorConfig(),
+            estimator, placements, baseline_graphs,
+            config or JointGraphConfig(),
         )
 
     def samples(
@@ -215,28 +195,28 @@ class SampleStore:
         placements: tuple[UDFPlacement, ...] | None,
         baseline_graphs: bool,
         config: JointGraphConfig | None = None,
-        tag: str = "",
     ) -> list[PreparedSample]:
-        key = (dataset, estimator, placements, baseline_graphs, tag)
-        if key not in self._samples:
-            path = self._sample_cache_path(key, config)
-            cached = None
-            if self.scale.use_cache and path.exists():
-                cached = _guarded_load(path)
-            if cached is not None:
-                self._samples[key] = cached
-            else:
-                self._samples[key] = prepare_dataset_samples(
+        fp = self.sample_fingerprint(
+            dataset, estimator, placements, baseline_graphs, config
+        )
+        if fp not in self._samples:
+            self._samples[fp] = self.store.get_or_compute(
+                "samples", fp,
+                lambda: prepare_dataset_samples(
                     self.bench(dataset),
                     estimator_name=estimator,
                     placements=placements,
                     include_baseline_graphs=baseline_graphs,
                     joint_config=config,
                     catalog=self.catalog(dataset),
-                )
-                if self.scale.use_cache:
-                    _atomic_dump(self._samples[key], path)
-        return self._samples[key]
+                ),
+                use_cache=self.scale.use_cache,
+                description=(
+                    f"samples {dataset}/{estimator} "
+                    f"({self.scale.n_queries_per_db}q seed {self.scale.seed})"
+                ),
+            )
+        return self._samples[fp]
 
 
 def _experiment_dtype() -> str:
@@ -252,18 +232,53 @@ def _experiment_dtype() -> str:
     return dtype
 
 
-def _gnn_config(scale: ExperimentScale) -> GNNConfig:
+def _gnn_config(scale: ExperimentScale, seed_offset: int = 0) -> GNNConfig:
     return GNNConfig(
-        hidden_dim=scale.hidden_dim, seed=scale.seed, dtype=_experiment_dtype()
+        hidden_dim=scale.hidden_dim,
+        seed=scale.seed + seed_offset,
+        dtype=_experiment_dtype(),
     )
 
 
-def _train_config(scale: ExperimentScale) -> TrainConfig:
+def _train_config(scale: ExperimentScale, seed_offset: int = 0) -> TrainConfig:
     return TrainConfig(
         epochs=scale.epochs,
         shards_per_epoch=scale.shards_per_epoch,
-        seed=scale.seed,
+        seed=scale.seed + seed_offset,
         reshard_each_epoch=_experiment_dtype() == "float64",
+    )
+
+
+# ----------------------------------------------------------------------
+# result fingerprints — hashed over the full serialized config tuple +
+# the store SCHEMA_VERSION; no hand-maintained historical keys
+def _normalized_scale(scale: ExperimentScale) -> ExperimentScale:
+    """``use_cache`` steers caching, never results — hash it out; an
+    explicit default generator hashes like ``generator=None`` (the
+    benchmark builder applies the same ``or GeneratorConfig()``)."""
+    return dataclasses.replace(
+        scale, use_cache=True, generator=scale.generator or GeneratorConfig()
+    )
+
+
+def folds_fingerprint(scale: ExperimentScale) -> str:
+    return fingerprint(
+        "folds", _normalized_scale(scale), _gnn_config(scale),
+        _train_config(scale), training_placements(),
+    )
+
+
+def select_only_fingerprint(scale: ExperimentScale) -> str:
+    return fingerprint(
+        "selectonly", _normalized_scale(scale), _gnn_config(scale),
+        _train_config(scale), _select_only_workload(),
+    )
+
+
+def ablation_fingerprint(scale: ExperimentScale, test_dataset: str) -> str:
+    return fingerprint(
+        "ablation", _normalized_scale(scale), _gnn_config(scale),
+        _train_config(scale), test_dataset, ABLATION_STEPS,
     )
 
 
@@ -277,35 +292,124 @@ def _true_udf_selectivity(run) -> float:
 
 
 # ----------------------------------------------------------------------
-def run_folds(scale: ExperimentScale | None = None) -> list[FoldRun]:
-    """Train + evaluate all folds (the shared core of Exp 1, 2, 5)."""
+#: one SampleStore per worker process: tasks of one pool share loaded
+#: benchmarks/samples in memory instead of re-unpickling them per task
+_WORKER_STORE: tuple[str, SampleStore] | None = None
+
+
+def _worker_sample_store(scale: ExperimentScale) -> SampleStore:
+    global _WORKER_STORE
+    key = fingerprint(_normalized_scale(scale))
+    if _WORKER_STORE is None or _WORKER_STORE[0] != key:
+        _WORKER_STORE = (key, SampleStore(scale))
+    return _WORKER_STORE[1]
+
+
+def _warm_samples_task(args) -> None:
+    """Worker task: materialize one sample set into the result store."""
+    scale, dataset, estimator, placements, baseline_graphs, config = args
+    _worker_sample_store(scale).samples(
+        dataset, estimator, placements, baseline_graphs, config=config
+    )
+
+
+def _warm_sample_stores(scale: ExperimentScale, specs, jobs: int) -> None:
+    """Phase 1 of a parallel run: build each dataset benchmark once
+    (parallel over datasets), then prepare each distinct sample set once
+    (parallel over (dataset, estimator, config)) — without this, every
+    fold/ablation worker would redo the overlapping benchmark builds and
+    estimator replays."""
+    datasets: list[str] = []
+    seen_ds: set[str] = set()
+    seen: set[tuple] = set()
+    tasks = []
+    for spec in specs:
+        if spec[0] not in seen_ds:
+            seen_ds.add(spec[0])
+            datasets.append(spec[0])
+        key = (spec[0], spec[1], spec[2], spec[3], repr(spec[4]))
+        if key not in seen:
+            seen.add(key)
+            tasks.append((scale, *spec))
+    parallel_map(
+        _warm_bench_task,
+        [(scale, name, scale.seed, None) for name in datasets],
+        jobs,
+    )
+    parallel_map(_warm_samples_task, tasks, jobs)
+
+
+def _run_fold_with_stats(
+    scale: ExperimentScale,
+    store: SampleStore,
+    test_dataset: str,
+    train_datasets: tuple[str, ...],
+) -> FoldRun:
+    graph_cache = default_graph_cache()
+    hits0, misses0 = graph_cache.hits, graph_cache.misses
+    run = _run_one_fold(scale, store, test_dataset, train_datasets)
+    # Folds share training datasets, so after the first fold most
+    # topology comes straight from the prepared-graph cache (per
+    # worker process in a parallel run).
+    run.cache_stats["prepared_graph_hits"] = float(graph_cache.hits - hits0)
+    run.cache_stats["prepared_graph_misses"] = float(graph_cache.misses - misses0)
+    return run
+
+
+def _fold_task(args) -> FoldRun:
+    scale, test_dataset, train_datasets = args
+    return _run_fold_with_stats(
+        scale, _worker_sample_store(scale), test_dataset, train_datasets
+    )
+
+
+def run_folds(
+    scale: ExperimentScale | None = None, jobs: int | None = None
+) -> list[FoldRun]:
+    """Train + evaluate all folds (the shared core of Exp 1, 2, 5).
+
+    Folds fan out across ``REPRO_JOBS`` worker processes; fold order —
+    and therefore record content — is identical to the serial run.
+    Parallel execution requires ``scale.use_cache``: workers exchange
+    benchmarks and samples through the on-disk result store, so with
+    caching off the run stays serial rather than letting every worker
+    recompute the overlapping sample sets.
+    """
     scale = scale or scale_from_env()
-    path = cache_dir() / f"folds_{scale.key()}.pkl"
-    if scale.use_cache and path.exists():
-        cached = _guarded_load(path)
+    result_store = default_store()
+    fp = folds_fingerprint(scale)
+    if scale.use_cache:
+        cached = result_store.load("folds", fp)
         if cached is not None:
-            for run in cached:
-                # FoldRun pickles written before the cache_stats field
-                # existed deserialize without it — backfill so consumers
-                # of the new field never crash on old caches
-                if not hasattr(run, "cache_stats"):
-                    run.cache_stats = {}
             return cached
 
-    store = SampleStore(scale)
     folds = leave_one_out_folds(scale.datasets, scale.n_folds)
-    runs: list[FoldRun] = []
-    graph_cache = default_graph_cache()
-    for test_dataset, train_datasets in folds:
-        hits0, misses0 = graph_cache.hits, graph_cache.misses
-        run = _run_one_fold(scale, store, test_dataset, train_datasets)
-        # Folds share training datasets, so after the first fold most
-        # topology comes straight from the prepared-graph cache.
-        run.cache_stats["prepared_graph_hits"] = float(graph_cache.hits - hits0)
-        run.cache_stats["prepared_graph_misses"] = float(graph_cache.misses - misses0)
-        runs.append(run)
+    n_jobs = min(resolve_jobs(jobs), len(folds))
+    if n_jobs > 1 and scale.use_cache:
+        specs = []
+        for test_dataset, train_datasets in folds:
+            for dataset in train_datasets:
+                specs.append((dataset, "actual", training_placements(), True, None))
+            for estimator in scale.estimators:
+                specs.append((test_dataset, estimator, None, estimator == "actual", None))
+        _warm_sample_stores(scale, specs, jobs=resolve_jobs(jobs))
+        runs = parallel_map(
+            _fold_task, [(scale, td, tds) for td, tds in folds], n_jobs
+        )
+    else:
+        store = SampleStore(scale)
+        runs = [
+            _run_fold_with_stats(scale, store, td, tds) for td, tds in folds
+        ]
     if scale.use_cache:
-        _atomic_dump(runs, path)
+        result_store.store(
+            "folds", fp, runs,
+            description=(
+                f"fold runs: {len(folds)} folds over {len(scale.datasets)} "
+                f"datasets ({scale.n_queries_per_db}q, {scale.epochs}e, "
+                f"dtype {_experiment_dtype()})"
+            ),
+        )
     return runs
 
 
@@ -574,22 +678,48 @@ def fig8_view(runs: list[FoldRun]) -> dict:
 
 # ----------------------------------------------------------------------
 # Exp 3: select-only workload (Table IV)
-def run_select_only(scale: ExperimentScale | None = None) -> dict:
+def _select_only_workload() -> WorkloadConfig:
+    return WorkloadConfig(
+        max_joins=0, join_weights=(1.0,), non_udf_fraction=0.0, filter_prob=0.4
+    )
+
+
+def _warm_bench_task(args) -> None:
+    """Worker task: materialize one dataset benchmark into the store."""
+    scale, name, seed, workload = args
+    load_or_build_dataset(
+        name, scale.n_queries_per_db, seed, use_cache=scale.use_cache,
+        generator_config=scale.generator, workload_config=workload,
+    )
+
+
+def run_select_only(
+    scale: ExperimentScale | None = None, jobs: int | None = None
+) -> dict:
     """Table IV: GRACEFUL vs FlatVector on no-join, UDF-dominated queries."""
     scale = scale or scale_from_env()
-    path = cache_dir() / f"selectonly_{scale.key()}.pkl"
-    if scale.use_cache and path.exists():
-        cached = _guarded_load(path)
+    result_store = default_store()
+    fp = select_only_fingerprint(scale)
+    if scale.use_cache:
+        cached = result_store.load("selectonly", fp)
         if cached is not None:
             return cached
 
-    workload = WorkloadConfig(
-        max_joins=0, join_weights=(1.0,), non_udf_fraction=0.0, filter_prob=0.4
-    )
+    workload = _select_only_workload()
+    n_jobs = min(resolve_jobs(jobs), len(scale.datasets))
+    if n_jobs > 1 and scale.use_cache:
+        # benchmark execution per dataset is independent — build them
+        # in parallel, then load from the store below
+        parallel_map(
+            _warm_bench_task,
+            [(scale, name, scale.seed + 1_000, workload) for name in scale.datasets],
+            n_jobs,
+        )
     benches = {
         name: load_or_build_dataset(
             name, scale.n_queries_per_db, scale.seed + 1_000,
-            use_cache=scale.use_cache, workload_config=workload,
+            use_cache=scale.use_cache, generator_config=scale.generator,
+            workload_config=workload,
         )
         for name in scale.datasets
     }
@@ -625,7 +755,10 @@ def run_select_only(scale: ExperimentScale | None = None) -> dict:
         results[f"GRACEFUL/{estimator}"] = q_error_summary(graceful_preds, trues)
         results[f"FlatVector/{estimator}"] = q_error_summary(flat_preds, trues)
     if scale.use_cache:
-        _atomic_dump(results, path)
+        result_store.store(
+            "selectonly", fp, results,
+            description=f"select-only workload over {len(scale.datasets)} datasets",
+        )
     return results
 
 
@@ -667,42 +800,112 @@ ABLATION_STEPS: tuple[tuple[str, JointGraphConfig], ...] = (
 )
 
 
+def _ablation_step_seed(
+    scale: ExperimentScale,
+    store: SampleStore,
+    test_dataset: str,
+    config: JointGraphConfig,
+    seed_offset: int,
+) -> dict:
+    """Train + evaluate one (representation variant, training seed)."""
+    train_datasets = tuple(d for d in scale.datasets if d != test_dataset)
+    train_samples: list[PreparedSample] = []
+    for dataset in train_datasets:
+        train_samples.extend(
+            store.samples(
+                dataset, "actual", training_placements(), False, config=config
+            )
+        )
+    test_samples = [
+        s for s in store.samples(test_dataset, "actual", None, False, config=config)
+        if s.has_udf
+    ]
+    model = GracefulModel(
+        _gnn_config(scale, seed_offset), _train_config(scale, seed_offset)
+    )
+    model.fit(train_samples)
+    preds = model.predict(test_samples)
+    trues = np.asarray([s.runtime for s in test_samples])
+    return q_error_summary(preds, trues)
+
+
+def _ablation_task(args) -> dict:
+    scale, test_dataset, config, seed_offset = args
+    return _ablation_step_seed(
+        scale, _worker_sample_store(scale), test_dataset, config, seed_offset
+    )
+
+
+def _median_over_seeds(per_seed: list[dict]) -> dict:
+    """Median-of-medians merge: each reported metric is the median of
+    that metric across the per-seed summaries; the per-seed medians stay
+    available for inspection."""
+    merged = {
+        key: float(np.median([s[key] for s in per_seed])) for key in per_seed[0]
+    }
+    merged["n_seeds"] = len(per_seed)
+    merged["seed_medians"] = [float(s["median"]) for s in per_seed]
+    return merged
+
+
 def run_ablation(
-    scale: ExperimentScale | None = None, test_dataset: str | None = None
+    scale: ExperimentScale | None = None,
+    test_dataset: str | None = None,
+    jobs: int | None = None,
 ) -> dict[str, dict]:
-    """Fig. 7: train one model per representation variant, compare."""
+    """Fig. 7: per representation variant, train ``scale.n_ablation_seeds``
+    models with independent seeds and report the median over seeds.
+
+    (step, seed) tasks fan out across ``REPRO_JOBS`` workers; the merge
+    iterates steps and seeds in fixed order, so results are independent
+    of the worker count. As in :func:`run_folds`, parallel execution
+    requires ``scale.use_cache`` (workers share samples via the store).
+    """
     scale = scale or scale_from_env()
     if test_dataset is None:
         test_dataset = "genome" if "genome" in scale.datasets else scale.datasets[-1]
-    path = cache_dir() / f"ablation_{scale.key()}_{test_dataset}.pkl"
-    if scale.use_cache and path.exists():
-        cached = _guarded_load(path)
+    n_seeds = max(1, scale.n_ablation_seeds)
+    result_store = default_store()
+    fp = ablation_fingerprint(scale, test_dataset)
+    if scale.use_cache:
+        cached = result_store.load("ablation", fp)
         if cached is not None:
             return cached
 
-    store = SampleStore(scale)
-    train_datasets = tuple(d for d in scale.datasets if d != test_dataset)
-    results: dict[str, dict] = {}
-    for step, config in ABLATION_STEPS:
-        train_samples: list[PreparedSample] = []
-        for dataset in train_datasets:
-            train_samples.extend(
-                store.samples(
-                    dataset, "actual", training_placements(), False,
-                    config=config, tag=step,
+    tasks = [
+        (scale, test_dataset, config, seed_offset)
+        for _, config in ABLATION_STEPS
+        for seed_offset in range(n_seeds)
+    ]
+    n_jobs = min(resolve_jobs(jobs), len(tasks))
+    if n_jobs > 1 and scale.use_cache:
+        specs = []
+        for _, config in ABLATION_STEPS:
+            for dataset in scale.datasets:
+                placements = (
+                    None if dataset == test_dataset else training_placements()
                 )
-            )
-        test_samples = [
-            s for s in store.samples(
-                test_dataset, "actual", None, False, config=config, tag=step
-            )
-            if s.has_udf
+                specs.append((dataset, "actual", placements, False, config))
+        _warm_sample_stores(scale, specs, jobs=resolve_jobs(jobs))
+        summaries = parallel_map(_ablation_task, tasks, n_jobs)
+    else:
+        store = SampleStore(scale)
+        summaries = [
+            _ablation_step_seed(scale, store, td, config, seed_offset)
+            for _, td, config, seed_offset in tasks
         ]
-        model = GracefulModel(_gnn_config(scale), _train_config(scale))
-        model.fit(train_samples)
-        preds = model.predict(test_samples)
-        trues = np.asarray([s.runtime for s in test_samples])
-        results[step] = q_error_summary(preds, trues)
+
+    results: dict[str, dict] = {}
+    for i, (step, _) in enumerate(ABLATION_STEPS):
+        results[step] = _median_over_seeds(
+            summaries[i * n_seeds : (i + 1) * n_seeds]
+        )
     if scale.use_cache:
-        _atomic_dump(results, path)
+        result_store.store(
+            "ablation", fp, results,
+            description=(
+                f"Fig. 7 ablation on {test_dataset}: "
+                f"{len(ABLATION_STEPS)} steps x {n_seeds} seeds"
+            ),
+        )
     return results

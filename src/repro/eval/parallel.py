@@ -1,0 +1,62 @@
+"""Process-parallel experiment execution (DESIGN.md §7).
+
+Fold and ablation runs are embarrassingly parallel: each task trains and
+evaluates models from deterministic inputs (configs + seeds + stored
+samples), so fanning tasks out across worker processes changes wall
+time, never results. ``REPRO_JOBS`` selects the worker count (default:
+all cores); results always come back in task order, so a parallel run
+merges exactly like the serial one.
+
+Workers are plain ``multiprocessing`` pool processes. Each worker owns
+its process-wide prepared-graph/batch caches (``repro.model.prepared``),
+so topology reuse still happens within a worker without any cross-
+process locking; cross-task artifacts (benchmarks, prepared samples)
+flow through the on-disk :mod:`repro.eval.resultstore` instead.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+__all__ = ["resolve_jobs", "parallel_map"]
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Worker count: explicit arg > ``REPRO_JOBS`` env > all cores."""
+    if jobs is not None:
+        return max(1, int(jobs))
+    env = os.environ.get("REPRO_JOBS", "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ValueError(
+                f"REPRO_JOBS must be an integer, got {env!r}"
+            ) from None
+    return os.cpu_count() or 1
+
+
+def _pool_context():
+    """Fork keeps workers cheap (inherited imports + numpy state); fall
+    back to spawn where fork is unavailable."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def parallel_map(fn, items, jobs: int | None = None) -> list:
+    """``[fn(x) for x in items]`` across worker processes, order kept.
+
+    ``fn`` must be a module-level callable and every item picklable.
+    With one job (or one item) this degrades to the serial loop — no
+    pool, no pickling — so serial and parallel runs share one code path.
+    """
+    items = list(items)
+    n_jobs = min(resolve_jobs(jobs), len(items))
+    if n_jobs <= 1:
+        return [fn(item) for item in items]
+    ctx = _pool_context()
+    with ctx.Pool(processes=n_jobs) as pool:
+        return pool.map(fn, items, chunksize=1)

@@ -1,0 +1,365 @@
+"""Config-fingerprinted experiment result store (DESIGN.md §7).
+
+Every on-disk experiment artifact — built dataset benchmarks, prepared
+samples, fold/ablation/select-only results — lives in one store keyed by
+a *fingerprint*: a SHA-256 hash over the canonically serialized tuple of
+everything that affects the artifact's content (scale knobs, graph
+ablation switches, GNN/training configs including dtype, estimator
+names, placements, ...) plus a single :data:`SCHEMA_VERSION`.
+
+The fingerprint discipline replaces the hand-maintained cache keys that
+once let results computed under old code stay "hot" after the code
+changed (the stale Fig. 7 failure): there are no historical-key
+exceptions — change any config knob or bump ``SCHEMA_VERSION`` and the
+old entry simply becomes unreachable. The store also provides:
+
+* **atomic writes** — pickle to a per-process temp file, then
+  ``os.replace``; a killed run never leaves a truncated entry behind;
+* **quarantine** — a corrupt or truncated entry is deleted on the first
+  failed load and recomputed, instead of re-crashing every later run;
+* **manifest** — a ``manifest.json`` plus per-entry ``.meta.json``
+  sidecars so ``scripts/cache.py`` can list/inspect/clear entries
+  without unpickling anything;
+* **stats()/gc(max_bytes)** — store-wide accounting and
+  least-recently-used eviction (loads bump the entry mtime).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import pickle
+import re
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+#: Bump when *any* code change invalidates previously computed artifacts
+#: (sample semantics, benchmark generation, result record layout, ...).
+#: This is the only version knob: individual kinds never keep
+#: hand-maintained historical keys.
+SCHEMA_VERSION = 3
+
+_KIND_RE = re.compile(r"^[a-z][a-z0-9_]*$")
+
+
+def cache_dir() -> Path:
+    """Store root: ``$REPRO_CACHE_DIR`` or ``<repo>/.bench_cache``."""
+    root = os.environ.get("REPRO_CACHE_DIR")
+    if root:
+        return Path(root)
+    return Path(__file__).resolve().parents[3] / ".bench_cache"
+
+
+# ----------------------------------------------------------------------
+def canonical(obj):
+    """A stable, hashable-by-repr form of an arbitrary config value.
+
+    Dataclasses serialize as (qualified class name, sorted field items)
+    so renaming or reordering fields changes the fingerprint while the
+    same config always maps to the same form, process after process.
+    """
+    if obj is None or isinstance(obj, (bool, int, str, bytes)):
+        return obj
+    if isinstance(obj, float):
+        return ("f", repr(float(obj)))  # float(): np.float64 reprs differ
+    if isinstance(obj, enum.Enum):
+        return ("enum", type(obj).__name__, obj.name)
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        items = tuple(
+            (f.name, canonical(getattr(obj, f.name)))
+            for f in dataclasses.fields(obj)
+        )
+        cls = type(obj)
+        return ("dc", f"{cls.__module__}.{cls.__qualname__}", items)
+    if isinstance(obj, np.ndarray):
+        return ("nd", obj.dtype.str, obj.shape, obj.tobytes())
+    if isinstance(obj, np.generic):
+        return canonical(obj.item())
+    if isinstance(obj, (tuple, list)):
+        return ("seq", tuple(canonical(v) for v in obj))
+    if isinstance(obj, dict):
+        items = sorted((repr(canonical(k)), canonical(v)) for k, v in obj.items())
+        return ("map", tuple(items))
+    if isinstance(obj, (set, frozenset)):
+        return ("set", tuple(sorted(repr(canonical(v)) for v in obj)))
+    if isinstance(obj, Path):
+        return ("path", str(obj))
+    if isinstance(obj, type):
+        return ("type", f"{obj.__module__}.{obj.__qualname__}")
+    raise TypeError(
+        f"cannot fingerprint {type(obj).__name__!r} values; "
+        "pass dataclasses, containers, or primitives"
+    )
+
+
+def fingerprint(*parts) -> str:
+    """SHA-256 over the canonical serialized parts + SCHEMA_VERSION."""
+    payload = repr(("schema", SCHEMA_VERSION, canonical(tuple(parts))))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class StoreEntry:
+    """One stored artifact, described without unpickling it."""
+
+    kind: str
+    fingerprint: str
+    path: Path
+    bytes: int
+    created: float
+    last_used: float
+    description: str = ""
+
+    @property
+    def name(self) -> str:
+        return self.path.name
+
+
+class ResultStore:
+    """Content-addressed pickle store under one root directory."""
+
+    def __init__(self, root: Path | str | None = None):
+        self.root = Path(root) if root is not None else cache_dir()
+        self.hits = 0
+        self.misses = 0
+        self.quarantined = 0
+
+    # -- keys ----------------------------------------------------------
+    @staticmethod
+    def fingerprint(*parts) -> str:
+        return fingerprint(*parts)
+
+    def path(self, kind: str, fp: str) -> Path:
+        if not _KIND_RE.match(kind):
+            raise ValueError(f"invalid store kind {kind!r}")
+        return self.root / f"{kind}_{fp}.pkl"
+
+    @staticmethod
+    def _meta_path(path: Path) -> Path:
+        return path.with_suffix(".meta.json")
+
+    # -- load/store ----------------------------------------------------
+    def load(self, kind: str, fp: str):
+        """Unpickle an entry, or None. Corrupt entries are quarantined:
+        deleted on the first failed load so the next run recomputes
+        instead of crashing on the same truncated file forever."""
+        path = self.path(kind, fp)
+        try:
+            with open(path, "rb") as fh:
+                obj = pickle.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (MemoryError, RecursionError):
+            # resource exhaustion, not corruption — the entry may be
+            # perfectly valid (and expensive); never quarantine it
+            raise
+        except Exception:
+            # EOFError/UnpicklingError on truncation, AttributeError/
+            # ImportError on renamed classes, ValueError on bad
+            # protocols, OSError on IO trouble — all mean the entry is
+            # unusable; drop it and its sidecar.
+            self.quarantined += 1
+            self.misses += 1
+            self._unlink(path)
+            return None
+        self.hits += 1
+        try:
+            os.utime(path)  # LRU signal for gc()
+        except OSError:
+            pass
+        return obj
+
+    def store(self, kind: str, fp: str, obj, description: str = "") -> Path:
+        path = self.path(kind, fp)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        with open(tmp, "wb") as fh:
+            pickle.dump(obj, fh)
+        os.replace(tmp, path)
+        meta = {
+            "kind": kind,
+            "fingerprint": fp,
+            "schema_version": SCHEMA_VERSION,
+            "created": time.time(),
+            "description": description,
+        }
+        meta_tmp = path.with_suffix(f".metatmp{os.getpid()}")
+        with open(meta_tmp, "w") as fh:
+            json.dump(meta, fh)
+        os.replace(meta_tmp, self._meta_path(path))
+        # manifest.json is rebuilt lazily (stats/gc/clear/scripts) —
+        # regenerating it per store() would rescan the directory on
+        # every write, O(N^2) across a warm-up that stores N entries
+        return path
+
+    def get_or_compute(
+        self,
+        kind: str,
+        fp: str,
+        compute,
+        use_cache: bool = True,
+        description: str = "",
+    ):
+        """Load the entry, or compute + store it (the one cache idiom)."""
+        if use_cache:
+            cached = self.load(kind, fp)
+            if cached is not None:
+                return cached
+        obj = compute()
+        if use_cache:
+            self.store(kind, fp, obj, description=description)
+        return obj
+
+    def _unlink(self, path: Path) -> None:
+        for p in (path, self._meta_path(path)):
+            try:
+                p.unlink()
+            except OSError:
+                pass
+
+    # -- inspection ----------------------------------------------------
+    def entries(self) -> list[StoreEntry]:
+        out: list[StoreEntry] = []
+        if not self.root.is_dir():
+            return out
+        for path in sorted(self.root.glob("*.pkl")):
+            kind, _, fp = path.stem.rpartition("_")
+            meta = {}
+            try:
+                with open(self._meta_path(path)) as fh:
+                    meta = json.load(fh)
+            except (OSError, json.JSONDecodeError):
+                pass
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            out.append(
+                StoreEntry(
+                    kind=meta.get("kind", kind or path.stem),
+                    fingerprint=meta.get("fingerprint", fp),
+                    path=path,
+                    bytes=stat.st_size,
+                    created=float(meta.get("created", stat.st_mtime)),
+                    last_used=stat.st_mtime,
+                    description=meta.get("description", ""),
+                )
+            )
+        return out
+
+    def stats(self) -> dict:
+        entries = self.entries()
+        self.write_manifest()
+        per_kind: dict[str, dict] = {}
+        for entry in entries:
+            bucket = per_kind.setdefault(entry.kind, {"count": 0, "bytes": 0})
+            bucket["count"] += 1
+            bucket["bytes"] += entry.bytes
+        return {
+            "root": str(self.root),
+            "schema_version": SCHEMA_VERSION,
+            "entries": len(entries),
+            "bytes": sum(e.bytes for e in entries),
+            "kinds": per_kind,
+            "hits": self.hits,
+            "misses": self.misses,
+            "quarantined": self.quarantined,
+        }
+
+    def write_manifest(self) -> Path:
+        """Aggregate the sidecars into ``manifest.json`` (atomic)."""
+        manifest = {
+            "schema_version": SCHEMA_VERSION,
+            "generated": time.time(),
+            "entries": [
+                {
+                    "file": e.name,
+                    "kind": e.kind,
+                    "fingerprint": e.fingerprint,
+                    "bytes": e.bytes,
+                    "created": e.created,
+                    "description": e.description,
+                }
+                for e in self.entries()
+            ],
+        }
+        path = self.root / "manifest.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        with open(tmp, "w") as fh:
+            json.dump(manifest, fh, indent=1)
+        os.replace(tmp, path)
+        return path
+
+    # -- maintenance ---------------------------------------------------
+    def _sweep_stale_tmp(self, max_age_seconds: float = 3600.0) -> int:
+        """Delete orphaned temp files from killed runs. Fresh ones are
+        spared — they may be another process's in-flight write."""
+        if not self.root.is_dir():
+            return 0
+        cutoff = time.time() - max_age_seconds
+        removed = 0
+        for path in self.root.iterdir():
+            if ".tmp" not in path.suffix and ".metatmp" not in path.suffix:
+                continue
+            try:
+                if path.stat().st_mtime < cutoff:
+                    path.unlink()
+                    removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def gc(self, max_bytes: int) -> dict:
+        """Evict least-recently-used entries until total <= max_bytes."""
+        self._sweep_stale_tmp()
+        entries = sorted(self.entries(), key=lambda e: e.last_used)
+        total = sum(e.bytes for e in entries)
+        evicted: list[str] = []
+        freed = 0
+        for entry in entries:
+            if total - freed <= max_bytes:
+                break
+            self._unlink(entry.path)
+            evicted.append(entry.name)
+            freed += entry.bytes
+        if evicted:
+            self.write_manifest()
+        return {"evicted": evicted, "freed_bytes": freed,
+                "remaining_bytes": total - freed}
+
+    def clear(self, kind: str | None = None) -> int:
+        """Delete all entries (of one kind, if given); returns count."""
+        self._sweep_stale_tmp(max_age_seconds=0.0 if kind is None else 3600.0)
+        removed = 0
+        for entry in self.entries():
+            if kind is not None and entry.kind != kind:
+                continue
+            self._unlink(entry.path)
+            removed += 1
+        if removed:
+            self.write_manifest()
+        return removed
+
+
+# ----------------------------------------------------------------------
+_STORES: dict[str, ResultStore] = {}
+
+
+def default_store() -> ResultStore:
+    """The store rooted at :func:`cache_dir` (one instance per root, so
+    hit/miss counters survive across calls but tests can redirect the
+    root via ``REPRO_CACHE_DIR`` mid-process)."""
+    root = str(cache_dir())
+    store = _STORES.get(root)
+    if store is None:
+        store = _STORES[root] = ResultStore(root)
+    return store

@@ -23,6 +23,7 @@ from __future__ import annotations
 import itertools
 from collections import OrderedDict
 from dataclasses import dataclass
+from dataclasses import fields as dataclass_fields
 
 import numpy as np
 
@@ -137,6 +138,52 @@ class PreparedGraph:
     edges: np.ndarray
     root_id: int
     root_level: int
+
+    # -- pickling ------------------------------------------------------
+    # Cache entries must be pickle-stable: a serialized PreparedGraph is
+    # self-contained (no alias into its prepare call's shared base
+    # matrices, which would drag the whole call's features through the
+    # pickle) and base_token never collides across processes (tokens
+    # come from a per-process counter, so a shipped token could falsely
+    # match a live prepare call in the receiver).
+    def __getstate__(self) -> dict:
+        state = {f.name: getattr(self, f.name) for f in dataclass_fields(self)}
+        # per-graph feature copies instead of views into the shared base
+        # (a real .copy(): contiguous slices pass ascontiguousarray
+        # unchanged, which would let copy.copy() retain the whole call)
+        state["features_by_type"] = {
+            code: mat.copy() for code, mat in self.features_by_type.items()
+        }
+        state["base_matrices"] = None
+        state["base_token"] = None
+        # column views of node_meta/edge_meta — rebuilt on load
+        for name in ("levels", "type_code", "feat_row", "edges"):
+            state[name] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        global _PREPARE_TOKEN
+        # copy before mutating: under copy.copy() the state dict
+        # aliases the live source object's arrays
+        meta = state["node_meta"] = state["node_meta"].copy()
+        edge_meta = state["edge_meta"]
+        state["levels"] = meta[:, 0]
+        state["type_code"] = meta[:, 1]
+        state["feat_row"] = meta[:, 2]
+        state["edges"] = edge_meta[:, :2]
+        # column 4 held the row inside the prepare call's *shared* type
+        # block; the unpickled graph's base is its own per-graph
+        # matrices, so the base row is now the per-graph feature row
+        # (otherwise the same-token batching fast path would gather
+        # rows offset by sibling graphs of the original call)
+        meta[:, 4] = meta[:, 2]
+        # the graph is its own base: batches of co-unpickled graphs use
+        # the general per-graph gather path (distinct fresh tokens)
+        state["base_matrices"] = state["features_by_type"]
+        _PREPARE_TOKEN += 1
+        state["base_token"] = _PREPARE_TOKEN
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
 
 
 def prepare_graphs(graphs: list[JointGraph]) -> list[PreparedGraph]:

@@ -1,4 +1,8 @@
-"""Shared fixtures: small databases and benchmarks, built once per session."""
+"""Shared fixtures: small databases and benchmarks, built once per session.
+
+(The tracked-cache-blob guard lives in the repo-root conftest.py so
+benchmark-only pytest invocations are protected too.)
+"""
 
 from __future__ import annotations
 

@@ -190,21 +190,22 @@ class TestViews:
 
 
 class TestExperimentScale:
-    def test_key_stable_across_processes(self):
-        from repro.eval.experiments import ExperimentScale
+    def test_fingerprint_stable_across_processes(self):
+        from repro.eval.experiments import ExperimentScale, folds_fingerprint
 
-        key = ExperimentScale().key()
-        assert key == ExperimentScale().key()
-        assert "ds_" in key and key.startswith("v1_")
+        fp = folds_fingerprint(ExperimentScale())
+        assert fp == folds_fingerprint(ExperimentScale())
+        assert len(fp) == 16
 
-    def test_key_distinguishes_params(self):
-        from repro.eval.experiments import ExperimentScale
+    def test_fingerprint_distinguishes_params(self):
+        from repro.eval.experiments import ExperimentScale, folds_fingerprint
 
-        assert ExperimentScale(epochs=10).key() != ExperimentScale(epochs=11).key()
-        assert (
-            ExperimentScale(datasets=("imdb",)).key()
-            != ExperimentScale(datasets=("ssb",)).key()
+        assert folds_fingerprint(ExperimentScale(epochs=10)) != folds_fingerprint(
+            ExperimentScale(epochs=11)
         )
+        assert folds_fingerprint(
+            ExperimentScale(datasets=("imdb",))
+        ) != folds_fingerprint(ExperimentScale(datasets=("ssb",)))
 
     def test_scale_from_env(self, monkeypatch):
         from repro.eval.experiments import scale_from_env

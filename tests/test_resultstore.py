@@ -1,0 +1,465 @@
+"""Result-store tests: fingerprint keying, quarantine, gc, parallelism.
+
+The cache-poisoning regression class this guards against: a result
+computed under old code/config staying loadable after the code or config
+changed (the stale Fig. 7 failure). Every knob that shapes results must
+move the fingerprint; corrupt entries must self-heal; a parallel run
+must produce byte-identical records to the serial one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.cfg.builder import UDFGraphConfig
+from repro.core.joint_graph import JointGraphConfig
+from repro.eval.experiments import (
+    ABLATION_STEPS,
+    ExperimentScale,
+    SampleStore,
+    ablation_fingerprint,
+    folds_fingerprint,
+    run_ablation,
+    run_folds,
+    select_only_fingerprint,
+)
+from repro.eval.parallel import parallel_map, resolve_jobs
+from repro.eval.resultstore import (
+    SCHEMA_VERSION,
+    ResultStore,
+    canonical,
+    default_store,
+    fingerprint,
+)
+from repro.storage.generator import GeneratorConfig
+
+
+# ----------------------------------------------------------------------
+class TestFingerprint:
+    def test_stable_across_calls(self):
+        assert fingerprint("x", ExperimentScale()) == fingerprint(
+            "x", ExperimentScale()
+        )
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            dict(epochs=46),
+            dict(hidden_dim=64),
+            dict(seed=7),
+            dict(n_queries_per_db=65),
+            dict(n_folds=3),
+            dict(datasets=("imdb",)),
+            dict(estimators=("actual",)),
+            dict(n_ablation_seeds=4),
+            dict(generator=GeneratorConfig(scale=2.0)),
+        ],
+    )
+    def test_scale_knobs_change_folds_fingerprint(self, change):
+        assert folds_fingerprint(ExperimentScale(**change)) != folds_fingerprint(
+            ExperimentScale()
+        )
+
+    def test_use_cache_never_changes_fingerprint(self):
+        assert folds_fingerprint(
+            ExperimentScale(use_cache=False)
+        ) == folds_fingerprint(ExperimentScale(use_cache=True))
+
+    def test_explicit_default_generator_matches_none(self):
+        # load_or_build_dataset normalizes None -> GeneratorConfig();
+        # the result fingerprints must agree or making the default
+        # explicit would force a full recompute of identical artifacts
+        explicit = ExperimentScale(generator=GeneratorConfig())
+        assert folds_fingerprint(explicit) == folds_fingerprint(ExperimentScale())
+        store = SampleStore(explicit)
+        assert store.sample_fingerprint("imdb", "actual", None, False) == SampleStore(
+            ExperimentScale()
+        ).sample_fingerprint("imdb", "actual", None, False)
+
+    def test_dtype_changes_fingerprint(self, monkeypatch):
+        base = folds_fingerprint(ExperimentScale())
+        monkeypatch.setenv("REPRO_DTYPE", "float64")
+        assert folds_fingerprint(ExperimentScale()) != base
+
+    def test_ablation_config_flags_change_sample_fingerprint(self):
+        store = SampleStore(ExperimentScale())
+        base = store.sample_fingerprint("imdb", "actual", None, False)
+        flags = [
+            JointGraphConfig(udf_graph=UDFGraphConfig(include_structure=False)),
+            JointGraphConfig(udf_graph=UDFGraphConfig(include_loop_end=False)),
+            JointGraphConfig(udf_graph=UDFGraphConfig(residual_loop_edge=False)),
+            JointGraphConfig(distinguish_udf_filter=False),
+            JointGraphConfig(connect_columns_to_inv=False),
+            JointGraphConfig(include_udf_subgraph=False),
+        ]
+        prints = [
+            store.sample_fingerprint("imdb", "actual", None, False, config=c)
+            for c in flags
+        ]
+        assert len(set(prints + [base])) == len(flags) + 1  # all distinct
+
+    def test_default_config_is_explicit_default(self):
+        store = SampleStore(ExperimentScale())
+        assert store.sample_fingerprint(
+            "imdb", "actual", None, False, config=None
+        ) == store.sample_fingerprint(
+            "imdb", "actual", None, False, config=JointGraphConfig()
+        )
+
+    def test_estimator_changes_sample_fingerprint(self):
+        store = SampleStore(ExperimentScale())
+        assert store.sample_fingerprint(
+            "imdb", "actual", None, False
+        ) != store.sample_fingerprint("imdb", "deepdb", None, False)
+
+    def test_every_ablation_step_distinct(self):
+        scale = ExperimentScale()
+        store = SampleStore(scale)
+        prints = {
+            store.sample_fingerprint("imdb", "actual", None, False, config=c)
+            for _, c in ABLATION_STEPS
+        }
+        assert len(prints) == len(ABLATION_STEPS)
+
+    def test_driver_fingerprints_disjoint(self):
+        scale = ExperimentScale()
+        assert len({
+            folds_fingerprint(scale),
+            select_only_fingerprint(scale),
+            ablation_fingerprint(scale, "genome"),
+            ablation_fingerprint(scale, "imdb"),
+        }) == 4
+
+    def test_canonical_rejects_opaque_objects(self):
+        with pytest.raises(TypeError):
+            canonical(object())
+
+    def test_canonical_handles_numpy(self):
+        assert canonical(np.float64(1.5)) == canonical(1.5)
+        a = fingerprint(np.arange(3))
+        b = fingerprint(np.arange(3))
+        assert a == b
+
+
+# ----------------------------------------------------------------------
+class TestResultStore:
+    def test_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        fp = store.fingerprint("thing", 1, 2.5, ("a", "b"))
+        obj = {"records": [1, 2, 3], "arr": [4.0, 5.0]}
+        store.store("folds", fp, obj, description="round trip")
+        assert store.load("folds", fp) == obj
+
+    def test_miss_returns_none(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.load("folds", "0" * 16) is None
+        assert store.misses == 1
+
+    def test_truncated_entry_quarantined_and_recomputed(self, tmp_path):
+        store = ResultStore(tmp_path)
+        fp = store.fingerprint("x")
+        store.store("samples", fp, list(range(1000)))
+        path = store.path("samples", fp)
+        path.write_bytes(path.read_bytes()[:20])  # truncate
+        assert store.load("samples", fp) is None
+        assert store.quarantined == 1
+        assert not path.exists()  # deleted on FIRST failed load, not retried
+        # and the compute path heals it
+        assert store.get_or_compute("samples", fp, lambda: [7]) == [7]
+        assert store.load("samples", fp) == [7]
+
+    def test_resource_exhaustion_never_quarantines(self, tmp_path, monkeypatch):
+        import pickle as pickle_mod
+
+        store = ResultStore(tmp_path)
+        fp = store.fingerprint("expensive")
+        store.store("folds", fp, [1, 2, 3])
+
+        def exploding_load(fh):
+            raise MemoryError("transient pressure")
+
+        monkeypatch.setattr(pickle_mod, "load", exploding_load)
+        with pytest.raises(MemoryError):
+            store.load("folds", fp)
+        monkeypatch.undo()
+        # the (valid, expensive) entry survived and still loads
+        assert store.load("folds", fp) == [1, 2, 3]
+        assert store.quarantined == 0
+
+    def test_garbage_bytes_quarantined(self, tmp_path):
+        store = ResultStore(tmp_path)
+        fp = store.fingerprint("y")
+        path = store.path("samples", fp)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"not a pickle at all")
+        assert store.load("samples", fp) is None
+        assert not path.exists()
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.store("bench", store.fingerprint(1), [1])
+        leftovers = [p for p in tmp_path.iterdir() if "tmp" in p.name]
+        assert leftovers == []
+
+    def test_get_or_compute_respects_use_cache(self, tmp_path):
+        store = ResultStore(tmp_path)
+        fp = store.fingerprint("z")
+        calls = []
+        compute = lambda: calls.append(1) or len(calls)  # noqa: E731
+        assert store.get_or_compute("folds", fp, compute, use_cache=False) == 1
+        assert store.get_or_compute("folds", fp, compute, use_cache=False) == 2
+        assert store.path("folds", fp).exists() is False
+        assert store.get_or_compute("folds", fp, compute, use_cache=True) == 3
+        assert store.get_or_compute("folds", fp, compute, use_cache=True) == 3
+
+    def test_stats_and_manifest(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.store("bench", store.fingerprint(1), [1], description="one")
+        store.store("folds", store.fingerprint(2), [2, 3], description="two")
+        stats = store.stats()
+        assert stats["entries"] == 2
+        assert set(stats["kinds"]) == {"bench", "folds"}
+        assert stats["schema_version"] == SCHEMA_VERSION
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert len(manifest["entries"]) == 2
+        by_kind = {e["kind"]: e for e in manifest["entries"]}
+        assert by_kind["bench"]["description"] == "one"
+        assert by_kind["bench"]["fingerprint"] == store.fingerprint(1)
+
+    def test_clear_by_kind(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.store("bench", store.fingerprint(1), [1])
+        store.store("folds", store.fingerprint(2), [2])
+        assert store.clear(kind="folds") == 1
+        assert store.load("bench", store.fingerprint(1)) == [1]
+        assert store.load("folds", store.fingerprint(2)) is None
+
+    def test_gc_evicts_least_recently_used(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for i in range(4):
+            fp = store.fingerprint(i)
+            store.store("bench", fp, list(range(200)))
+            os.utime(store.path("bench", fp), (1_000_000 + i, 1_000_000 + i))
+        entry_bytes = store.path("bench", store.fingerprint(0)).stat().st_size
+        report = store.gc(max_bytes=2 * entry_bytes)
+        # the two oldest entries (0, 1) go; 2 and 3 stay
+        assert len(report["evicted"]) == 2
+        assert store.load("bench", store.fingerprint(0)) is None
+        assert store.load("bench", store.fingerprint(3)) is not None
+        assert store.stats()["bytes"] <= 2 * entry_bytes
+
+    def test_load_refreshes_lru_position(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for i in range(2):
+            fp = store.fingerprint(i)
+            store.store("bench", fp, [i])
+            os.utime(store.path("bench", fp), (1_000_000 + i, 1_000_000 + i))
+        store.load("bench", store.fingerprint(0))  # bumps entry 0's mtime
+        report = store.gc(max_bytes=store.path(
+            "bench", store.fingerprint(0)).stat().st_size)
+        assert store.load("bench", store.fingerprint(0)) is not None
+        assert len(report["evicted"]) == 1
+
+    def test_gc_and_clear_sweep_orphaned_tmp_files(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.store("bench", store.fingerprint(1), [1])
+        stale = tmp_path / "folds_deadbeef.tmp999"
+        stale.write_bytes(b"partial write from a killed run")
+        os.utime(stale, (1_000_000, 1_000_000))  # hours old
+        fresh = tmp_path / "folds_cafe.tmp1000"
+        fresh.write_bytes(b"maybe in-flight")
+        store.gc(max_bytes=10**9)  # evicts nothing, sweeps stale tmp
+        assert not stale.exists()
+        assert fresh.exists()  # young files may be another process's write
+        store.clear()  # clear-all is explicit: every tmp goes
+        assert not fresh.exists()
+
+    def test_default_store_follows_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "a"))
+        assert default_store().root == tmp_path / "a"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "b"))
+        assert default_store().root == tmp_path / "b"
+
+
+# ----------------------------------------------------------------------
+def _square(x):
+    return x * x
+
+
+class TestParallelMap:
+    def test_serial_fallback_keeps_order(self):
+        assert parallel_map(_square, range(5), jobs=1) == [0, 1, 4, 9, 16]
+
+    def test_parallel_keeps_order(self):
+        assert parallel_map(_square, range(8), jobs=3) == [
+            0, 1, 4, 9, 16, 25, 36, 49,
+        ]
+
+    def test_resolve_jobs(self, monkeypatch):
+        assert resolve_jobs(4) == 4
+        monkeypatch.setenv("REPRO_JOBS", "6")
+        assert resolve_jobs() == 6
+        assert resolve_jobs(2) == 2  # explicit arg wins
+        monkeypatch.setenv("REPRO_JOBS", "banana")
+        with pytest.raises(ValueError):
+            resolve_jobs()
+        monkeypatch.delenv("REPRO_JOBS")
+        assert resolve_jobs() >= 1
+
+
+# ----------------------------------------------------------------------
+TINY_GENERATOR = GeneratorConfig(
+    fact_rows=(300, 600), dim_rows=(40, 120), min_tables=3, max_tables=4
+)
+
+
+def _tiny_scale(**overrides) -> ExperimentScale:
+    base = dict(
+        datasets=("imdb", "ssb"), n_queries_per_db=6, n_folds=2, epochs=3,
+        hidden_dim=8, shards_per_epoch=2, estimators=("actual",),
+        advisor_max_queries=3, generator=TINY_GENERATOR, n_ablation_seeds=2,
+    )
+    base.update(overrides)
+    return ExperimentScale(**base)
+
+
+def _strip_timings(runs):
+    """Record content minus wall-clock noise (phase timings, overheads)."""
+    return [
+        (
+            run.test_dataset,
+            run.predictions,
+            [
+                (r.dataset, r.query_id, r.estimator, r.pushdown_runtime,
+                 r.pullup_runtime, r.decisions)
+                for r in run.advisor
+            ],
+        )
+        for run in runs
+    ]
+
+
+class TestParallelFoldRunner:
+    def test_parallel_run_matches_serial(self, tmp_path, monkeypatch):
+        """REPRO_JOBS=4 must produce records identical to the serial run."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        scale = _tiny_scale()
+        serial = run_folds(scale, jobs=1)
+        default_store().clear(kind="folds")
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        parallel = run_folds(scale)
+        assert _strip_timings(parallel) == _strip_timings(serial)
+        # the parallel run stored its result under the same fingerprint
+        assert default_store().load("folds", folds_fingerprint(scale)) is not None
+
+    def test_multi_seed_ablation_shape(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        scale = _tiny_scale(n_folds=1)
+        results = run_ablation(scale, jobs=2)
+        assert set(results) == {step for step, _ in ABLATION_STEPS}
+        for summary in results.values():
+            assert summary["n_seeds"] == scale.n_ablation_seeds
+            assert len(summary["seed_medians"]) == scale.n_ablation_seeds
+            assert summary["median"] == pytest.approx(
+                float(np.median(summary["seed_medians"]))
+            )
+
+
+# ----------------------------------------------------------------------
+class TestPreparedGraphPickle:
+    def test_round_trip_is_self_contained(self):
+        from repro.core.joint_graph import JointGraph
+        from repro.model.prepared import prepare_graphs
+
+        g1 = JointGraph(
+            node_types=["TABLE", "SCAN", "FILTER"],
+            features=[np.ones(3), np.full(3, 2.0), np.ones(2)],
+            edges=[(0, 1), (1, 2)],
+            root_id=2,
+        )
+        g2 = JointGraph(
+            node_types=["TABLE", "SCAN"],
+            features=[np.zeros(3), np.ones(3)],
+            edges=[(0, 1)],
+            root_id=1,
+        )
+        p1, p2 = prepare_graphs([g1, g2])  # share one base-matrix dict
+        q1, q2 = pickle.loads(pickle.dumps([p1, p2]))
+        for orig, loaded in ((p1, q1), (p2, q2)):
+            # columns 0-3 (level/type/feat row/rank) survive unchanged;
+            # column 4 (shared-base row) is re-pointed at the per-graph
+            # feature rows because the graph is now its own base
+            assert np.array_equal(loaded.node_meta[:, :4], orig.node_meta[:, :4])
+            assert np.array_equal(loaded.node_meta[:, 4], orig.feat_row)
+            assert np.array_equal(loaded.edge_meta, orig.edge_meta)
+            assert loaded.levels.base is loaded.node_meta  # views rebuilt
+            assert loaded.edges.base is loaded.edge_meta
+            for code, mat in orig.features_by_type.items():
+                assert np.array_equal(loaded.features_by_type[code], mat)
+        # unpickled graphs are their own base: no cross-graph aliasing,
+        # and tokens never collide with live prepare calls
+        assert q1.base_matrices is q1.features_by_type
+        assert q1.base_token != q2.base_token
+        assert q1.base_token != p1.base_token
+
+    def test_copy_does_not_corrupt_source(self):
+        import copy
+
+        from repro.core.joint_graph import JointGraph
+        from repro.model.prepared import prepare_graphs
+
+        g1 = JointGraph(
+            node_types=["TABLE", "SCAN"],
+            features=[np.ones(3), np.ones(3)],
+            edges=[(0, 1)],
+            root_id=1,
+        )
+        g2 = JointGraph(
+            node_types=["TABLE", "SCAN"],
+            features=[np.zeros(3), np.full(3, 2.0)],
+            edges=[(0, 1)],
+            root_id=1,
+        )
+        _, p2 = prepare_graphs([g1, g2])  # p2's shared-base rows offset by g1
+        before = p2.node_meta.copy()
+        copy.copy(p2)  # runs __getstate__/__setstate__ on aliased state
+        assert np.array_equal(p2.node_meta, before)
+
+    def test_unpickled_graph_batches_identically(self):
+        from repro.core.joint_graph import JointGraph
+        from repro.model.batching import make_batch_prepared
+        from repro.model.prepared import prepare_graphs
+
+        # g2 prepared JOINTLY with g1, then pickled alone: its shared-
+        # base feature rows are offset by g1's nodes, so the same-token
+        # batching fast path must be re-pointed at per-graph rows on
+        # unpickle or it gathers the wrong (or out-of-range) features.
+        g1 = JointGraph(
+            node_types=["TABLE", "SCAN", "FILTER", "FILTER"],
+            features=[np.ones(3), np.full(3, 2.0), np.ones(2), np.zeros(2)],
+            edges=[(0, 1), (1, 2), (2, 3)],
+            root_id=3,
+        )
+        g2 = JointGraph(
+            node_types=["TABLE", "SCAN", "FILTER"],
+            features=[np.full(3, 3.0), np.full(3, 4.0), np.full(2, 5.0)],
+            edges=[(0, 1), (1, 2)],
+            root_id=2,
+        )
+        _, p2 = prepare_graphs([g1, g2])
+        q2 = pickle.loads(pickle.dumps(p2))
+        batch_p = make_batch_prepared([p2], [1.0])
+        batch_q = make_batch_prepared([q2], [1.0])
+        assert np.array_equal(batch_p.root_positions, batch_q.root_positions)
+        for lp, lq in zip(batch_p.levels, batch_q.levels):
+            assert set(lp.type_groups) == set(lq.type_groups)
+            for code in lp.type_groups:
+                feats_p, pos_p = lp.type_groups[code]
+                feats_q, pos_q = lq.type_groups[code]
+                assert np.array_equal(feats_p, feats_q)  # the gathered rows
+                assert np.array_equal(pos_p, pos_q)
