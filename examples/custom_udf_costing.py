@@ -12,7 +12,7 @@ import numpy as np
 
 from repro.cfg import UDFNodeType, build_udf_graph
 from repro.core import estimate_hit_ratios
-from repro.sql import ColumnRef, CompareOp
+from repro.sql import CompareOp
 from repro.sql.costmodel import COST_CONSTANTS
 from repro.stats import QueryFragment, make_estimator
 from repro.storage import generate_database

@@ -11,8 +11,6 @@ queries and compares three ways of picking one:
 Run:  python examples/join_order_optimization.py
 """
 
-import numpy as np
-
 from repro.advisor import LearnedPlanSelector
 from repro.bench import WorkloadConfig, WorkloadGenerator, build_dataset_benchmark
 from repro.eval import prepare_dataset_samples

@@ -8,8 +8,6 @@ against always-push-down (the DBMS default) and the optimum.
 Run:  python examples/pullup_advisor.py
 """
 
-import numpy as np
-
 from repro.advisor import PullUpAdvisor
 from repro.bench import build_dataset_benchmark
 from repro.eval import prepare_dataset_samples, training_placements
@@ -40,7 +38,7 @@ def main() -> None:
 
     entries = [e for e in bench.entries if len(e.runs) == 3][:25]
     print(f"\nadvising on {len(entries)} UDF-filter queries "
-          f"(conservative strategy, DeepDB cardinalities):\n")
+          "(conservative strategy, DeepDB cardinalities):\n")
     total_default = total_advised = total_optimal = 0.0
     for entry in entries:
         decision = advisor.decide(entry.query)

@@ -1,13 +1,54 @@
 #!/usr/bin/env bash
 # Run the perf benchmarks (excluded from the default pytest run).
 #
-#   scripts/bench.sh                  # pipeline throughput -> BENCH_pipeline.json
+#   scripts/bench.sh                  # pipeline + serving -> BENCH_*.json
 #   scripts/bench.sh benchmarks/...   # any explicit perf-marked selection
+#
+# CI contract (.github/workflows/ci.yml `bench-smoke` job):
+#   * `set -euo pipefail` + explicit status propagation: a failing
+#     benchmark fails the job even though the JSON summary still prints;
+#   * REPRO_SCALE / REPRO_JOBS env overrides pass straight through to
+#     the experiment layer (quick scale + bounded workers on CI);
+#   * the last line is a one-line JSON summary of every BENCH_*.json
+#     (prefixed BENCH_SUMMARY) so the perf trajectory is greppable from
+#     the job log next to the uploaded artifacts.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
-selection=("benchmarks/test_perf_pipeline.py")
+export REPRO_SCALE="${REPRO_SCALE:-default}"
+if [ -n "${REPRO_JOBS:-}" ]; then
+    export REPRO_JOBS
+fi
+
+selection=(benchmarks/test_perf_pipeline.py benchmarks/test_perf_serving.py)
 if [ "$#" -gt 0 ]; then
     selection=("$@")
 fi
-exec python -m pytest "${selection[@]}" -m perf -q -s
+
+status=0
+python -m pytest "${selection[@]}" -m perf -q -s || status=$?
+
+python - <<'PY'
+import glob
+import json
+
+def speedups(node, prefix=""):
+    out = {}
+    if isinstance(node, dict):
+        for key, value in node.items():
+            path = f"{prefix}.{key}" if prefix else key
+            if isinstance(value, (int, float)) and "speedup" in key:
+                out[path] = round(float(value), 2)
+            else:
+                out.update(speedups(value, path))
+    return out
+
+summary = {}
+for path in sorted(glob.glob("BENCH_*.json")):
+    with open(path) as fh:
+        data = json.load(fh)
+    summary[path[len("BENCH_"):-len(".json")]] = speedups(data)
+print("BENCH_SUMMARY " + json.dumps(summary, separators=(",", ":"), sort_keys=True))
+PY
+
+exit "$status"

@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Launch the cost-model advisor service over a synthetic benchmark.
+
+Trains (or reuses from the registry) a CostGNN for the chosen dataset,
+publishes it as a registry version, and serves predictions + placement
+advice over HTTP::
+
+    PYTHONPATH=src python scripts/serve.py --dataset movielens --port 8080
+
+    curl localhost:8080/healthz
+    curl localhost:8080/models
+    curl -X POST localhost:8080/advise -d '{"query": {...}}'
+
+See ``examples/serving_client.py`` for a full client round-trip.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench import build_dataset_benchmark
+from repro.eval import prepare_dataset_samples, training_placements
+from repro.model import GNNConfig, GracefulModel, TrainConfig
+from repro.serve import AdvisorService, MicroBatchEngine, ModelRegistry, make_server
+from repro.stats import StatisticsCatalog, make_estimator
+
+
+def build_service(args: argparse.Namespace):
+    """(server, registry, model_version) for the parsed CLI options."""
+    registry = ModelRegistry(args.registry_dir)
+    model_name = args.model or f"costgnn-{args.dataset}"
+
+    print(f"building {args.dataset} benchmark ({args.queries} queries)...")
+    bench = build_dataset_benchmark(
+        args.dataset, n_queries=args.queries, seed=args.seed
+    )
+
+    versions = registry.versions(model_name)
+    if versions and not args.retrain:
+        version = versions[-1]
+        model = registry.load(model_name)
+        print(f"serving registry model {version.ref} ({version.dtype})")
+    else:
+        print(f"training {model_name} (epochs={args.epochs})...")
+        samples = prepare_dataset_samples(
+            bench, estimator_name="actual", placements=training_placements()
+        )
+        graceful = GracefulModel(
+            GNNConfig(hidden_dim=args.hidden_dim),
+            TrainConfig(epochs=args.epochs),
+        )
+        graceful.fit(samples)
+        model = graceful.model
+        version = registry.publish(
+            model_name,
+            model,
+            metrics={"n_training_samples": len(samples)},
+            description=f"trained by scripts/serve.py on {args.dataset}",
+        )
+        print(f"published {version.ref}")
+
+    engine = MicroBatchEngine(
+        model,
+        max_batch_size=args.max_batch_size,
+        max_wait_us=args.max_wait_us,
+    )
+    service = AdvisorService(
+        engine,
+        catalog=StatisticsCatalog(bench.database),
+        estimator=make_estimator(args.estimator, bench.database),
+        strategy=args.strategy,
+    )
+    server = make_server(
+        service,
+        registry=registry,
+        host=args.host,
+        port=args.port,
+        model_ref=version.ref,
+    )
+    return server, registry, version
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dataset", default="movielens")
+    parser.add_argument("--queries", type=int, default=60)
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080)
+    parser.add_argument("--hidden-dim", type=int, default=24)
+    parser.add_argument("--epochs", type=int, default=60)
+    parser.add_argument("--model", default="", help="registry model name")
+    parser.add_argument("--registry-dir", default=None)
+    parser.add_argument(
+        "--retrain", action="store_true", help="train even if a version exists"
+    )
+    parser.add_argument("--max-batch-size", type=int, default=64)
+    parser.add_argument("--max-wait-us", type=float, default=2000.0)
+    parser.add_argument("--strategy", default="conservative")
+    parser.add_argument("--estimator", default="actual")
+    args = parser.parse_args(argv)
+
+    server, _, version = build_service(args)
+    print(f"serving {version.ref} at {server.url} (ctrl-c to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.engine.close()
+
+
+if __name__ == "__main__":
+    main()

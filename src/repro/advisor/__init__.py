@@ -1,6 +1,12 @@
 """Pull-up/push-down advisor built on the learned cost model (§IV)."""
 
-from repro.advisor.advisor import AdvisorDecision, PullUpAdvisor
+from repro.advisor.advisor import (
+    AdvisorDecision,
+    PullUpAdvisor,
+    apply_strategy,
+    check_udf_filter_query,
+    placement_graphs,
+)
 from repro.advisor.planner import LearnedPlanSelector
 from repro.advisor.strategies import SELECTIVITY_LEVELS, STRATEGIES, auc, conservative, ubc
 
@@ -8,6 +14,9 @@ __all__ = [
     "AdvisorDecision",
     "LearnedPlanSelector",
     "PullUpAdvisor",
+    "apply_strategy",
+    "check_udf_filter_query",
+    "placement_graphs",
     "SELECTIVITY_LEVELS",
     "STRATEGIES",
     "auc",

@@ -32,6 +32,67 @@ from repro.stats.base import CardinalityEstimator
 from repro.stats.catalog import StatisticsCatalog
 
 
+def check_udf_filter_query(query: Query) -> None:
+    """Raise unless ``query`` is one the advisor applies to."""
+    if not query.has_udf or query.udf.role is not UDFRole.FILTER:
+        raise ModelError("the advisor only applies to UDF-filter queries")
+
+
+def placement_graphs(
+    query: Query,
+    catalog: StatisticsCatalog,
+    estimator: CardinalityEstimator,
+    levels: np.ndarray,
+    joint_config: JointGraphConfig,
+    placements: tuple[UDFPlacement, ...] = (
+        UDFPlacement.PUSH_DOWN,
+        UDFPlacement.PULL_UP,
+    ),
+) -> dict[UDFPlacement, list]:
+    """Annotated joint graphs per placement, one per selectivity level.
+
+    This is the advisor's graph-construction step (Fig. 4's
+    ``card = card * sel`` annotation), shared verbatim by the offline
+    :class:`PullUpAdvisor` and the online
+    :class:`repro.serve.advisor_service.AdvisorService` so the two can
+    never drift apart.
+    """
+    graphs: dict[UDFPlacement, list] = {}
+    for placement in placements:
+        graphs[placement] = []
+        for sel in levels:
+            plan = build_plan(query, placement)
+            for node in find_nodes(plan, UDFFilter):
+                node.assumed_selectivity = float(sel)
+            graphs[placement].append(
+                build_joint_graph(plan, catalog, estimator, joint_config)
+            )
+    return graphs
+
+
+def apply_strategy(
+    pullup_costs: np.ndarray,
+    pushdown_costs: np.ndarray,
+    levels: np.ndarray,
+    strategy: str,
+    true_selectivity: float | None = None,
+) -> tuple[bool, str]:
+    """Resolve the pull-up verdict: ``(pull_up, strategy_name)``.
+
+    With a known ``true_selectivity`` the two point predictions are
+    compared directly ("Cost" mode of Table V); otherwise the named
+    decision strategy consumes the full cost distributions.
+    """
+    if true_selectivity is not None:
+        return bool(pullup_costs[0] < pushdown_costs[0]), "cost"
+    strategy_fn = STRATEGIES.get(strategy)
+    if strategy_fn is None:
+        raise ModelError(
+            f"unknown strategy {strategy!r}; choose from {sorted(STRATEGIES)}"
+        )
+    return strategy_fn(pullup_costs, pushdown_costs, levels), strategy
+
+
 @dataclass
 class AdvisorDecision:
     """The advisor's verdict for one query."""
@@ -67,39 +128,25 @@ class PullUpAdvisor:
         GRACEFUL (Cost) row of Table V). Otherwise it produces the full
         cost distributions and applies the configured strategy.
         """
-        if not query.has_udf or query.udf.role is not UDFRole.FILTER:
-            raise ModelError("the advisor only applies to UDF-filter queries")
+        check_udf_filter_query(query)
         start = time.perf_counter()
         levels = (
             np.asarray([true_selectivity])
             if true_selectivity is not None
             else np.asarray(self.selectivity_levels, dtype=np.float64)
         )
-        costs: dict[UDFPlacement, np.ndarray] = {}
-        for placement in (UDFPlacement.PUSH_DOWN, UDFPlacement.PULL_UP):
-            graphs = []
-            for sel in levels:
-                plan = build_plan(query, placement)
-                for node in find_nodes(plan, UDFFilter):
-                    node.assumed_selectivity = float(sel)
-                graphs.append(
-                    build_joint_graph(plan, self.catalog, self.estimator, self.joint_config)
-                )
-            costs[placement] = predict_runtimes(self.model, graphs)
-
+        graphs = placement_graphs(
+            query, self.catalog, self.estimator, levels, self.joint_config
+        )
+        costs = {
+            placement: predict_runtimes(self.model, placement_set)
+            for placement, placement_set in graphs.items()
+        }
         pullup_costs = costs[UDFPlacement.PULL_UP]
         pushdown_costs = costs[UDFPlacement.PUSH_DOWN]
-        if true_selectivity is not None:
-            pull_up = bool(pullup_costs[0] < pushdown_costs[0])
-            strategy = "cost"
-        else:
-            strategy_fn = STRATEGIES.get(self.strategy)
-            if strategy_fn is None:
-                raise ModelError(
-                    f"unknown strategy {self.strategy!r}; choose from {sorted(STRATEGIES)}"
-                )
-            pull_up = strategy_fn(pullup_costs, pushdown_costs, levels)
-            strategy = self.strategy
+        pull_up, strategy = apply_strategy(
+            pullup_costs, pushdown_costs, levels, self.strategy, true_selectivity
+        )
         return AdvisorDecision(
             pull_up=pull_up,
             strategy=strategy,

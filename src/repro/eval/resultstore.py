@@ -56,6 +56,20 @@ def cache_dir() -> Path:
     return Path(__file__).resolve().parents[3] / ".bench_cache"
 
 
+def registry_dir() -> Path:
+    """Model-registry root: ``$REPRO_REGISTRY_DIR`` or ``<repo>/.model_registry``.
+
+    Unlike :func:`cache_dir` this is *not* a cache: published model
+    versions are durable serving artifacts and are never GC'd by
+    :meth:`ResultStore.gc`. It lives here because both roots follow the
+    same env-override discipline (tests redirect them per-process).
+    """
+    root = os.environ.get("REPRO_REGISTRY_DIR")
+    if root:
+        return Path(root)
+    return Path(__file__).resolve().parents[3] / ".model_registry"
+
+
 # ----------------------------------------------------------------------
 def canonical(obj):
     """A stable, hashable-by-repr form of an arbitrary config value.

@@ -37,3 +37,8 @@ class EstimationError(ReproError):
 
 class ModelError(ReproError):
     """A learned model was misconfigured or used before fitting."""
+
+
+class ServingError(ReproError):
+    """The online serving layer rejected a request (closed engine,
+    unknown model version, malformed payload, ...)."""

@@ -23,7 +23,7 @@ from repro.model.prepared import (
 )
 from repro.model.gbm import GBMConfig, GBMRegressor
 from repro.model.gnn import CostGNN, GNNConfig
-from repro.model.persistence import load_model, save_model
+from repro.model.persistence import load_model, model_summary, save_model
 from repro.model.training import (
     TrainConfig,
     TrainResult,
@@ -55,6 +55,7 @@ __all__ = [
     "evaluate_cost_model",
     "flat_features",
     "load_model",
+    "model_summary",
     "save_model",
     "make_batch",
     "make_batch_prepared",

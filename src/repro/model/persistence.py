@@ -19,6 +19,22 @@ from repro.model.gnn import CostGNN, GNNConfig
 _CONFIG_KEY = "__gnn_config__"
 
 
+def model_summary(model: CostGNN) -> dict:
+    """Size/precision metadata of a model, as stored by the registry.
+
+    Pure bookkeeping (no hashing) so :mod:`repro.model` needs no
+    dependency on the fingerprint machinery in :mod:`repro.eval`.
+    """
+    params = model.parameters()
+    return {
+        "dtype": model.config.dtype,
+        "hidden_dim": model.config.hidden_dim,
+        "n_parameters": int(sum(p.data.size for p in params)),
+        "n_tensors": len(params),
+        "node_types": list(model.config.node_types),
+    }
+
+
 def save_model(model: CostGNN, path: str | Path) -> Path:
     """Serialize a trained :class:`CostGNN` (weights + config) to ``path``."""
     path = Path(path)

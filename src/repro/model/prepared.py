@@ -404,6 +404,15 @@ class PreparedGraphCache:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def stats(self) -> dict:
+        """Occupancy + hit counters (surfaced by the serving stats API)."""
+        return {
+            "entries": len(self._entries),
+            "max_graphs": self.max_graphs,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
 
 class BatchCache:
     """LRU of fully assembled :class:`~repro.model.batching.GraphBatch`.

@@ -1,0 +1,46 @@
+"""Online serving: model registry, micro-batched inference, advisory API.
+
+The paper's end state is a cost model a database consults *at
+optimization time*; this package is that serving surface (DESIGN.md §9):
+
+* :class:`ModelRegistry` — named, versioned trained models with
+  fingerprinted metadata and an LRU of live instances;
+* :class:`MicroBatchEngine` — coalesces concurrent prediction requests
+  into joint prepared-graph batches behind per-request futures;
+* :class:`AdvisorService` — multi-client ``suggest_placement`` sessions
+  scoring every placement alternative in one micro-batch;
+* :mod:`repro.serve.http` — a stdlib JSON front end over all three.
+"""
+
+from repro.serve.advisor_service import (
+    AdvisorService,
+    AdvisorSession,
+    SessionStats,
+)
+from repro.serve.codec import (
+    decision_to_json,
+    graph_from_json,
+    graph_to_json,
+    query_from_json,
+    query_to_json,
+)
+from repro.serve.engine import EngineStats, MicroBatchEngine
+from repro.serve.http import ServingServer, make_server
+from repro.serve.registry import ModelRegistry, ModelVersion
+
+__all__ = [
+    "AdvisorService",
+    "AdvisorSession",
+    "EngineStats",
+    "MicroBatchEngine",
+    "ModelRegistry",
+    "ModelVersion",
+    "ServingServer",
+    "SessionStats",
+    "decision_to_json",
+    "graph_from_json",
+    "graph_to_json",
+    "make_server",
+    "query_from_json",
+    "query_to_json",
+]

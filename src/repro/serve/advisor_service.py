@@ -1,0 +1,205 @@
+"""Online pull-up advisor on top of the micro-batching engine.
+
+The offline :class:`~repro.advisor.advisor.PullUpAdvisor` predicts the
+two placement cost curves with two sequential model calls. The service
+variant scores *all* annotated graphs of a decision — both placements ×
+every selectivity level — in one ``submit_many`` call, so a single
+advisory request forms one micro-batch by itself, and concurrent
+requests from many clients coalesce further inside the engine.
+
+Graph construction and strategy resolution are the exact shared helpers
+of :mod:`repro.advisor.advisor` (:func:`placement_graphs`,
+:func:`apply_strategy`); the service cannot drift from the offline
+advisor's semantics.
+
+Sessions give each client a handle with per-client statistics (decision
+counts, placement mix, latency), the raw material for the per-tenant
+accounting a production advisor needs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter, OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.advisor.advisor import (
+    AdvisorDecision,
+    apply_strategy,
+    check_udf_filter_query,
+    placement_graphs,
+)
+from repro.advisor.strategies import SELECTIVITY_LEVELS
+from repro.core.joint_graph import JointGraphConfig
+from repro.exceptions import ServingError
+from repro.serve.engine import MicroBatchEngine
+from repro.sql.query import Query, UDFPlacement
+from repro.stats.base import CardinalityEstimator
+from repro.stats.catalog import StatisticsCatalog
+
+
+@dataclass
+class SessionStats:
+    """Per-client accounting, updated by every decision of the session."""
+
+    client_id: str
+    decisions: int = 0
+    pull_ups: int = 0
+    push_downs: int = 0
+    strategies: Counter = field(default_factory=Counter)
+    total_seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "client_id": self.client_id,
+            "decisions": self.decisions,
+            "pull_ups": self.pull_ups,
+            "push_downs": self.push_downs,
+            "strategies": dict(self.strategies),
+            "total_seconds": self.total_seconds,
+            "mean_seconds": (
+                self.total_seconds / self.decisions if self.decisions else 0.0
+            ),
+        }
+
+
+class AdvisorSession:
+    """A client-scoped handle onto the shared advisor service."""
+
+    def __init__(self, service: "AdvisorService", client_id: str):
+        self.service = service
+        self.stats = SessionStats(client_id)
+
+    def suggest_placement(
+        self,
+        query: Query,
+        true_selectivity: float | None = None,
+        strategy: str | None = None,
+    ) -> AdvisorDecision:
+        return self.service.suggest_placement(
+            query,
+            true_selectivity=true_selectivity,
+            strategy=strategy,
+            session=self,
+        )
+
+
+class AdvisorService:
+    """Multi-client placement advisory over one micro-batching engine."""
+
+    def __init__(
+        self,
+        engine: MicroBatchEngine,
+        catalog: StatisticsCatalog,
+        estimator: CardinalityEstimator,
+        strategy: str = "conservative",
+        selectivity_levels: tuple[float, ...] = SELECTIVITY_LEVELS,
+        joint_config: JointGraphConfig | None = None,
+        max_sessions: int = 1024,
+    ):
+        self.engine = engine
+        self.catalog = catalog
+        self.estimator = estimator
+        self.strategy = strategy
+        self.selectivity_levels = selectivity_levels
+        self.joint_config = joint_config or JointGraphConfig()
+        self.max_sessions = max_sessions
+        self._sessions: OrderedDict[str, AdvisorSession] = OrderedDict()
+        self._lock = threading.Lock()
+
+    # -- sessions ------------------------------------------------------
+    def session(self, client_id: str) -> AdvisorSession:
+        """The (created-on-first-use) session for ``client_id``.
+
+        Sessions are LRU-capped at ``max_sessions``: arbitrary client
+        ids arriving over HTTP must not grow memory without bound, so
+        the coldest session (and its stats) is dropped at the cap.
+        """
+        with self._lock:
+            session = self._sessions.get(client_id)
+            if session is None:
+                session = self._sessions[client_id] = AdvisorSession(self, client_id)
+            self._sessions.move_to_end(client_id)
+            while len(self._sessions) > self.max_sessions:
+                self._sessions.popitem(last=False)
+            return session
+
+    def session_stats(self) -> dict[str, dict]:
+        with self._lock:
+            return {
+                client: session.stats.as_dict()
+                for client, session in self._sessions.items()
+            }
+
+    # -- the advisory call ---------------------------------------------
+    def suggest_placement(
+        self,
+        query: Query,
+        true_selectivity: float | None = None,
+        strategy: str | None = None,
+        session: AdvisorSession | None = None,
+    ) -> AdvisorDecision:
+        """Decide pull-up vs push-down with one micro-batched model call."""
+        check_udf_filter_query(query)
+        strategy = strategy or self.strategy
+        start = time.perf_counter()
+        levels = (
+            np.asarray([true_selectivity])
+            if true_selectivity is not None
+            else np.asarray(self.selectivity_levels, dtype=np.float64)
+        )
+        graphs = placement_graphs(
+            query, self.catalog, self.estimator, levels, self.joint_config
+        )
+        # One submission for every placement alternative: the engine sees
+        # them together and runs a single joint forward pass.
+        order = (UDFPlacement.PUSH_DOWN, UDFPlacement.PULL_UP)
+        flat = [g for placement in order for g in graphs[placement]]
+        futures = self.engine.submit_many(flat)
+        try:
+            values = [f.result() for f in futures]
+        except Exception as exc:  # surface engine-side failures uniformly
+            raise ServingError(f"placement scoring failed: {exc}") from exc
+        per_placement = np.asarray(values, dtype=np.float64).reshape(
+            len(order), len(levels)
+        )
+        pushdown_costs, pullup_costs = per_placement
+        pull_up, strategy_name = apply_strategy(
+            pullup_costs, pushdown_costs, levels, strategy, true_selectivity
+        )
+        decision = AdvisorDecision(
+            pull_up=pull_up,
+            strategy=strategy_name,
+            pullup_costs=pullup_costs,
+            pushdown_costs=pushdown_costs,
+            selectivity_levels=levels,
+            decision_seconds=time.perf_counter() - start,
+        )
+        self._record(session, decision)
+        return decision
+
+    def _record(
+        self, session: AdvisorSession | None, decision: AdvisorDecision
+    ) -> None:
+        if session is None:
+            session = self.session("anonymous")
+        stats = session.stats
+        with self._lock:
+            stats.decisions += 1
+            if decision.pull_up:
+                stats.pull_ups += 1
+            else:
+                stats.push_downs += 1
+            stats.strategies[decision.strategy] += 1
+            stats.total_seconds += decision.decision_seconds
+
+    def describe(self) -> dict:
+        return {
+            "strategy": self.strategy,
+            "selectivity_levels": list(self.selectivity_levels),
+            "sessions": self.session_stats(),
+            "engine": self.engine.describe(),
+        }

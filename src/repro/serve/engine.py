@@ -1,0 +1,219 @@
+"""Micro-batched online inference over the prepared-graph pipeline.
+
+Serving traffic arrives as single cost-prediction requests (one joint
+graph each), but the PR 1 pipeline is fastest when many graphs travel
+through one :func:`~repro.model.batching.make_batch_prepared` call: one
+joint Kahn sweep, one encoder pass per node type, one forward. The
+engine bridges the two shapes (DESIGN.md §9):
+
+* ``submit(graph)`` enqueues the request and returns a
+  :class:`concurrent.futures.Future` immediately;
+* a dedicated worker thread coalesces whatever is queued into one batch,
+  flushing when either ``max_batch_size`` requests are pending or the
+  oldest request has waited ``max_wait_us`` microseconds — the classic
+  latency/throughput knob pair of model-serving systems;
+* the whole batch runs through the shared
+  :class:`~repro.model.prepared.PreparedGraphCache` and a single GNN
+  forward; each request's future resolves to its own runtime.
+
+A request that poisons the joint batch (e.g. a cyclic graph) does not
+fail its neighbours: on batch failure the engine retries each request
+individually and only the culprit's future carries the exception.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.joint_graph import JointGraph
+from repro.exceptions import ServingError
+from repro.model.batching import make_batch_prepared
+from repro.model.gnn import CostGNN
+from repro.model.prepared import PreparedGraphCache, default_graph_cache
+
+
+@dataclass
+class EngineStats:
+    """Counters describing how well requests coalesce into batches."""
+
+    requests: int = 0
+    predictions: int = 0
+    batches: int = 0
+    size_flushes: int = 0
+    timeout_flushes: int = 0
+    drain_flushes: int = 0
+    failed_requests: int = 0
+    max_batch_observed: int = 0
+    busy_seconds: float = 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.predictions / self.batches if self.batches else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "predictions": self.predictions,
+            "batches": self.batches,
+            "mean_batch_size": self.mean_batch_size,
+            "size_flushes": self.size_flushes,
+            "timeout_flushes": self.timeout_flushes,
+            "drain_flushes": self.drain_flushes,
+            "failed_requests": self.failed_requests,
+            "max_batch_observed": self.max_batch_observed,
+            "busy_seconds": self.busy_seconds,
+        }
+
+
+@dataclass
+class _Request:
+    graph: JointGraph
+    future: Future
+    enqueued: float = field(default_factory=time.monotonic)
+
+
+class MicroBatchEngine:
+    """Coalesces concurrent prediction requests into joint GNN batches."""
+
+    def __init__(
+        self,
+        model: CostGNN,
+        max_batch_size: int = 64,
+        max_wait_us: float = 2000.0,
+        cache: PreparedGraphCache | None = None,
+    ):
+        if max_batch_size < 1:
+            raise ServingError("max_batch_size must be >= 1")
+        self.model = model
+        self.max_batch_size = max_batch_size
+        self.max_wait_s = max_wait_us / 1e6
+        self.cache = cache if cache is not None else default_graph_cache()
+        self.stats = EngineStats()
+        self._queue: deque[_Request] = deque()
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._closed = False
+        self._worker = threading.Thread(
+            target=self._run, name="microbatch-engine", daemon=True
+        )
+        self._worker.start()
+
+    # -- client API ----------------------------------------------------
+    def submit(self, graph: JointGraph) -> Future:
+        """Enqueue one cost prediction; resolves to runtime seconds."""
+        return self.submit_many([graph])[0]
+
+    def submit_many(self, graphs: list[JointGraph]) -> list[Future]:
+        """Enqueue many predictions at once (they coalesce into batches)."""
+        requests = [_Request(graph, Future()) for graph in graphs]
+        with self._wake:
+            if self._closed:
+                raise ServingError("engine is closed")
+            self._queue.extend(requests)
+            self.stats.requests += len(requests)
+            self._wake.notify_all()
+        return [r.future for r in requests]
+
+    def predict(self, graphs: list[JointGraph]) -> np.ndarray:
+        """Blocking convenience wrapper: submit all, gather all."""
+        futures = self.submit_many(graphs)
+        return np.asarray([f.result() for f in futures], dtype=np.float64)
+
+    def close(self, timeout: float | None = 10.0) -> None:
+        """Drain the queue, stop the worker, reject new submissions."""
+        with self._wake:
+            if self._closed:
+                return
+            self._closed = True
+            self._wake.notify_all()
+        self._worker.join(timeout)
+
+    def __enter__(self) -> "MicroBatchEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- worker --------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            with self._wake:
+                while not self._queue and not self._closed:
+                    self._wake.wait()
+                if not self._queue:
+                    return  # closed and drained
+                # Wait for co-batchable requests: flush once the batch is
+                # full or the *oldest* request has waited max_wait_us.
+                deadline = self._queue[0].enqueued + self.max_wait_s
+                while len(self._queue) < self.max_batch_size and not self._closed:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._wake.wait(remaining)
+                n = min(len(self._queue), self.max_batch_size)
+                batch = [self._queue.popleft() for _ in range(n)]
+                if self._closed:
+                    reason = "drain"
+                elif n == self.max_batch_size:
+                    reason = "size"
+                else:
+                    reason = "timeout"
+            self._process(batch, reason)
+
+    def _process(self, requests: list[_Request], reason: str) -> None:
+        start = time.perf_counter()
+        try:
+            runtimes = self._predict_joint([r.graph for r in requests])
+        except Exception:
+            # Joint failure: isolate the culprit(s) by retrying one by
+            # one, so a malformed graph cannot fail its co-batch.
+            runtimes = None
+        stats = self.stats
+        if runtimes is not None:
+            for request, runtime in zip(requests, runtimes):
+                request.future.set_result(float(runtime))
+        else:
+            for request in requests:
+                try:
+                    value = float(self._predict_joint([request.graph])[0])
+                except Exception as exc:
+                    stats.failed_requests += 1
+                    request.future.set_exception(exc)
+                else:
+                    request.future.set_result(value)
+        stats.batches += 1
+        stats.predictions += len(requests)
+        stats.max_batch_observed = max(stats.max_batch_observed, len(requests))
+        stats.busy_seconds += time.perf_counter() - start
+        if reason == "size":
+            stats.size_flushes += 1
+        elif reason == "timeout":
+            stats.timeout_flushes += 1
+        else:
+            stats.drain_flushes += 1
+
+    def _predict_joint(self, graphs: list[JointGraph]) -> np.ndarray:
+        prepared = self.cache.get_many(graphs)
+        batch = make_batch_prepared(
+            prepared, np.zeros(len(graphs)), dtype=self.model.dtype
+        )
+        return self.model.predict_runtimes(batch)
+
+    # -- introspection -------------------------------------------------
+    def describe(self) -> dict:
+        with self._lock:
+            queued = len(self._queue)
+        return {
+            "max_batch_size": self.max_batch_size,
+            "max_wait_us": self.max_wait_s * 1e6,
+            "queued": queued,
+            "closed": self._closed,
+            "stats": self.stats.as_dict(),
+            "graph_cache": self.cache.stats(),
+        }

@@ -1,0 +1,185 @@
+"""Thin stdlib JSON front end for the serving subsystem (no deps).
+
+Endpoints (all JSON):
+
+* ``GET  /healthz`` — liveness + model identity + uptime;
+* ``GET  /stats``   — engine/advisor/session statistics;
+* ``GET  /models``  — the registry's published versions;
+* ``POST /predict`` — ``{"graphs": [graph, ...]}`` → predicted runtimes;
+* ``POST /advise``  — ``{"query": {...}, "strategy"?, "true_selectivity"?,
+  "client"?}`` → a placement decision.
+
+Built on :class:`http.server.ThreadingHTTPServer`: each connection is
+handled on its own thread, so concurrent clients' ``/predict`` and
+``/advise`` calls meet inside the micro-batching engine and share joint
+forward passes — the serving win needs no async framework.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.exceptions import ReproError, ServingError
+from repro.serve.advisor_service import AdvisorService
+from repro.serve.codec import decision_to_json, graph_from_json, query_from_json
+from repro.serve.registry import ModelRegistry
+
+#: caps request bodies; a joint graph is ~KBs, advise payloads smaller
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+class ServingServer(ThreadingHTTPServer):
+    """HTTP server that owns the serving components."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: AdvisorService,
+        registry: ModelRegistry | None = None,
+        model_ref: str = "",
+    ):
+        super().__init__(address, ServingHandler)
+        self.service = service
+        self.engine = service.engine
+        self.registry = registry
+        self.model_ref = model_ref
+        self.started = time.time()
+
+    @property
+    def url(self) -> str:
+        host, port = self.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def serve_in_background(self) -> threading.Thread:
+        thread = threading.Thread(
+            target=self.serve_forever, name="serving-http", daemon=True
+        )
+        thread.start()
+        return thread
+
+
+class ServingHandler(BaseHTTPRequestHandler):
+    server: ServingServer
+
+    # -- plumbing ------------------------------------------------------
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # keep pytest/CLI output clean; stats cover observability
+
+    def _send_json(self, payload: dict, status: int = 200) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(self, status: int, message: str) -> None:
+        self._send_json({"error": message}, status=status)
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length <= 0:
+            raise ServingError("request body required")
+        if length > MAX_BODY_BYTES:
+            raise ServingError(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ServingError(f"invalid JSON body: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ServingError("JSON body must be an object")
+        return payload
+
+    # -- routes --------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler name
+        server = self.server
+        if self.path == "/healthz":
+            self._send_json(
+                {
+                    "status": "ok",
+                    "model": server.model_ref,
+                    "uptime_seconds": time.time() - server.started,
+                }
+            )
+        elif self.path == "/stats":
+            self._send_json(server.service.describe())
+        elif self.path == "/models":
+            if server.registry is None:
+                self._send_error_json(404, "no registry attached")
+            else:
+                self._send_json(server.registry.describe())
+        else:
+            self._send_error_json(404, f"unknown path {self.path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib handler name
+        try:
+            payload = self._read_body()
+            if self.path == "/predict":
+                self._handle_predict(payload)
+            elif self.path == "/advise":
+                self._handle_advise(payload)
+            else:
+                self._send_error_json(404, f"unknown path {self.path!r}")
+        except ServingError as exc:
+            self._send_error_json(400, str(exc))
+        except ReproError as exc:
+            self._send_error_json(422, str(exc))
+        except Exception as exc:  # pragma: no cover - defensive
+            self._send_error_json(500, f"internal error: {exc}")
+
+    def _handle_predict(self, payload: dict) -> None:
+        raw_graphs = payload.get("graphs")
+        if not isinstance(raw_graphs, list) or not raw_graphs:
+            raise ServingError('"graphs" must be a non-empty list')
+        graphs = [graph_from_json(g) for g in raw_graphs]
+        futures = self.server.engine.submit_many(graphs)
+        runtimes, errors = [], []
+        for i, future in enumerate(futures):
+            try:
+                runtimes.append(future.result())
+            except Exception as exc:
+                runtimes.append(None)
+                errors.append({"index": i, "error": str(exc)})
+        response: dict = {"runtimes": runtimes}
+        if errors:
+            response["errors"] = errors
+        self._send_json(response)
+
+    def _handle_advise(self, payload: dict) -> None:
+        raw_query = payload.get("query")
+        if not isinstance(raw_query, dict):
+            raise ServingError('"query" must be an object')
+        query = query_from_json(raw_query)
+        true_selectivity = payload.get("true_selectivity")
+        if true_selectivity is not None:
+            try:
+                true_selectivity = float(true_selectivity)
+            except (TypeError, ValueError) as exc:
+                raise ServingError(
+                    f"invalid true_selectivity {true_selectivity!r}"
+                ) from exc
+        client = str(payload.get("client", "anonymous"))
+        session = self.server.service.session(client)
+        decision = session.suggest_placement(
+            query,
+            true_selectivity=true_selectivity,
+            strategy=payload.get("strategy"),
+        )
+        self._send_json(decision_to_json(decision))
+
+
+def make_server(
+    service: AdvisorService,
+    registry: ModelRegistry | None = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    model_ref: str = "",
+) -> ServingServer:
+    """Bind a :class:`ServingServer` (``port=0`` picks a free port)."""
+    return ServingServer((host, port), service, registry, model_ref)

@@ -1,15 +1,13 @@
 """Benchmark substrate tests: workload generation and runtime collection."""
 
-import numpy as np
 import pytest
 
 from repro.bench import (
     WorkloadConfig,
     WorkloadGenerator,
     benchmark_statistics,
-    prepare_full_database,
 )
-from repro.bench.builder import _runtime_components, build_dataset_benchmark
+from repro.bench.builder import build_dataset_benchmark
 from repro.sql.query import UDFPlacement, UDFRole
 from tests.conftest import TINY_CONFIG
 

@@ -1,0 +1,98 @@
+"""CI pipeline configuration tests.
+
+The workflows are plain data; these tests parse them and pin the
+contracts the repo relies on: the tier-1 job runs exactly the ROADMAP.md
+verify command, the bench-smoke job records the perf trajectory as an
+artifact, and the cache-blob guard exists in CI as well as in
+conftest.py.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+yaml = pytest.importorskip("yaml")  # PyYAML is a CI/dev dep, not runtime
+
+ROOT = Path(__file__).resolve().parent.parent
+WORKFLOW_PATH = ROOT / ".github" / "workflows" / "ci.yml"
+
+
+@pytest.fixture(scope="module")
+def workflow() -> dict:
+    parsed = yaml.safe_load(WORKFLOW_PATH.read_text())
+    assert isinstance(parsed, dict)
+    return parsed
+
+
+def job_run_lines(job: dict) -> str:
+    return "\n".join(step.get("run", "") for step in job["steps"])
+
+
+def test_workflow_has_all_jobs(workflow):
+    assert set(workflow["jobs"]) == {"tier1", "lint", "bench-smoke"}
+
+
+def test_triggers_push_and_pull_request(workflow):
+    # YAML 1.1 parses the bare key `on` as boolean True
+    triggers = workflow.get("on", workflow.get(True))
+    assert "pull_request" in triggers
+    assert triggers["push"]["branches"] == ["main"]
+
+
+def test_tier1_command_matches_roadmap(workflow):
+    roadmap = (ROOT / "ROADMAP.md").read_text()
+    match = re.search(r"\*\*Tier-1 verify:\*\* `([^`]+)`", roadmap)
+    assert match, "ROADMAP.md lost its Tier-1 verify command"
+    tier1_command = match.group(1)
+    runs = job_run_lines(workflow["jobs"]["tier1"])
+    assert tier1_command in runs, (
+        f"tier1 job must run the ROADMAP command verbatim: {tier1_command}"
+    )
+
+
+def test_tier1_python_matrix(workflow):
+    matrix = workflow["jobs"]["tier1"]["strategy"]["matrix"]
+    assert set(matrix["python-version"]) == {"3.10", "3.12"}
+
+
+def test_tier1_guards_tracked_cache_blobs(workflow):
+    runs = job_run_lines(workflow["jobs"]["tier1"])
+    assert "git ls-files .bench_cache" in runs
+
+
+def test_lint_job_runs_ruff_with_repo_config(workflow):
+    runs = job_run_lines(workflow["jobs"]["lint"])
+    assert "ruff check" in runs
+    assert "ruff format --check" in runs
+    config = (ROOT / "ruff.toml").read_text()
+    assert re.search(r'select *= *\[', config)
+    tomllib = pytest.importorskip("tomllib")  # stdlib from 3.11
+    parsed = tomllib.loads(config)
+    assert "F" in parsed["lint"]["select"]
+
+
+def test_bench_smoke_records_perf_artifacts(workflow):
+    job = workflow["jobs"]["bench-smoke"]
+    runs = job_run_lines(job)
+    assert "REPRO_JOBS=2" in runs
+    assert "scripts/bench.sh" in runs
+    uploads = [
+        step
+        for step in job["steps"]
+        if "upload-artifact" in str(step.get("uses", ""))
+    ]
+    assert uploads, "bench-smoke must upload the BENCH_*.json artifacts"
+    assert "BENCH_*.json" in uploads[0]["with"]["path"]
+
+
+def test_bench_script_is_ci_safe():
+    script = (ROOT / "scripts" / "bench.sh").read_text()
+    assert "set -euo pipefail" in script
+    assert "BENCH_SUMMARY" in script  # one-line JSON summary contract
+    assert "REPRO_SCALE" in script and "REPRO_JOBS" in script
+    assert re.search(r'exit "\$status"', script), (
+        "bench.sh must propagate pytest's exit status"
+    )

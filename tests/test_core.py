@@ -17,7 +17,6 @@ from repro.core import encoding as enc
 from repro.sql import (
     ColumnRef,
     CompareOp,
-    Executor,
     FilterSpec,
     JoinSpec,
     Query,

@@ -12,7 +12,7 @@ from repro.model import (
     GraphGraphBaseline,
     TrainConfig,
 )
-from repro.sql.query import UDFPlacement, UDFRole
+from repro.sql.query import UDFPlacement
 from repro.stats import StatisticsCatalog, make_estimator
 
 FAST_GNN = GNNConfig(hidden_dim=16)

@@ -1,6 +1,5 @@
 """Join-order enumeration and cost-based selection (extension module)."""
 
-import numpy as np
 import pytest
 
 from repro.advisor import LearnedPlanSelector

@@ -1,9 +1,6 @@
 """Cross-module property tests on executor and planner invariants."""
 
-import numpy as np
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.bench import WorkloadConfig, WorkloadGenerator
 from repro.sql import Executor, UDFPlacement, build_plan, query_to_sql

@@ -5,7 +5,6 @@ import pytest
 
 from repro.exceptions import PlanError
 from repro.sql import (
-    Aggregate,
     ColumnRef,
     CompareOp,
     Conjunction,

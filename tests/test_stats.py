@@ -145,7 +145,6 @@ class TestEstimators:
         """deepdb must beat naive on a joined, filtered fragment."""
         db = tiny_bench.database
         fk = db.foreign_keys[0]
-        child_col = db.table(fk.child_table).column_names
         filter_col = next(
             c for c in db.table(fk.parent_table).column_names
             if c not in ("id",) and not c.endswith("_id")

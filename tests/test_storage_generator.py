@@ -1,7 +1,6 @@
 """Tests for the synthetic database generator."""
 
 import numpy as np
-import pytest
 
 from repro.storage import DATASET_NAMES, HARD_DATASETS, GeneratorConfig
 from repro.storage.generator import generate_database, hash_name

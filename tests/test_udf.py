@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.exceptions import UDFError
-from repro.sql import CompareOp
 from repro.storage import Column, DataType, Table
 from repro.udf import (
     UDF,
@@ -16,7 +15,6 @@ from repro.udf import (
     fill_nulls,
     prepare_table,
 )
-from repro.udf.udf import BranchInfo, LoopInfo
 
 FIG2_SOURCE = """
 def fig2(x, y):
