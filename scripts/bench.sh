@@ -20,7 +20,11 @@ if [ -n "${REPRO_JOBS:-}" ]; then
     export REPRO_JOBS
 fi
 
-selection=(benchmarks/test_perf_pipeline.py benchmarks/test_perf_serving.py)
+selection=(
+    benchmarks/test_perf_pipeline.py
+    benchmarks/test_perf_serving.py
+    benchmarks/test_perf_feedback.py
+)
 if [ "$#" -gt 0 ]; then
     selection=("$@")
 fi

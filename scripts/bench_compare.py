@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""Warn-only perf regression check: fresh BENCH_*.json vs. committed.
+
+The bench-smoke CI job regenerates every ``BENCH_*.json`` and uploads
+them as artifacts, but until now nobody *compared* them — a perf
+regression only surfaced when a human diffed artifacts by hand. This
+script diffs the fresh working-tree numbers against the committed
+baselines (``git show HEAD:BENCH_x.json``) and prints a markdown delta
+table for the job summary::
+
+    python scripts/bench_compare.py [--threshold 0.25]
+
+Regressions beyond the threshold are flagged with GitHub ``::warning::``
+annotations. **Warn-only by design**: CI runners are noisy shared
+hardware, so the exit code is always 0 — the table and the annotations
+inform, the committed baselines stay authoritative until a human
+re-records them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: metric-name fragments where bigger numbers are better / worse
+HIGHER_IS_BETTER = ("speedup", "per_second", "hit", "mean_batch_size")
+LOWER_IS_BETTER = ("seconds", "_us", "latency", "overhead", "samples")
+
+
+def flatten(node, prefix: str = "") -> dict[str, float]:
+    """Numeric leaves of a nested JSON document, dot-keyed."""
+    out: dict[str, float] = {}
+    if isinstance(node, dict):
+        for key, value in node.items():
+            path = f"{prefix}.{key}" if prefix else str(key)
+            if isinstance(value, bool):
+                continue
+            if isinstance(value, (int, float)):
+                out[path] = float(value)
+            else:
+                out.update(flatten(value, path))
+    return out
+
+
+def direction(metric: str) -> int:
+    """+1 when higher is better, -1 when lower is better, 0 unknown."""
+    leaf = metric.rsplit(".", 1)[-1]
+    for fragment in HIGHER_IS_BETTER:
+        if fragment in leaf:
+            return 1
+    for fragment in LOWER_IS_BETTER:
+        if fragment in leaf:
+            return -1
+    return 0
+
+
+def judge(baseline: float, fresh: float, sign: int, threshold: float):
+    """``(delta display, regressed?)`` for one metric.
+
+    Relative deltas only make sense against a positive magnitude; for a
+    zero or negative baseline (e.g. ``overhead_fraction``, where a noise
+    floor lands below zero) the ratio flips sign and calls a regression
+    an improvement — those metrics compare by absolute delta instead.
+    """
+    if baseline > 0:
+        delta = fresh / baseline - 1.0
+        display = f"{delta:+.1%}"
+    else:
+        delta = fresh - baseline
+        display = f"{delta:+.3g} abs"
+    if sign > 0:
+        return display, delta < -threshold
+    return display, delta > threshold
+
+
+def committed_baseline(name: str) -> dict | None:
+    """The HEAD version of one BENCH file, or None when untracked."""
+    proc = subprocess.run(
+        ["git", "show", f"HEAD:{name}"],
+        cwd=ROOT,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        return None
+    try:
+        return json.loads(proc.stdout)
+    except json.JSONDecodeError:
+        return None
+
+
+def compare(threshold: float) -> list[str]:
+    """Print the delta table; return the ::warning:: annotations."""
+    warnings: list[str] = []
+    rows: list[tuple[str, str, str, str, str]] = []
+    for path in sorted(glob.glob(str(ROOT / "BENCH_*.json"))):
+        name = Path(path).name
+        bench = name[len("BENCH_") : -len(".json")]
+        with open(path) as fh:
+            fresh = flatten(json.load(fh))
+        baseline_doc = committed_baseline(name)
+        if baseline_doc is None:
+            rows.append((bench, "(new benchmark)", "-", "-", "no baseline"))
+            continue
+        baseline = flatten(baseline_doc)
+        for metric in sorted(fresh):
+            if metric not in baseline:
+                continue
+            sign = direction(metric)
+            if sign == 0:
+                continue  # counts/configs: not a perf trajectory
+            display, regressed = judge(baseline[metric], fresh[metric], sign, threshold)
+            marker = "REGRESSED" if regressed else "ok"
+            rows.append(
+                (
+                    bench,
+                    metric,
+                    f"{baseline[metric]:.4g}",
+                    f"{fresh[metric]:.4g}",
+                    f"{display} {marker}",
+                )
+            )
+            if regressed:
+                warnings.append(
+                    f"::warning file={name}::{bench}.{metric} regressed "
+                    f"{display} vs committed baseline "
+                    f"({baseline[metric]:.4g} -> {fresh[metric]:.4g})"
+                )
+    print("### Benchmark deltas vs. committed baselines")
+    print()
+    print(f"(threshold {threshold:.0%}, warn-only)")
+    print()
+    print("| benchmark | metric | baseline | fresh | delta |")
+    print("|---|---|---|---|---|")
+    for row in rows:
+        print("| " + " | ".join(row) + " |")
+    if not rows:
+        print("| - | no BENCH_*.json found | - | - | - |")
+    return warnings
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="relative delta that counts as a regression (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+    warnings = compare(args.threshold)
+    for line in warnings:
+        print(line, file=sys.stderr)
+    # warn-only: noisy CI hardware must not fail the job on a perf wobble
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

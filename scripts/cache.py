@@ -53,8 +53,10 @@ def cmd_list(store, args) -> int:
         return 0
     for e in entries:
         created = time.strftime("%Y-%m-%d %H:%M", time.localtime(e.created))
-        print(f"{e.kind:10s} {e.fingerprint:16s} {fmt_size(e.bytes)}  "
-              f"{created}  {e.description}")
+        print(
+            f"{e.kind:10s} {e.fingerprint:16s} {fmt_size(e.bytes)}  "
+            f"{created}  {e.description}"
+        )
     print(f"-- {len(entries)} entries, {fmt_size(sum(e.bytes for e in entries))}")
     return 0
 
@@ -66,15 +68,18 @@ def cmd_stats(store, args) -> int:
 
 def cmd_clear(store, args) -> int:
     removed = store.clear(kind=args.kind)
-    print(f"removed {removed} entries" + (f" of kind {args.kind!r}" if args.kind else ""))
+    suffix = f" of kind {args.kind!r}" if args.kind else ""
+    print(f"removed {removed} entries{suffix}")
     return 0
 
 
 def cmd_gc(store, args) -> int:
     report = store.gc(parse_size(args.max_bytes))
-    print(f"evicted {len(report['evicted'])} entries, "
-          f"freed {fmt_size(report['freed_bytes'])}, "
-          f"{fmt_size(report['remaining_bytes'])} remain")
+    print(
+        f"evicted {len(report['evicted'])} entries, "
+        f"freed {fmt_size(report['freed_bytes'])}, "
+        f"{fmt_size(report['remaining_bytes'])} remain"
+    )
     for name in report["evicted"]:
         print(f"  - {name}")
     return 0
@@ -86,7 +91,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     p_list = sub.add_parser("list", help="list entries, newest first")
-    p_list.add_argument("--kind", help="only this entry kind (bench/samples/folds/...)")
+    p_list.add_argument("--kind", help="only this entry kind (bench/samples/...)")
     p_list.set_defaults(fn=cmd_list)
     p_stats = sub.add_parser("stats", help="per-kind counts and bytes")
     p_stats.set_defaults(fn=cmd_stats)
@@ -94,8 +99,9 @@ def main(argv: list[str] | None = None) -> int:
     p_clear.add_argument("--kind", help="only this entry kind")
     p_clear.set_defaults(fn=cmd_clear)
     p_gc = sub.add_parser("gc", help="LRU-evict entries down to a byte budget")
-    p_gc.add_argument("--max-bytes", required=True,
-                      help="target total size, e.g. 500M or 2G")
+    p_gc.add_argument(
+        "--max-bytes", required=True, help="target total size, e.g. 500M or 2G"
+    )
     p_gc.set_defaults(fn=cmd_gc)
     args = parser.parse_args(argv)
     return args.fn(default_store(), args)

@@ -17,6 +17,7 @@ See ``examples/serving_client.py`` for a full client round-trip.
 from __future__ import annotations
 
 import argparse
+import signal
 
 from repro.bench import build_dataset_benchmark
 from repro.eval import prepare_dataset_samples, training_placements
@@ -80,6 +81,31 @@ def build_service(args: argparse.Namespace):
     return server, registry, version
 
 
+def _raise_keyboard_interrupt(signum, frame):
+    """SIGTERM → the same clean-drain path as ctrl-c."""
+    raise KeyboardInterrupt
+
+
+def serve_until_signalled(server) -> None:
+    """Serve until SIGTERM/SIGINT, then drain the engine cleanly.
+
+    Container and CI deployments stop services with SIGTERM; without a
+    handler the process would die mid-batch, dropping queued futures.
+    The handler converts SIGTERM into the KeyboardInterrupt path so both
+    signals shut down identically: stop accepting requests, then drain
+    the micro-batch engine. (Runs on the main thread — signal handlers
+    cannot be installed anywhere else.)
+    """
+    previous = signal.signal(signal.SIGTERM, _raise_keyboard_interrupt)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        server.drain()
+
+
 def main(argv: list[str] | None = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--dataset", default="movielens")
@@ -101,14 +127,8 @@ def main(argv: list[str] | None = None) -> None:
     args = parser.parse_args(argv)
 
     server, _, version = build_service(args)
-    print(f"serving {version.ref} at {server.url} (ctrl-c to stop)")
-    try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        pass
-    finally:
-        server.shutdown()
-        server.engine.close()
+    print(f"serving {version.ref} at {server.url} (SIGTERM/ctrl-c to stop)")
+    serve_until_signalled(server)
 
 
 if __name__ == "__main__":

@@ -103,6 +103,9 @@ class AdvisorDecision:
     pushdown_costs: np.ndarray
     selectivity_levels: np.ndarray
     decision_seconds: float = 0.0
+    #: correlation handle for runtime feedback (set by the online
+    #: advisor service when a feedback log is attached; "" offline)
+    decision_id: str = ""
 
     @property
     def placement(self) -> UDFPlacement:

@@ -70,6 +70,19 @@ def registry_dir() -> Path:
     return Path(__file__).resolve().parents[3] / ".model_registry"
 
 
+def feedback_dir() -> Path:
+    """Feedback-log root: ``$REPRO_FEEDBACK_DIR`` or ``<repo>/.feedback_log``.
+
+    The replay buffer of :mod:`repro.feedback` — like the registry it is
+    durable serving state (never GC'd by :meth:`ResultStore.gc`), bounded
+    instead by the log's own chunk rotation.
+    """
+    root = os.environ.get("REPRO_FEEDBACK_DIR")
+    if root:
+        return Path(root)
+    return Path(__file__).resolve().parents[3] / ".feedback_log"
+
+
 # ----------------------------------------------------------------------
 def canonical(obj):
     """A stable, hashable-by-repr form of an arbitrary config value.

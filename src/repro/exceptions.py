@@ -42,3 +42,8 @@ class ModelError(ReproError):
 class ServingError(ReproError):
     """The online serving layer rejected a request (closed engine,
     unknown model version, malformed payload, ...)."""
+
+
+class FeedbackError(ReproError):
+    """The feedback loop could not proceed (empty replay buffer, too few
+    trainable samples, unknown decision id, ...)."""

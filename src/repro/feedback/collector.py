@@ -1,0 +1,276 @@
+"""Runtime feedback capture: the collector half of the closed loop.
+
+Serving hands out cost predictions; executors eventually observe real
+runtimes. A :class:`FeedbackRecord` pairs the two — the annotated joint
+graph that was scored, the predicted cost, the observed runtime, and the
+placement decision taken — and the :class:`FeedbackLog` collects records
+thread-safely behind the serving path (``/feedback``) and the simulated
+executor.
+
+The log is also the **replay buffer** the retrainer trains from, so it
+is bounded and durable: records spill to disk in pickled chunks with the
+same atomic-write + fingerprint + ``.meta.json``-sidecar discipline as
+:mod:`repro.eval.resultstore`, and the oldest chunks are dropped once
+the buffer exceeds its capacity. A restarted process replays the
+surviving chunks and continues appending.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import re
+import threading
+import time
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.joint_graph import JointGraph
+from repro.eval.resultstore import feedback_dir, fingerprint
+from repro.exceptions import FeedbackError
+
+_CHUNK_RE = re.compile(r"^chunk_(\d{8})_[0-9a-f]+\.pkl$")
+
+
+def graph_fingerprint(graph: JointGraph) -> str:
+    """Content fingerprint of a joint graph (resultstore discipline)."""
+    return fingerprint(
+        "jointgraph",
+        tuple(graph.node_types),
+        tuple(graph.features),
+        tuple(tuple(edge) for edge in graph.edges),
+        graph.root_id,
+    )
+
+
+@dataclass
+class FeedbackRecord:
+    """One observed (prediction, runtime) pair from the serving path."""
+
+    predicted: float
+    observed: float
+    placement: str = ""
+    #: workload segment the record belongs to (dataset / tenant / client);
+    #: drift is monitored per segment
+    segment: str = ""
+    client: str = ""
+    timestamp: float = field(default_factory=time.time)
+    #: the annotated joint graph that was scored — the retraining sample.
+    #: Optional: metric-only reports still feed the drift monitor.
+    graph: JointGraph | None = None
+    graph_fp: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.predicted = float(self.predicted)
+        self.observed = float(self.observed)
+        if self.graph is not None and not self.graph_fp:
+            self.graph_fp = graph_fingerprint(self.graph)
+
+    @property
+    def q_error(self) -> float:
+        """``max(pred/obs, obs/pred)`` — the drift statistic's raw input."""
+        pred = max(self.predicted, 1e-9)
+        obs = max(self.observed, 1e-9)
+        return max(pred / obs, obs / pred)
+
+    @property
+    def trainable(self) -> bool:
+        """Whether the record can feed retraining (graph + real runtime)."""
+        return self.graph is not None and self.observed > 0.0
+
+
+class FeedbackLog:
+    """Thread-safe, capacity-bounded feedback collector + replay buffer.
+
+    ``append()`` is the hot path (called per served decision) and does a
+    deque append under one lock; disk writes happen only every
+    ``chunk_records`` appends and stay atomic (temp file + ``os.replace``
+    with a JSON sidecar), so a killed process never leaves a truncated
+    chunk behind. At most ``capacity`` records are retained — in memory
+    *and* on disk — by dropping the oldest chunks.
+    """
+
+    def __init__(
+        self,
+        root: Path | str | None = None,
+        capacity: int = 8192,
+        chunk_records: int = 256,
+    ):
+        if capacity < 1 or chunk_records < 1:
+            raise FeedbackError("capacity and chunk_records must be >= 1")
+        self.root = Path(root) if root is not None else feedback_dir()
+        self.capacity = capacity
+        self.chunk_records = min(chunk_records, capacity)
+        self.appended = 0
+        self.flushed_chunks = 0
+        self._buffer: deque[FeedbackRecord] = deque(maxlen=capacity)
+        self._pending: list[FeedbackRecord] = []
+        self._segments: Counter = Counter()
+        self._observers: list = []
+        self._lock = threading.RLock()
+        self._next_seq = self._scan_next_seq()
+
+    # -- capture -------------------------------------------------------
+    def append(self, record: FeedbackRecord) -> FeedbackRecord:
+        """Record one observation; spills a chunk every ``chunk_records``."""
+        with self._lock:
+            self._buffer.append(record)
+            self._pending.append(record)
+            self._segments[record.segment] += 1
+            self.appended += 1
+            observers = list(self._observers)
+            if len(self._pending) >= self.chunk_records:
+                self._flush_locked()
+        for observer in observers:
+            observer(record)
+        return record
+
+    def extend(self, records: list[FeedbackRecord]) -> None:
+        for record in records:
+            self.append(record)
+
+    def subscribe(self, observer) -> None:
+        """Register ``observer(record)`` to run after every append (the
+        drift monitor's feed)."""
+        with self._lock:
+            self._observers.append(observer)
+
+    # -- persistence ---------------------------------------------------
+    def flush(self) -> Path | None:
+        """Spill pending records to a chunk now (no-op when empty)."""
+        with self._lock:
+            return self._flush_locked()
+
+    def _flush_locked(self) -> Path | None:
+        if not self._pending:
+            return None
+        records = self._pending
+        self._pending = []
+        fp = fingerprint(
+            "feedback_chunk",
+            self._next_seq,
+            len(records),
+            [r.graph_fp for r in records],
+        )
+        path = self.root / f"chunk_{self._next_seq:08d}_{fp}.pkl"
+        self._next_seq += 1
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp{os.getpid()}")
+        with open(tmp, "wb") as fh:
+            pickle.dump(records, fh)
+        os.replace(tmp, path)
+        meta = {
+            "records": len(records),
+            "created": time.time(),
+            "segments": dict(Counter(r.segment for r in records)),
+            "fingerprint": fp,
+        }
+        meta_tmp = path.with_suffix(f".metatmp{os.getpid()}")
+        with open(meta_tmp, "w") as fh:
+            json.dump(meta, fh)
+        os.replace(meta_tmp, path.with_suffix(".meta.json"))
+        self.flushed_chunks += 1
+        self._prune_locked()
+        return path
+
+    def _chunk_paths(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(p for p in self.root.iterdir() if _CHUNK_RE.match(p.name))
+
+    def _scan_next_seq(self) -> int:
+        chunks = self._chunk_paths()
+        if not chunks:
+            return 0
+        return int(_CHUNK_RE.match(chunks[-1].name).group(1)) + 1
+
+    def _prune_locked(self) -> None:
+        """Drop oldest chunks until the disk buffer fits the capacity."""
+        chunks = self._chunk_paths()
+        max_chunks = max(1, self.capacity // self.chunk_records)
+        for path in chunks[: max(0, len(chunks) - max_chunks)]:
+            for target in (path, path.with_suffix(".meta.json")):
+                try:
+                    target.unlink()
+                except OSError:
+                    pass
+
+    # -- replay --------------------------------------------------------
+    def replay(
+        self, segment: str | None = None, limit: int | None = None
+    ) -> list[FeedbackRecord]:
+        """All buffered records, oldest first: surviving disk chunks plus
+        the not-yet-flushed tail. Corrupt chunks are quarantined (deleted
+        and skipped) exactly like result-store entries."""
+        with self._lock:
+            chunks = self._chunk_paths()
+            pending = list(self._pending)
+        records: list[FeedbackRecord] = []
+        for path in chunks:
+            try:
+                with open(path, "rb") as fh:
+                    records.extend(pickle.load(fh))
+            except (MemoryError, RecursionError):
+                raise
+            except Exception:
+                for target in (path, path.with_suffix(".meta.json")):
+                    try:
+                        target.unlink()
+                    except OSError:
+                        pass
+        records.extend(pending)
+        if segment is not None:
+            records = [r for r in records if r.segment == segment]
+        if limit is not None:
+            records = records[-limit:]
+        return records
+
+    def recent(self, n: int, segment: str | None = None) -> list[FeedbackRecord]:
+        """The newest ``n`` in-memory records (oldest first)."""
+        with self._lock:
+            records = list(self._buffer)
+        if segment is not None:
+            records = [r for r in records if r.segment == segment]
+        return records[-n:]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._buffer)
+
+    # -- introspection -------------------------------------------------
+    def stats(self) -> dict:
+        with self._lock:
+            chunks = self._chunk_paths()
+            disk_bytes = 0
+            for path in chunks:
+                try:
+                    disk_bytes += path.stat().st_size
+                except OSError:
+                    pass
+            return {
+                "root": str(self.root),
+                "capacity": self.capacity,
+                "chunk_records": self.chunk_records,
+                "appended": self.appended,
+                "memory_records": len(self._buffer),
+                "pending_records": len(self._pending),
+                "disk_chunks": len(chunks),
+                "disk_bytes": disk_bytes,
+                "segments": dict(self._segments),
+            }
+
+    def clear(self) -> None:
+        """Drop every buffered record, in memory and on disk."""
+        with self._lock:
+            self._buffer.clear()
+            self._pending.clear()
+            self._segments.clear()
+            for path in self._chunk_paths():
+                for target in (path, path.with_suffix(".meta.json")):
+                    try:
+                        target.unlink()
+                    except OSError:
+                        pass

@@ -1,0 +1,193 @@
+"""Drift detection over the feedback stream (DESIGN.md §10).
+
+The monitored statistic is the Q-error of served predictions against
+observed runtimes, tracked in a bounded trailing window per workload
+segment. Two complementary triggers fire a retrain:
+
+* **level** — the trailing-window median Q-error exceeds the
+  training-time validation median by ``level_ratio``: the model is
+  simply wrong about current traffic, whatever the cause;
+* **shift** — the median of the newer half of the window exceeds the
+  older half's by ``shift_ratio`` *and* the window sits above baseline:
+  accuracy is actively deteriorating, catching drift onset before the
+  whole window has degraded enough to trip the level gate.
+
+Both statistics are exposed through ``/stats`` so operators can watch a
+segment approach its trigger instead of learning about drift from the
+retrain it caused.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import FeedbackError
+from repro.feedback.collector import FeedbackRecord
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    """Knobs of the drift statistic."""
+
+    #: trailing-window length (observations) per workload segment
+    window: int = 256
+    #: observations a segment needs before its verdicts mean anything
+    min_samples: int = 48
+    #: level trigger: trailing median >= baseline median * level_ratio
+    level_ratio: float = 1.5
+    #: shift trigger: newer-half median >= older-half median * shift_ratio
+    shift_ratio: float = 1.3
+
+
+@dataclass
+class DriftVerdict:
+    """The monitor's judgement for one segment at one point in time."""
+
+    segment: str
+    triggered: bool
+    reason: str
+    n_samples: int
+    baseline_median: float
+    trailing_median: float = float("nan")
+    level_ratio: float = float("nan")
+    older_median: float = float("nan")
+    recent_median: float = float("nan")
+    shift_ratio: float = float("nan")
+
+    def as_dict(self) -> dict:
+        return {
+            "segment": self.segment,
+            "triggered": self.triggered,
+            "reason": self.reason,
+            "n_samples": self.n_samples,
+            "baseline_median": self.baseline_median,
+            "trailing_median": self.trailing_median,
+            "level_ratio": self.level_ratio,
+            "older_median": self.older_median,
+            "recent_median": self.recent_median,
+            "shift_ratio": self.shift_ratio,
+        }
+
+
+class DriftMonitor:
+    """Windowed per-segment Q-error tracking with a statistical trigger.
+
+    ``baseline_median`` is the training-time validation median Q-error —
+    the accuracy the live model is *known* to deliver on in-distribution
+    traffic; a promotion rebaselines it to the new model's holdout
+    accuracy and restarts every window.
+    """
+
+    def __init__(
+        self,
+        baseline_median: float,
+        config: DriftConfig | None = None,
+    ):
+        if not np.isfinite(baseline_median) or baseline_median < 1.0:
+            raise FeedbackError(
+                "baseline median Q-error must be finite and >= 1, "
+                f"got {baseline_median!r}"
+            )
+        self.baseline_median = float(baseline_median)
+        self.config = config or DriftConfig()
+        self.observed = 0
+        self.rebaselines = 0
+        self._windows: dict[str, deque[float]] = {}
+        self._lock = threading.Lock()
+
+    # -- feeding -------------------------------------------------------
+    def observe(self, q_error: float, segment: str = "") -> None:
+        """Track one Q-error observation for ``segment``."""
+        with self._lock:
+            window = self._windows.get(segment)
+            if window is None:
+                window = self._windows[segment] = deque(maxlen=self.config.window)
+            window.append(float(q_error))
+            self.observed += 1
+
+    def observe_record(self, record: FeedbackRecord) -> None:
+        """Feed one feedback record (a :meth:`FeedbackLog.subscribe` hook)."""
+        self.observe(record.q_error, record.segment)
+
+    # -- checking ------------------------------------------------------
+    def check(self, segment: str = "") -> DriftVerdict:
+        """The current verdict for one segment."""
+        with self._lock:
+            values = list(self._windows.get(segment, ()))
+            baseline = self.baseline_median
+        config = self.config
+        n = len(values)
+        if n < config.min_samples:
+            return DriftVerdict(
+                segment=segment,
+                triggered=False,
+                reason="insufficient_samples",
+                n_samples=n,
+                baseline_median=baseline,
+            )
+        window = np.asarray(values, dtype=np.float64)
+        trailing = float(np.median(window))
+        older = float(np.median(window[: n // 2]))
+        recent = float(np.median(window[n // 2 :]))
+        level_ratio = trailing / baseline
+        shift_ratio = recent / max(older, 1e-9)
+        level = level_ratio >= config.level_ratio
+        shift = shift_ratio >= config.shift_ratio and trailing > baseline
+        reasons = [name for name, hit in (("level", level), ("shift", shift)) if hit]
+        return DriftVerdict(
+            segment=segment,
+            triggered=level or shift,
+            reason="+".join(reasons) if reasons else "stable",
+            n_samples=n,
+            baseline_median=baseline,
+            trailing_median=trailing,
+            level_ratio=level_ratio,
+            older_median=older,
+            recent_median=recent,
+            shift_ratio=shift_ratio,
+        )
+
+    def check_all(self) -> dict[str, DriftVerdict]:
+        """Verdicts for every segment seen so far."""
+        with self._lock:
+            segments = list(self._windows)
+        return {segment: self.check(segment) for segment in segments}
+
+    def triggered_segments(self) -> list[str]:
+        return [s for s, v in self.check_all().items() if v.triggered]
+
+    # -- lifecycle -----------------------------------------------------
+    def rebaseline(self, baseline_median: float | None = None) -> None:
+        """Restart every window, optionally adopting a new baseline (the
+        promoted model's holdout median). Called after a promotion — and
+        after a rejection, so a refused candidate does not re-trigger a
+        retrain on every subsequent loop step."""
+        with self._lock:
+            if baseline_median is not None:
+                if not np.isfinite(baseline_median) or baseline_median < 1.0:
+                    raise FeedbackError(
+                        "baseline median Q-error must be finite and >= 1, "
+                        f"got {baseline_median!r}"
+                    )
+                self.baseline_median = float(baseline_median)
+            self._windows.clear()
+            self.rebaselines += 1
+
+    # -- introspection -------------------------------------------------
+    def status(self) -> dict:
+        """Monitor-wide summary for the serving ``/stats`` endpoint."""
+        verdicts = self.check_all()
+        return {
+            "baseline_median": self.baseline_median,
+            "window": self.config.window,
+            "min_samples": self.config.min_samples,
+            "level_ratio": self.config.level_ratio,
+            "shift_ratio": self.config.shift_ratio,
+            "observed": self.observed,
+            "rebaselines": self.rebaselines,
+            "segments": {s: v.as_dict() for s, v in verdicts.items()},
+        }

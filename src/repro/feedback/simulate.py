@@ -1,0 +1,83 @@
+"""Feedback from the simulated executor (DESIGN.md §6 → §10).
+
+Experiments in this repo execute plans against the calibrated simulated
+executor, so closing the loop needs no real DBMS: every benchmark entry
+already carries the executed runtime of each placement. This module
+drives benchmark queries through a live :class:`AdvisorService` and
+reports the simulated runtime of the *chosen* placement back through
+``record_runtime`` — exactly the trajectory a production deployment
+would produce, minus the waiting.
+
+``drift_factor`` scales the observed runtimes, the cheapest way to
+inject synthetic drift ("the data grew, everything slowed down") for
+tests and demos; ``examples/continual_learning.py`` injects the real
+thing by regenerating the database and UDF workload with shifted
+generator configs.
+"""
+
+from __future__ import annotations
+
+from repro.bench.builder import BenchmarkEntry, DatasetBenchmark
+from repro.exceptions import FeedbackError
+from repro.feedback.collector import FeedbackRecord
+from repro.sql.plan import UDFFilter, find_nodes
+from repro.sql.query import UDFPlacement
+
+
+def true_udf_selectivity(run) -> float | None:
+    """True UDF-filter selectivity of one executed placement run."""
+    for node in find_nodes(run.plan, UDFFilter):
+        child_card = node.children[0].true_card or 0
+        if child_card > 0 and node.true_card is not None:
+            return float(node.true_card) / float(child_card)
+    return None
+
+
+def advisable_entries(bench: DatasetBenchmark) -> list[BenchmarkEntry]:
+    """Benchmark entries the advisor applies to, with both placements
+    executed (so any decision has an observed runtime)."""
+    entries = []
+    for entry in bench.entries:
+        if not entry.has_udf_filter:
+            continue
+        if UDFPlacement.PUSH_DOWN in entry.runs and UDFPlacement.PULL_UP in entry.runs:
+            entries.append(entry)
+    return entries
+
+
+def observe_benchmark(
+    service,
+    bench: DatasetBenchmark,
+    repeats: int = 1,
+    drift_factor: float = 1.0,
+    use_true_selectivity: bool = True,
+    max_queries: int | None = None,
+) -> list[FeedbackRecord]:
+    """Serve placement decisions and feed observed runtimes back.
+
+    For every advisable benchmark entry: ask ``service`` for a placement,
+    look up the simulated runtime of the chosen placement, and report it
+    through :meth:`AdvisorService.record_runtime` (scaled by
+    ``drift_factor``). Returns the appended feedback records.
+    """
+    if service.feedback is None:
+        raise FeedbackError("service has no feedback log attached")
+    entries = advisable_entries(bench)
+    if max_queries is not None:
+        entries = entries[:max_queries]
+    if not entries:
+        raise FeedbackError(f"benchmark {bench.name!r} has no advisable queries")
+    records: list[FeedbackRecord] = []
+    for _ in range(repeats):
+        for entry in entries:
+            decision = service.suggest_placement(entry.query)
+            run = entry.runs[decision.placement]
+            selectivity = true_udf_selectivity(run) if use_true_selectivity else None
+            records.append(
+                service.record_runtime(
+                    decision.decision_id,
+                    run.runtime * drift_factor,
+                    true_selectivity=selectivity,
+                )
+            )
+    return records

@@ -19,6 +19,8 @@ from repro.serve.advisor_service import (
 )
 from repro.serve.codec import (
     decision_to_json,
+    feedback_record_from_json,
+    feedback_record_to_json,
     graph_from_json,
     graph_to_json,
     query_from_json,
@@ -38,6 +40,8 @@ __all__ = [
     "ServingServer",
     "SessionStats",
     "decision_to_json",
+    "feedback_record_from_json",
+    "feedback_record_to_json",
     "graph_from_json",
     "graph_to_json",
     "make_server",

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import threading
 import time
+import uuid
 from collections import Counter, OrderedDict
 from dataclasses import dataclass, field
 
@@ -33,8 +34,9 @@ from repro.advisor.advisor import (
     placement_graphs,
 )
 from repro.advisor.strategies import SELECTIVITY_LEVELS
-from repro.core.joint_graph import JointGraphConfig
+from repro.core.joint_graph import JointGraph, JointGraphConfig
 from repro.exceptions import ServingError
+from repro.feedback.collector import FeedbackLog, FeedbackRecord
 from repro.serve.engine import MicroBatchEngine
 from repro.sql.query import Query, UDFPlacement
 from repro.stats.base import CardinalityEstimator
@@ -64,6 +66,24 @@ class SessionStats:
                 self.total_seconds / self.decisions if self.decisions else 0.0
             ),
         }
+
+
+@dataclass
+class _PendingDecision:
+    """A served decision awaiting its observed runtime.
+
+    Holds the chosen placement's annotated graphs (one per scored
+    selectivity level) and their predicted costs, so the eventual
+    observation can be paired with the exact graph the model scored —
+    the retraining sample — without rebuilding anything.
+    """
+
+    graphs: list[JointGraph]
+    costs: np.ndarray
+    levels: np.ndarray
+    placement: str
+    segment: str
+    client: str
 
 
 class AdvisorSession:
@@ -99,6 +119,8 @@ class AdvisorService:
         selectivity_levels: tuple[float, ...] = SELECTIVITY_LEVELS,
         joint_config: JointGraphConfig | None = None,
         max_sessions: int = 1024,
+        feedback: FeedbackLog | None = None,
+        max_pending: int = 4096,
     ):
         self.engine = engine
         self.catalog = catalog
@@ -107,7 +129,10 @@ class AdvisorService:
         self.selectivity_levels = selectivity_levels
         self.joint_config = joint_config or JointGraphConfig()
         self.max_sessions = max_sessions
+        self.feedback = feedback
+        self.max_pending = max_pending
         self._sessions: OrderedDict[str, AdvisorSession] = OrderedDict()
+        self._pending: OrderedDict[str, _PendingDecision] = OrderedDict()
         self._lock = threading.Lock()
 
     # -- sessions ------------------------------------------------------
@@ -178,8 +203,88 @@ class AdvisorService:
             selectivity_levels=levels,
             decision_seconds=time.perf_counter() - start,
         )
+        if self.feedback is not None:
+            decision.decision_id = self._stash_pending(query, graphs, decision, session)
         self._record(session, decision)
         return decision
+
+    # -- runtime feedback ----------------------------------------------
+    def _stash_pending(
+        self,
+        query: Query,
+        graphs: dict[UDFPlacement, list[JointGraph]],
+        decision: AdvisorDecision,
+        session: AdvisorSession | None,
+    ) -> str:
+        """Remember the served decision until its runtime is observed."""
+        chosen = decision.placement
+        costs = decision.pullup_costs if decision.pull_up else decision.pushdown_costs
+        pending = _PendingDecision(
+            graphs=graphs[chosen],
+            costs=np.asarray(costs, dtype=np.float64),
+            levels=np.asarray(decision.selectivity_levels, dtype=np.float64),
+            placement=chosen.value,
+            segment=query.dataset,
+            client=session.stats.client_id if session is not None else "anonymous",
+        )
+        decision_id = uuid.uuid4().hex[:16]
+        with self._lock:
+            self._pending[decision_id] = pending
+            while len(self._pending) > self.max_pending:
+                self._pending.popitem(last=False)
+        return decision_id
+
+    def record_runtime(
+        self,
+        decision_id: str,
+        observed: float,
+        true_selectivity: float | None = None,
+    ) -> FeedbackRecord:
+        """Pair an observed runtime with its served decision.
+
+        The feedback record carries the annotated graph the model
+        actually scored for the chosen placement — at the level nearest
+        the reported true selectivity when the caller knows it, at the
+        grid midpoint otherwise — so the retrainer trains on exactly
+        what serving predicted.
+        """
+        if self.feedback is None:
+            raise ServingError("no feedback log attached to this service")
+        try:
+            observed = float(observed)
+        except (TypeError, ValueError) as exc:
+            raise ServingError(f"observed runtime must be a number: {exc}") from exc
+        if not np.isfinite(observed) or observed <= 0:
+            # reject before consuming the pending entry: a malformed
+            # report must leave the decision available for a retry
+            raise ServingError(f"observed runtime must be > 0, got {observed!r}")
+        with self._lock:
+            pending = self._pending.pop(decision_id, None)
+        if pending is None:
+            raise ServingError(f"unknown or expired decision id {decision_id!r}")
+        if true_selectivity is not None:
+            index = int(np.argmin(np.abs(pending.levels - float(true_selectivity))))
+        else:
+            index = len(pending.graphs) // 2
+        metadata = {"decision_id": decision_id}
+        if true_selectivity is not None:
+            metadata["true_selectivity"] = float(true_selectivity)
+        record = FeedbackRecord(
+            predicted=float(pending.costs[index]),
+            observed=observed,
+            placement=pending.placement,
+            segment=pending.segment,
+            client=pending.client,
+            graph=pending.graphs[index],
+            metadata=metadata,
+        )
+        self.feedback.append(record)
+        return record
+
+    @property
+    def pending_feedback(self) -> int:
+        with self._lock:
+            return len(self._pending)
 
     def _record(
         self, session: AdvisorSession | None, decision: AdvisorDecision
@@ -197,9 +302,13 @@ class AdvisorService:
             stats.total_seconds += decision.decision_seconds
 
     def describe(self) -> dict:
-        return {
+        info = {
             "strategy": self.strategy,
             "selectivity_levels": list(self.selectivity_levels),
             "sessions": self.session_stats(),
             "engine": self.engine.describe(),
         }
+        if self.feedback is not None:
+            info["feedback"] = self.feedback.stats()
+            info["pending_feedback"] = self.pending_feedback
+        return info

@@ -20,6 +20,7 @@ import numpy as np
 from repro.advisor.advisor import AdvisorDecision
 from repro.core.joint_graph import JointGraph
 from repro.exceptions import ServingError
+from repro.feedback.collector import FeedbackRecord
 from repro.sql.expressions import ColumnRef, CompareOp
 from repro.sql.plan import AggFunc
 from repro.sql.query import (
@@ -208,7 +209,7 @@ def query_from_json(payload: dict) -> Query:
 
 # -- decisions ---------------------------------------------------------
 def decision_to_json(decision: AdvisorDecision) -> dict:
-    return {
+    out = {
         "placement": decision.placement.value,
         "pull_up": decision.pull_up,
         "strategy": decision.strategy,
@@ -217,3 +218,62 @@ def decision_to_json(decision: AdvisorDecision) -> dict:
         "selectivity_levels": decision.selectivity_levels.tolist(),
         "decision_seconds": decision.decision_seconds,
     }
+    if decision.decision_id:
+        out["decision_id"] = decision.decision_id
+    return out
+
+
+# -- feedback records --------------------------------------------------
+def feedback_record_to_json(record: FeedbackRecord) -> dict:
+    """Wire form of one feedback record; optional fields stay optional."""
+    out: dict = {
+        "predicted": record.predicted,
+        "observed": record.observed,
+        "placement": record.placement,
+        "segment": record.segment,
+        "client": record.client,
+        "timestamp": record.timestamp,
+        "metadata": record.metadata,
+    }
+    if record.graph is not None:
+        out["graph"] = graph_to_json(record.graph)
+        out["graph_fp"] = record.graph_fp
+    return out
+
+
+def feedback_record_from_json(payload: dict) -> FeedbackRecord:
+    """Decode one ``/feedback`` record; ``predicted``/``observed`` are
+    the only required fields (metric-only reports carry no graph)."""
+    if not isinstance(payload, dict):
+        raise ServingError("feedback record must be a JSON object")
+    try:
+        predicted = float(payload["predicted"])
+        observed = float(payload["observed"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ServingError(f"malformed feedback record: {exc}") from exc
+    if not np.isfinite(predicted) or not np.isfinite(observed) or observed <= 0:
+        raise ServingError(
+            "feedback record needs finite predicted and positive observed "
+            f"runtimes, got predicted={predicted!r} observed={observed!r}"
+        )
+    graph = None
+    if payload.get("graph") is not None:
+        graph = graph_from_json(payload["graph"])
+    metadata = payload.get("metadata") or {}
+    if not isinstance(metadata, dict):
+        raise ServingError('"metadata" must be an object when given')
+    try:
+        record = FeedbackRecord(
+            predicted=predicted,
+            observed=observed,
+            placement=str(payload.get("placement", "")),
+            segment=str(payload.get("segment", "")),
+            client=str(payload.get("client", "")),
+            graph=graph,
+            metadata=dict(metadata),
+        )
+        if payload.get("timestamp") is not None:
+            record.timestamp = float(payload["timestamp"])
+    except Exception as exc:
+        raise ServingError(f"malformed feedback record: {exc}") from exc
+    return record

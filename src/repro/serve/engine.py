@@ -51,6 +51,7 @@ class EngineStats:
     failed_requests: int = 0
     max_batch_observed: int = 0
     busy_seconds: float = 0.0
+    model_swaps: int = 0
 
     @property
     def mean_batch_size(self) -> float:
@@ -68,6 +69,7 @@ class EngineStats:
             "failed_requests": self.failed_requests,
             "max_batch_observed": self.max_batch_observed,
             "busy_seconds": self.busy_seconds,
+            "model_swaps": self.model_swaps,
         }
 
 
@@ -124,6 +126,17 @@ class MicroBatchEngine:
         """Blocking convenience wrapper: submit all, gather all."""
         futures = self.submit_many(graphs)
         return np.asarray([f.result() for f in futures], dtype=np.float64)
+
+    def swap_model(self, model: CostGNN) -> None:
+        """Hot-swap the served model between batches (canary promotion).
+
+        Taken under the worker's lock, so in-flight batches complete on
+        the old model and every later batch runs the new one; pending
+        futures never straddle two models.
+        """
+        with self._wake:
+            self.model = model
+            self.stats.model_swaps += 1
 
     def close(self, timeout: float | None = 10.0) -> None:
         """Drain the queue, stop the worker, reject new submissions."""
@@ -199,11 +212,12 @@ class MicroBatchEngine:
             stats.drain_flushes += 1
 
     def _predict_joint(self, graphs: list[JointGraph]) -> np.ndarray:
+        # one read: a concurrent swap_model must not split a batch
+        # between the old model's dtype and the new model's weights
+        model = self.model
         prepared = self.cache.get_many(graphs)
-        batch = make_batch_prepared(
-            prepared, np.zeros(len(graphs)), dtype=self.model.dtype
-        )
-        return self.model.predict_runtimes(batch)
+        batch = make_batch_prepared(prepared, np.zeros(len(graphs)), dtype=model.dtype)
+        return model.predict_runtimes(batch)
 
     # -- introspection -------------------------------------------------
     def describe(self) -> dict:

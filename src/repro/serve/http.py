@@ -3,11 +3,17 @@
 Endpoints (all JSON):
 
 * ``GET  /healthz`` — liveness + model identity + uptime;
-* ``GET  /stats``   — engine/advisor/session statistics;
+* ``GET  /stats``   — engine/advisor/session/feedback statistics;
 * ``GET  /models``  — the registry's published versions;
 * ``POST /predict`` — ``{"graphs": [graph, ...]}`` → predicted runtimes;
 * ``POST /advise``  — ``{"query": {...}, "strategy"?, "true_selectivity"?,
-  "client"?}`` → a placement decision.
+  "client"?}`` → a placement decision (with a ``decision_id`` when a
+  feedback log is attached);
+* ``POST /feedback`` — ``{"decision_id": ..., "observed": ...,
+  "true_selectivity"?}`` pairs an observed runtime with a served
+  decision, or ``{"records": [...]}`` reports explicit records; either
+  way the observations land in the feedback log that drives drift
+  detection and retraining.
 
 Built on :class:`http.server.ThreadingHTTPServer`: each connection is
 handled on its own thread, so concurrent clients' ``/predict`` and
@@ -24,11 +30,20 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.exceptions import ReproError, ServingError
 from repro.serve.advisor_service import AdvisorService
-from repro.serve.codec import decision_to_json, graph_from_json, query_from_json
+from repro.serve.codec import (
+    decision_to_json,
+    feedback_record_from_json,
+    graph_from_json,
+    query_from_json,
+)
 from repro.serve.registry import ModelRegistry
 
 #: caps request bodies; a joint graph is ~KBs, advise payloads smaller
 MAX_BODY_BYTES = 16 * 1024 * 1024
+
+#: caps one ``/feedback`` post; larger reports must be split (keeps a
+#: single request from monopolizing the log's lock and the JSON parser)
+MAX_FEEDBACK_RECORDS = 1024
 
 
 class ServingServer(ThreadingHTTPServer):
@@ -42,13 +57,22 @@ class ServingServer(ThreadingHTTPServer):
         service: AdvisorService,
         registry: ModelRegistry | None = None,
         model_ref: str = "",
+        loop=None,
     ):
         super().__init__(address, ServingHandler)
         self.service = service
         self.engine = service.engine
         self.registry = registry
         self.model_ref = model_ref
+        #: optional :class:`repro.feedback.FeedbackLoop`; surfaces drift
+        #: and promotion state through /stats and keeps model_ref honest
+        self.loop = loop
         self.started = time.time()
+
+    def drain(self) -> None:
+        """Stop accepting requests and drain the micro-batch engine."""
+        self.shutdown()
+        self.engine.close()
 
     @property
     def url(self) -> str:
@@ -100,15 +124,21 @@ class ServingHandler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - stdlib handler name
         server = self.server
         if self.path == "/healthz":
+            model_ref = server.model_ref
+            if server.loop is not None and server.loop.live_ref:
+                model_ref = server.loop.live_ref  # survives hot-swaps
             self._send_json(
                 {
                     "status": "ok",
-                    "model": server.model_ref,
+                    "model": model_ref,
                     "uptime_seconds": time.time() - server.started,
                 }
             )
         elif self.path == "/stats":
-            self._send_json(server.service.describe())
+            stats = server.service.describe()
+            if server.loop is not None:
+                stats["feedback_loop"] = server.loop.describe()
+            self._send_json(stats)
         elif self.path == "/models":
             if server.registry is None:
                 self._send_error_json(404, "no registry attached")
@@ -124,6 +154,8 @@ class ServingHandler(BaseHTTPRequestHandler):
                 self._handle_predict(payload)
             elif self.path == "/advise":
                 self._handle_advise(payload)
+            elif self.path == "/feedback":
+                self._handle_feedback(payload)
             else:
                 self._send_error_json(404, f"unknown path {self.path!r}")
         except ServingError as exc:
@@ -173,6 +205,48 @@ class ServingHandler(BaseHTTPRequestHandler):
         )
         self._send_json(decision_to_json(decision))
 
+    def _handle_feedback(self, payload: dict) -> None:
+        service = self.server.service
+        if service.feedback is None:
+            raise ServingError("no feedback log attached to this service")
+        if payload.get("decision_id") is not None:
+            try:
+                observed = float(payload["observed"])
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ServingError(
+                    'feedback with "decision_id" needs a numeric "observed" '
+                    f"runtime: {exc}"
+                ) from exc
+            true_selectivity = payload.get("true_selectivity")
+            if true_selectivity is not None:
+                try:
+                    true_selectivity = float(true_selectivity)
+                except (TypeError, ValueError) as exc:
+                    raise ServingError(
+                        f"invalid true_selectivity {true_selectivity!r}"
+                    ) from exc
+            record = service.record_runtime(
+                str(payload["decision_id"]),
+                observed,
+                true_selectivity=true_selectivity,
+            )
+            self._send_json({"accepted": 1, "q_error": record.q_error})
+            return
+        raw_records = payload.get("records")
+        if not isinstance(raw_records, list) or not raw_records:
+            raise ServingError(
+                'feedback payload needs "decision_id" + "observed" or a '
+                'non-empty "records" list'
+            )
+        if len(raw_records) > MAX_FEEDBACK_RECORDS:
+            raise ServingError(
+                f"feedback batch of {len(raw_records)} exceeds "
+                f"{MAX_FEEDBACK_RECORDS} records; split the report"
+            )
+        records = [feedback_record_from_json(r) for r in raw_records]
+        service.feedback.extend(records)
+        self._send_json({"accepted": len(records), "log": service.feedback.stats()})
+
 
 def make_server(
     service: AdvisorService,
@@ -180,6 +254,7 @@ def make_server(
     host: str = "127.0.0.1",
     port: int = 0,
     model_ref: str = "",
+    loop=None,
 ) -> ServingServer:
     """Bind a :class:`ServingServer` (``port=0`` picks a free port)."""
-    return ServingServer((host, port), service, registry, model_ref)
+    return ServingServer((host, port), service, registry, model_ref, loop)

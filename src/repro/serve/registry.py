@@ -121,6 +121,32 @@ class ModelRegistry:
             self._remember((name, version), model)
             return self._version_from_meta(path, meta)
 
+    def annotate(self, name: str, version: int, metrics: dict) -> ModelVersion:
+        """Merge ``metrics`` into a published version's sidecar (atomic).
+
+        This is how post-publication verdicts reach the registry: the
+        canary promoter records its shadow-comparison outcome here, so a
+        version's sidecar tells the whole story — what drifted, what it
+        was retrained on, and whether it won promotion.
+        """
+        with self._lock:
+            path = self.root / name / f"v{version:04d}.npz"
+            if not path.exists():
+                raise ServingError(f"model {name}@v{version} is not published")
+            sidecar = path.with_suffix(".json")
+            meta = {}
+            try:
+                with open(sidecar) as fh:
+                    meta = json.load(fh)
+            except (OSError, json.JSONDecodeError):
+                pass
+            meta.setdefault("metrics", {}).update(metrics)
+            tmp = path.with_suffix(f".jsontmp{os.getpid()}")
+            with open(tmp, "w") as fh:
+                json.dump(meta, fh, indent=1)
+            os.replace(tmp, sidecar)
+            return self._version_from_meta(path, meta)
+
     # -- listing -------------------------------------------------------
     def models(self) -> list[str]:
         """All model names with at least one published version."""

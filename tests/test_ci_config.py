@@ -9,6 +9,7 @@ conftest.py.
 
 from __future__ import annotations
 
+import importlib.util
 import re
 from pathlib import Path
 
@@ -74,6 +75,22 @@ def test_lint_job_runs_ruff_with_repo_config(workflow):
     assert "F" in parsed["lint"]["select"]
 
 
+def test_lint_format_scope_covers_grown_trees(workflow):
+    """The formatter's coverage must grow with the subsystems it guards:
+    serving (PR 3), the feedback tree and every script (PR 4)."""
+    runs = job_run_lines(workflow["jobs"]["lint"])
+    format_lines = [
+        line
+        for line in runs.splitlines()
+        if "ruff format --check" in line
+    ]
+    assert format_lines, "lint job lost its ruff format step"
+    scope = " ".join(format_lines)
+    for target in ("src/repro/serve", "src/repro/feedback", "scripts"):
+        assert target in scope, f"ruff format scope lost {target}"
+        assert (ROOT / target).exists()
+
+
 def test_bench_smoke_records_perf_artifacts(workflow):
     job = workflow["jobs"]["bench-smoke"]
     runs = job_run_lines(job)
@@ -88,6 +105,51 @@ def test_bench_smoke_records_perf_artifacts(workflow):
     assert "BENCH_*.json" in uploads[0]["with"]["path"]
 
 
+def test_bench_smoke_compares_against_baselines(workflow):
+    """The smoke job must diff fresh numbers against the committed
+    BENCH_*.json baselines — warn-only, so noisy runners inform without
+    failing the job."""
+    job = workflow["jobs"]["bench-smoke"]
+    runs = job_run_lines(job)
+    assert "scripts/bench_compare.py" in runs
+    compare_steps = [
+        step
+        for step in job["steps"]
+        if "bench_compare" in str(step.get("run", ""))
+    ]
+    assert compare_steps
+    assert "warn-only" in str(compare_steps[0].get("name", "")).lower()
+    script = (ROOT / "scripts" / "bench_compare.py").read_text()
+    assert "return 0" in script  # warn-only: the job never fails on perf
+    assert "::warning" in script  # but regressions are annotated
+
+
+def test_bench_compare_judges_negative_baselines_by_absolute_delta():
+    """A relative delta against a negative baseline flips sign:
+    overhead_fraction can legitimately sit below zero (noise floor), and
+    a real regression to +10% must still be flagged."""
+    path = ROOT / "scripts" / "bench_compare.py"
+    spec = importlib.util.spec_from_file_location("bench_compare", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    # lower-is-better metric, negative baseline: +0.12 absolute is a
+    # regression, staying at the noise floor is not
+    _, regressed = module.judge(-0.02, 0.10, sign=-1, threshold=0.05)
+    assert regressed
+    _, regressed = module.judge(-0.02, -0.03, sign=-1, threshold=0.05)
+    assert not regressed
+    # positive baselines keep the relative semantics, both directions
+    _, regressed = module.judge(10.0, 6.0, sign=1, threshold=0.25)
+    assert regressed  # speedup lost 40%
+    _, regressed = module.judge(0.040, 0.055, sign=-1, threshold=0.25)
+    assert regressed  # seconds grew 37%
+    _, regressed = module.judge(10.0, 9.0, sign=1, threshold=0.25)
+    assert not regressed
+    assert module.direction("x.speedup") == 1
+    assert module.direction("x.overhead_fraction") == -1
+    assert module.direction("x.batch_size") == 0
+
+
 def test_bench_script_is_ci_safe():
     script = (ROOT / "scripts" / "bench.sh").read_text()
     assert "set -euo pipefail" in script
@@ -96,3 +158,13 @@ def test_bench_script_is_ci_safe():
     assert re.search(r'exit "\$status"', script), (
         "bench.sh must propagate pytest's exit status"
     )
+
+
+def test_bench_script_runs_every_perf_suite():
+    """Every benchmarks/test_perf_*.py must be in bench.sh's default
+    selection, or its BENCH artifact silently stops being produced."""
+    script = (ROOT / "scripts" / "bench.sh").read_text()
+    for path in sorted((ROOT / "benchmarks").glob("test_perf_*.py")):
+        assert f"benchmarks/{path.name}" in script, (
+            f"bench.sh default selection lost {path.name}"
+        )

@@ -8,11 +8,15 @@ handmade database.
 
 from __future__ import annotations
 
+import importlib.util
 import json
+import os
+import signal
 import threading
 import urllib.error
 import urllib.request
 from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -488,3 +492,42 @@ class TestHTTPFrontend:
                 {"query": query_to_json(query), "true_selectivity": "abc"},
             )
         assert err.value.code == 400
+
+
+# ======================================================================
+def _load_serve_script():
+    """Import scripts/serve.py as a module (scripts/ is not a package)."""
+    path = Path(__file__).resolve().parent.parent / "scripts" / "serve.py"
+    spec = importlib.util.spec_from_file_location("serve_script", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestGracefulShutdown:
+    def test_sigterm_drains_server_and_engine(self, serving_setup):
+        # Container/CI deployments stop scripts/serve.py with SIGTERM;
+        # the signal must take the same clean-drain path as ctrl-c.
+        serve_script = _load_serve_script()
+        service, _, _ = serving_setup
+        server = make_server(service)
+        previous = signal.getsignal(signal.SIGTERM)
+        timer = threading.Timer(0.3, os.kill, (os.getpid(), signal.SIGTERM))
+        timer.start()
+        try:
+            serve_script.serve_until_signalled(server)  # returns on signal
+        finally:
+            timer.cancel()
+        # handler restored, HTTP stopped, micro-batch engine drained
+        assert signal.getsignal(signal.SIGTERM) is previous
+        with pytest.raises(ServingError):
+            service.engine.submit(synthetic_graphs(1)[0])
+
+    def test_server_drain_is_idempotent(self, serving_setup):
+        service, _, _ = serving_setup
+        server = make_server(service)
+        server.serve_in_background()
+        server.drain()
+        server.drain()
+        with pytest.raises(ServingError):
+            server.engine.submit(synthetic_graphs(1)[0])
