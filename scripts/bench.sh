@@ -24,6 +24,7 @@ selection=(
     benchmarks/test_perf_pipeline.py
     benchmarks/test_perf_serving.py
     benchmarks/test_perf_feedback.py
+    benchmarks/test_perf_loadtest.py
 )
 if [ "$#" -gt 0 ]; then
     selection=("$@")

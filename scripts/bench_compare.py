@@ -15,6 +15,12 @@ annotations. **Warn-only by design**: CI runners are noisy shared
 hardware, so the exit code is always 0 — the table and the annotations
 inform, the committed baselines stay authoritative until a human
 re-records them.
+
+Each run also appends one JSON line — commit, timestamp, and every
+directional metric of every ``BENCH_*.json`` — to ``bench_history.jsonl``
+(``--history`` to relocate, ``--no-history`` to skip). CI uploads the
+file next to the ``BENCH_*.json`` artifacts, so the perf trajectory
+accumulates run over run instead of living only in the latest snapshot.
 """
 
 from __future__ import annotations
@@ -24,13 +30,20 @@ import glob
 import json
 import subprocess
 import sys
+import time
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
+HISTORY_PATH = ROOT / "bench_history.jsonl"
 
 #: metric-name fragments where bigger numbers are better / worse
-HIGHER_IS_BETTER = ("speedup", "per_second", "hit", "mean_batch_size")
-LOWER_IS_BETTER = ("seconds", "_us", "latency", "overhead", "samples")
+HIGHER_IS_BETTER = ("speedup", "per_second", "qps", "hit", "mean_batch_size")
+LOWER_IS_BETTER = ("seconds", "_us", "_ms", "latency", "overhead", "samples")
+
+#: path fragments that are configuration/run-shape, not perf: a changed
+#: knob (loadtest max_wait_us, scenario duration, poll count) must never
+#: be reported as a perf regression
+NOT_A_METRIC = (".config.", "stats_poll.samples")
 
 
 def flatten(node, prefix: str = "") -> dict[str, float]:
@@ -50,7 +63,12 @@ def flatten(node, prefix: str = "") -> dict[str, float]:
 
 def direction(metric: str) -> int:
     """+1 when higher is better, -1 when lower is better, 0 unknown."""
+    for fragment in NOT_A_METRIC:
+        if fragment in metric:
+            return 0
     leaf = metric.rsplit(".", 1)[-1]
+    if "scenarios." in metric and leaf == "seconds":
+        return 0  # a scenario's elapsed time is its configured duration
     for fragment in HIGHER_IS_BETTER:
         if fragment in leaf:
             return 1
@@ -145,6 +163,43 @@ def compare(threshold: float) -> list[str]:
     return warnings
 
 
+def current_commit() -> str:
+    proc = subprocess.run(
+        ["git", "rev-parse", "--short", "HEAD"],
+        cwd=ROOT,
+        capture_output=True,
+        text=True,
+    )
+    return proc.stdout.strip() if proc.returncode == 0 else ""
+
+
+def append_history(path: Path) -> dict:
+    """Append this run's directional metrics as one ``jsonl`` record.
+
+    The record is the same shape run over run — ``{bench: {metric:
+    value}}`` plus commit/timestamp — so the trajectory is greppable and
+    trivially plottable across CI artifacts.
+    """
+    benches: dict[str, dict[str, float]] = {}
+    for bench_path in sorted(glob.glob(str(ROOT / "BENCH_*.json"))):
+        name = Path(bench_path).name[len("BENCH_") : -len(".json")]
+        with open(bench_path) as fh:
+            flat = flatten(json.load(fh))
+        benches[name] = {
+            metric: value
+            for metric, value in sorted(flat.items())
+            if direction(metric) != 0
+        }
+    entry = {
+        "timestamp": time.time(),
+        "commit": current_commit(),
+        "benches": benches,
+    }
+    with open(path, "a") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -153,10 +208,27 @@ def main(argv: list[str] | None = None) -> int:
         default=0.25,
         help="relative delta that counts as a regression (default 0.25)",
     )
+    parser.add_argument(
+        "--history",
+        default=str(HISTORY_PATH),
+        help="bench_history.jsonl location (the CI perf-trajectory artifact)",
+    )
+    parser.add_argument(
+        "--no-history",
+        action="store_true",
+        help="skip appending this run to the history file",
+    )
     args = parser.parse_args(argv)
     warnings = compare(args.threshold)
     for line in warnings:
         print(line, file=sys.stderr)
+    if not args.no_history:
+        entry = append_history(Path(args.history))
+        print()
+        print(
+            f"(appended {sum(len(b) for b in entry['benches'].values())} "
+            f"metrics for commit {entry['commit'] or '?'} to {args.history})"
+        )
     # warn-only: noisy CI hardware must not fail the job on a perf wobble
     return 0
 

@@ -1,0 +1,326 @@
+#!/usr/bin/env python
+"""Open-loop load generator for the sharded serving fast path.
+
+Drives the :class:`~repro.serve.ShardedEngine` (the engine behind
+``/predict`` and ``/advise``) with a configurable synthetic workload and
+reports what a capacity plan needs: sustained QPS, latency percentiles,
+and cache effectiveness::
+
+    PYTHONPATH=src python scripts/loadtest.py --duration 3 --shards 4 \
+        --repeat-ratio 0.5 --out BENCH_loadtest.json
+
+Workload model (the paper's motivating traffic shape — the same
+UDF/query templates recur over and over):
+
+* ``--templates`` distinct request graphs form the template pool;
+* each request is, with probability ``--repeat-ratio``, a *repeat* of a
+  template from the currently-hot window (cache-hittable), otherwise a
+  *fresh* graph (a perturbed template with a unique fingerprint — full
+  decode/prepare/forward work);
+* the hot window rotates through the pool every ``--drift-period``
+  seconds, a drifting mix like the feedback subsystem's drift episodes.
+
+Two pacing modes:
+
+* **saturation** (default): ``--concurrency`` closed-loop workers issue
+  back-to-back bursts — measures peak throughput;
+* **open loop** (``--rate R``): requests are scheduled at fixed arrival
+  times regardless of completions, and latency is measured from the
+  *scheduled* arrival — queueing delay is charged to the system, not
+  hidden by a slow client (no coordinated omission).
+
+A sideband poller samples the engine's ``/stats`` snapshot during the
+run and reports its latency percentiles: the statistics surface must
+stay responsive exactly while the shards are saturated (it takes no
+dispatch lock — DESIGN.md §11).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import threading
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import encoding as enc
+from repro.core.joint_graph import JointGraph
+from repro.model import CostGNN, GNNConfig
+from repro.serve import PredictionCache, PreparedRequestCache, ShardedEngine
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+@dataclass
+class LoadtestConfig:
+    """One load-test scenario."""
+
+    duration_s: float = 3.0
+    concurrency: int = 4
+    repeat_ratio: float = 0.5
+    templates: int = 128
+    hot_templates: int = 32
+    drift_period_s: float = 1.0
+    shards: int = 4
+    max_batch_size: int = 64
+    #: shard coalescing timer; load-test bursts arrive pre-batched, so a
+    #: short timer keeps partial miss-batches from idling on the queue
+    max_wait_us: float = 200.0
+    submit_chunk: int = 64
+    rate: float | None = None  # None = closed-loop saturation
+    #: score every template once before the clock starts — the same
+    #: warm-cache protocol as the committed BENCH_serving baseline
+    #: (which reports best-of-N over a warmed engine)
+    warmup: bool = True
+    hidden_dim: int = 32
+    seed: int = 0
+
+
+def synthetic_graphs(n_graphs: int, seed: int = 0) -> list[JointGraph]:
+    """Random typed DAGs shaped like small joint graphs (15-45 nodes),
+    the same shape distribution as ``benchmarks/test_perf_serving.py``."""
+    rng = np.random.default_rng(seed)
+    types = list(enc.NODE_TYPES)
+    graphs = []
+    for _ in range(n_graphs):
+        n = int(rng.integers(15, 45))
+        graph = JointGraph()
+        for _ in range(n):
+            gtype = types[int(rng.integers(len(types)))]
+            graph.add_node(gtype, rng.random(enc.FEATURE_DIMS[gtype]))
+        for node in range(1, n):
+            graph.add_edge(int(rng.integers(node)), node)
+        graph.root_id = n - 1
+        graphs.append(graph)
+    return graphs
+
+
+class WorkloadSampler:
+    """Per-worker request sampler: repeats from a drifting hot window,
+    fresh graphs as uniquely-perturbed template clones."""
+
+    def __init__(self, config: LoadtestConfig, worker: int, started: float):
+        self.config = config
+        self.templates = synthetic_graphs(config.templates, seed=config.seed)
+        self.rng = np.random.default_rng(config.seed * 10_007 + worker)
+        self.started = started
+        self.fresh_counter = worker * 1_000_000_007  # unique across workers
+
+    def _hot_window(self, now: float) -> tuple[int, int]:
+        config = self.config
+        hot = min(config.hot_templates, config.templates)
+        step = int((now - self.started) / config.drift_period_s)
+        offset = (step * hot) % config.templates
+        return offset, hot
+
+    def sample(self, now: float) -> JointGraph:
+        config = self.config
+        if self.rng.random() < config.repeat_ratio:
+            offset, hot = self._hot_window(now)
+            index = (offset + int(self.rng.integers(hot))) % config.templates
+            return self.templates[index]  # the same object every repeat
+        base = self.templates[int(self.rng.integers(config.templates))]
+        # a template recurrence at a new "selectivity": same topology,
+        # one changed feature value — a unique in-range value gives a
+        # unique fingerprint, so this request can never hit the prepared
+        # or prediction tiers. Only the mutated feature row is copied;
+        # the untouched rows are shared read-only with the template.
+        self.fresh_counter += 1
+        features = list(base.features)
+        features[0] = features[0].copy()
+        features[0][0] = (self.fresh_counter * 0.6180339887498949) % 1.0
+        return JointGraph(
+            node_types=base.node_types,
+            features=features,
+            edges=base.edges,
+            root_id=base.root_id,
+        )
+
+
+def _percentiles_ms(latencies: list[float]) -> dict[str, float]:
+    if not latencies:
+        return {"p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0}
+    arr = np.asarray(latencies, dtype=np.float64) * 1e3
+    return {
+        "p50_ms": float(np.percentile(arr, 50)),
+        "p95_ms": float(np.percentile(arr, 95)),
+        "p99_ms": float(np.percentile(arr, 99)),
+    }
+
+
+def run_loadtest(config: LoadtestConfig) -> dict:
+    """Run one scenario; returns the result document (JSON-ready)."""
+    model = CostGNN(GNNConfig(hidden_dim=config.hidden_dim, seed=config.seed))
+    model.eval()
+    engine = ShardedEngine(
+        model,
+        shards=config.shards,
+        max_batch_size=config.max_batch_size,
+        max_wait_us=config.max_wait_us,
+        request_cache=PreparedRequestCache(),
+        prediction_cache=PredictionCache(),
+    )
+    if config.warmup:
+        templates = synthetic_graphs(config.templates, seed=config.seed)
+        for start in range(0, len(templates), config.max_batch_size):
+            engine.score(templates[start : start + config.max_batch_size])
+    started = time.perf_counter()
+    deadline = started + config.duration_s
+    latencies: list[list[float]] = [[] for _ in range(config.concurrency)]
+    counts = [0] * config.concurrency
+    stats_latencies: list[float] = []
+    stop_poller = threading.Event()
+
+    def worker(index: int) -> None:
+        sampler = WorkloadSampler(config, index, started)
+        mine = latencies[index]
+        if config.rate is not None:
+            interval = config.submit_chunk * config.concurrency / config.rate
+            next_sched = started + (index / config.concurrency) * interval
+        while True:
+            now = time.perf_counter()
+            if now >= deadline:
+                return
+            if config.rate is not None:
+                # open loop: wait for the scheduled arrival, then charge
+                # the full scheduled-to-done time to the system
+                if next_sched > now:
+                    time.sleep(next_sched - now)
+                sched = next_sched
+                next_sched += interval
+            else:
+                sched = time.perf_counter()
+            batch = [sampler.sample(sched) for _ in range(config.submit_chunk)]
+            engine.score(batch)
+            done = time.perf_counter()
+            mine.extend([done - sched] * len(batch))
+            counts[index] += len(batch)
+
+    def poller() -> None:
+        while not stop_poller.is_set():
+            t0 = time.perf_counter()
+            engine.describe()  # the engine section of /stats
+            stats_latencies.append(time.perf_counter() - t0)
+            stop_poller.wait(0.02)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), name=f"loadgen-{i}")
+        for i in range(config.concurrency)
+    ]
+    poll_thread = threading.Thread(target=poller, name="stats-poller")
+    with engine:
+        poll_thread.start()
+        run_start = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - run_start
+        stop_poller.set()
+        poll_thread.join()
+        description = engine.describe()
+
+    total = sum(counts)
+    flat = [value for worker_lat in latencies for value in worker_lat]
+    prediction = description.get("prediction_cache", {})
+    request = description.get("request_cache", {})
+    result = {
+        "config": asdict(config),
+        "requests": total,
+        "seconds": elapsed,
+        "achieved_qps": total / elapsed if elapsed else 0.0,
+        **_percentiles_ms(flat),
+        "prediction_cache_hit_rate": prediction.get("hit_rate", 0.0),
+        "prepared_hits": request.get("prepared_hits", 0),
+        "prepared_misses": request.get("prepared_misses", 0),
+        "engine_stats": description["stats"],
+        "stats_poll": {
+            "samples": len(stats_latencies),
+            **_percentiles_ms(stats_latencies),
+        },
+    }
+    if config.rate is not None:
+        result["target_rate"] = config.rate
+    return result
+
+
+def serving_baseline_rps() -> float | None:
+    """The committed micro-batched baseline (PR 3's BENCH_serving.json)."""
+    path = ROOT / "BENCH_serving.json"
+    try:
+        with open(path) as fh:
+            return float(json.load(fh)["batched"]["requests_per_second"])
+    except (OSError, KeyError, ValueError, json.JSONDecodeError):
+        return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--duration", type=float, default=3.0)
+    parser.add_argument("--concurrency", type=int, default=4)
+    parser.add_argument("--repeat-ratio", type=float, default=0.5)
+    parser.add_argument("--templates", type=int, default=128)
+    parser.add_argument("--hot-templates", type=int, default=32)
+    parser.add_argument("--drift-period", type=float, default=1.0)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--max-batch-size", type=int, default=64)
+    parser.add_argument("--submit-chunk", type=int, default=32)
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="open-loop arrival rate in req/s (default: closed-loop saturation)",
+    )
+    parser.add_argument("--hidden-dim", type=int, default=32)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="", help="write the result JSON here")
+    args = parser.parse_args(argv)
+
+    config = LoadtestConfig(
+        duration_s=args.duration,
+        concurrency=args.concurrency,
+        repeat_ratio=args.repeat_ratio,
+        templates=args.templates,
+        hot_templates=args.hot_templates,
+        drift_period_s=args.drift_period,
+        shards=args.shards,
+        max_batch_size=args.max_batch_size,
+        submit_chunk=args.submit_chunk,
+        rate=args.rate,
+        hidden_dim=args.hidden_dim,
+        seed=args.seed,
+    )
+    result = run_loadtest(config)
+    baseline = serving_baseline_rps()
+    if baseline:
+        result["baseline_serving_batched_rps"] = baseline
+        result["speedup_vs_serving_batched"] = result["achieved_qps"] / baseline
+
+    print(
+        f"{result['requests']} requests in {result['seconds']:.2f}s = "
+        f"{result['achieved_qps']:,.0f} req/s "
+        f"(p50 {result['p50_ms']:.2f}ms / p95 {result['p95_ms']:.2f}ms / "
+        f"p99 {result['p99_ms']:.2f}ms)"
+    )
+    print(
+        f"prediction-cache hit rate {result['prediction_cache_hit_rate']:.1%}, "
+        f"stats-poll p95 {result['stats_poll']['p95_ms']:.2f}ms"
+    )
+    if baseline:
+        print(
+            f"vs committed batched baseline {baseline:,.0f} req/s: "
+            f"{result['speedup_vs_serving_batched']:.2f}x"
+        )
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(result, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

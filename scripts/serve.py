@@ -22,7 +22,14 @@ import signal
 from repro.bench import build_dataset_benchmark
 from repro.eval import prepare_dataset_samples, training_placements
 from repro.model import GNNConfig, GracefulModel, TrainConfig
-from repro.serve import AdvisorService, MicroBatchEngine, ModelRegistry, make_server
+from repro.serve import (
+    AdvisorService,
+    ModelRegistry,
+    PredictionCache,
+    PreparedRequestCache,
+    ShardedEngine,
+    make_server,
+)
 from repro.stats import StatisticsCatalog, make_estimator
 
 
@@ -60,11 +67,15 @@ def build_service(args: argparse.Namespace):
         )
         print(f"published {version.ref}")
 
-    engine = MicroBatchEngine(
+    engine = ShardedEngine(
         model,
+        shards=args.shards or None,  # None -> $REPRO_SERVE_SHARDS / cores
         max_batch_size=args.max_batch_size,
         max_wait_us=args.max_wait_us,
+        request_cache=PreparedRequestCache(),
+        prediction_cache=PredictionCache(),
     )
+    print(f"inference engine: {engine.n_shards} shard(s), fast-path caches on")
     service = AdvisorService(
         engine,
         catalog=StatisticsCatalog(bench.database),
@@ -122,6 +133,13 @@ def main(argv: list[str] | None = None) -> None:
     )
     parser.add_argument("--max-batch-size", type=int, default=64)
     parser.add_argument("--max-wait-us", type=float, default=2000.0)
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="inference worker threads (0 = $REPRO_SERVE_SHARDS or one "
+        "per core, capped at 4)",
+    )
     parser.add_argument("--strategy", default="conservative")
     parser.add_argument("--estimator", default="actual")
     args = parser.parse_args(argv)

@@ -124,7 +124,8 @@ class GBMRegressor:
             go_left = binned[sample_idx, feature] <= threshold_bin
             left_idx = sample_idx[go_left]
             right_idx = sample_idx[~go_left]
-            if len(left_idx) < cfg.min_samples_leaf or len(right_idx) < cfg.min_samples_leaf:
+            min_leaf = cfg.min_samples_leaf
+            if len(left_idx) < min_leaf or len(right_idx) < min_leaf:
                 return node_id
             node.is_leaf = False
             node.feature = feature
@@ -157,7 +158,9 @@ class GBMRegressor:
             left_cnt = np.cumsum(counts)[:-1]
             right_sum = total_sum - left_sum
             right_cnt = total_cnt - left_cnt
-            valid = (left_cnt >= cfg.min_samples_leaf) & (right_cnt >= cfg.min_samples_leaf)
+            valid = (left_cnt >= cfg.min_samples_leaf) & (
+                right_cnt >= cfg.min_samples_leaf
+            )
             if not valid.any():
                 continue
             with np.errstate(divide="ignore", invalid="ignore"):

@@ -39,6 +39,13 @@ NUM_TYPES = len(enc.NODE_TYPES)
 _PREPARE_TOKEN = 0
 
 
+def next_prepare_token() -> int:
+    """A fresh base token (new prepare call / unpickle / rehydration)."""
+    global _PREPARE_TOKEN
+    _PREPARE_TOKEN += 1
+    return _PREPARE_TOKEN
+
+
 def group_bounds(sorted_keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Run keys and [start, stop) bounds of runs in a sorted key array.
 
@@ -162,7 +169,6 @@ class PreparedGraph:
         return state
 
     def __setstate__(self, state: dict) -> None:
-        global _PREPARE_TOKEN
         # copy before mutating: under copy.copy() the state dict
         # aliases the live source object's arrays
         meta = state["node_meta"] = state["node_meta"].copy()
@@ -180,8 +186,7 @@ class PreparedGraph:
         # the graph is its own base: batches of co-unpickled graphs use
         # the general per-graph gather path (distinct fresh tokens)
         state["base_matrices"] = state["features_by_type"]
-        _PREPARE_TOKEN += 1
-        state["base_token"] = _PREPARE_TOKEN
+        state["base_token"] = next_prepare_token()
         for name, value in state.items():
             object.__setattr__(self, name, value)
 
@@ -284,9 +289,7 @@ def prepare_graphs(graphs: list[JointGraph]) -> list[PreparedGraph]:
             [features_cat[i] for i in block]
         ).astype(np.float64, copy=False)
 
-    global _PREPARE_TOKEN
-    _PREPARE_TOKEN += 1
-    token = _PREPARE_TOKEN
+    token = next_prepare_token()
     prepared: list[PreparedGraph] = []
     for gi, graph in enumerate(graphs):
         features_by_type: dict[int, np.ndarray] = {}

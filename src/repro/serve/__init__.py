@@ -7,15 +7,23 @@ optimization time*; this package is that serving surface (DESIGN.md §9):
   fingerprinted metadata and an LRU of live instances;
 * :class:`MicroBatchEngine` — coalesces concurrent prediction requests
   into joint prepared-graph batches behind per-request futures;
+* :class:`ShardedEngine` — the same contract fanned out over
+  ``REPRO_SERVE_SHARDS`` worker threads with fingerprint-keyed serving
+  caches (:class:`PreparedRequestCache`, :class:`PredictionCache`);
 * :class:`AdvisorService` — multi-client ``suggest_placement`` sessions
   scoring every placement alternative in one micro-batch;
-* :mod:`repro.serve.http` — a stdlib JSON front end over all three.
+* :mod:`repro.serve.http` — a stdlib JSON front end over all of it.
 """
 
 from repro.serve.advisor_service import (
     AdvisorService,
     AdvisorSession,
     SessionStats,
+)
+from repro.serve.cache import (
+    PredictionCache,
+    PreparedRequestCache,
+    payload_fingerprint,
 )
 from repro.serve.codec import (
     decision_to_json,
@@ -26,7 +34,12 @@ from repro.serve.codec import (
     query_from_json,
     query_to_json,
 )
-from repro.serve.engine import EngineStats, MicroBatchEngine
+from repro.serve.engine import (
+    EngineStats,
+    MicroBatchEngine,
+    ShardedEngine,
+    default_shards,
+)
 from repro.serve.http import ServingServer, make_server
 from repro.serve.registry import ModelRegistry, ModelVersion
 
@@ -37,14 +50,19 @@ __all__ = [
     "MicroBatchEngine",
     "ModelRegistry",
     "ModelVersion",
+    "PredictionCache",
+    "PreparedRequestCache",
     "ServingServer",
     "SessionStats",
+    "ShardedEngine",
     "decision_to_json",
+    "default_shards",
     "feedback_record_from_json",
     "feedback_record_to_json",
     "graph_from_json",
     "graph_to_json",
     "make_server",
+    "payload_fingerprint",
     "query_from_json",
     "query_to_json",
 ]

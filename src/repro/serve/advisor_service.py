@@ -180,12 +180,24 @@ class AdvisorService:
             query, self.catalog, self.estimator, levels, self.joint_config
         )
         # One submission for every placement alternative: the engine sees
-        # them together and runs a single joint forward pass.
+        # them together and runs a single joint forward pass. A sharded
+        # engine with a prediction cache scores through the fast path —
+        # repeat (graph, placement, selectivity) keys skip the forward
+        # entirely and only the misses travel to the shards.
         order = (UDFPlacement.PUSH_DOWN, UDFPlacement.PULL_UP)
         flat = [g for placement in order for g in graphs[placement]]
-        futures = self.engine.submit_many(flat)
+        scorer = getattr(self.engine, "score", None)
         try:
-            values = [f.result() for f in futures]
+            if scorer is not None:
+                contexts = [
+                    (placement.value, float(level))
+                    for placement in order
+                    for level in levels
+                ]
+                values = scorer(flat, contexts)
+            else:
+                futures = self.engine.submit_many(flat)
+                values = [f.result() for f in futures]
         except Exception as exc:  # surface engine-side failures uniformly
             raise ServingError(f"placement scoring failed: {exc}") from exc
         per_placement = np.asarray(values, dtype=np.float64).reshape(

@@ -19,15 +19,25 @@ engine bridges the two shapes (DESIGN.md §9):
 A request that poisons the joint batch (e.g. a cyclic graph) does not
 fail its neighbours: on batch failure the engine retries each request
 individually and only the culprit's future carries the exception.
+
+:class:`ShardedEngine` scales the same contract across
+``REPRO_SERVE_SHARDS`` worker threads (DESIGN.md §11): round-robin
+dispatch over per-shard queues, shared read-only weights (numpy/BLAS
+releases the GIL inside the heavy kernels), fingerprint-keyed prepared
+and prediction caches shared by every shard, coordinated ``swap_model``,
+and per-shard statistics merged on read — the serving hot path takes no
+engine-wide lock.
 """
 
 from __future__ import annotations
 
+import itertools
+import os
 import threading
 import time
 from collections import deque
 from concurrent.futures import Future
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields as dataclass_fields
 
 import numpy as np
 
@@ -36,6 +46,15 @@ from repro.exceptions import ServingError
 from repro.model.batching import make_batch_prepared
 from repro.model.gnn import CostGNN
 from repro.model.prepared import PreparedGraphCache, default_graph_cache
+from repro.serve.cache import PredictionCache, PreparedRequestCache
+
+
+def default_shards() -> int:
+    """Shard count: ``$REPRO_SERVE_SHARDS``, else one per core (max 4)."""
+    env = os.environ.get("REPRO_SERVE_SHARDS", "").strip()
+    if env:
+        return max(1, int(env))
+    return max(1, min(4, os.cpu_count() or 1))
 
 
 @dataclass
@@ -89,6 +108,8 @@ class MicroBatchEngine:
         max_batch_size: int = 64,
         max_wait_us: float = 2000.0,
         cache: PreparedGraphCache | None = None,
+        request_cache: PreparedRequestCache | None = None,
+        name: str = "microbatch-engine",
     ):
         if max_batch_size < 1:
             raise ServingError("max_batch_size must be >= 1")
@@ -96,14 +117,16 @@ class MicroBatchEngine:
         self.max_batch_size = max_batch_size
         self.max_wait_s = max_wait_us / 1e6
         self.cache = cache if cache is not None else default_graph_cache()
+        #: fingerprint-keyed prepared topology; when set it replaces the
+        #: identity cache so repeat *content* hits across fresh objects
+        #: (and is safe to share between shards — internally locked)
+        self.request_cache = request_cache
         self.stats = EngineStats()
         self._queue: deque[_Request] = deque()
         self._lock = threading.Lock()
         self._wake = threading.Condition(self._lock)
         self._closed = False
-        self._worker = threading.Thread(
-            target=self._run, name="microbatch-engine", daemon=True
-        )
+        self._worker = threading.Thread(target=self._run, name=name, daemon=True)
         self._worker.start()
 
     # -- client API ----------------------------------------------------
@@ -215,19 +238,237 @@ class MicroBatchEngine:
         # one read: a concurrent swap_model must not split a batch
         # between the old model's dtype and the new model's weights
         model = self.model
-        prepared = self.cache.get_many(graphs)
+        if self.request_cache is not None:
+            prepared = self.request_cache.prepared_many(graphs)
+        else:
+            prepared = self.cache.get_many(graphs)
         batch = make_batch_prepared(prepared, np.zeros(len(graphs)), dtype=model.dtype)
         return model.predict_runtimes(batch)
 
     # -- introspection -------------------------------------------------
+    def queue_depth(self) -> int:
+        """Pending requests — a snapshot read, no dispatch lock taken
+        (``len`` of a deque is atomic under the GIL), so ``/stats`` can
+        never stall behind a worker holding the lock."""
+        return len(self._queue)
+
     def describe(self) -> dict:
-        with self._lock:
-            queued = len(self._queue)
-        return {
+        info = {
             "max_batch_size": self.max_batch_size,
             "max_wait_us": self.max_wait_s * 1e6,
-            "queued": queued,
+            "queued": self.queue_depth(),
             "closed": self._closed,
             "stats": self.stats.as_dict(),
             "graph_cache": self.cache.stats(),
         }
+        if self.request_cache is not None:
+            info["request_cache"] = self.request_cache.stats()
+        return info
+
+
+class ShardedEngine:
+    """Round-robin fan-out of the micro-batch contract over N workers.
+
+    Each shard is a :class:`MicroBatchEngine` with its own queue, lock,
+    and worker thread; the shards share the *model* (read-only during a
+    forward pass — numpy/BLAS releases the GIL inside the heavy kernels,
+    so shards overlap on multi-core hosts), a fingerprint-keyed
+    :class:`~repro.serve.cache.PreparedRequestCache`, and an optional
+    :class:`~repro.serve.cache.PredictionCache`. Dispatch is plain
+    round-robin per ``submit_many`` call so one client's burst still
+    coalesces into one joint forward; bursts larger than
+    ``max_batch_size`` are spread across every shard.
+
+    ``swap_model`` is coordinated: every shard swaps (in-flight batches
+    complete on the old weights, exactly like the single-worker engine)
+    and *then* the engine's ``model_version`` advances and the
+    prediction cache is invalidated — see :class:`PredictionCache` for
+    why that ordering can never serve a predecessor's cached prediction
+    after a canary promotion.
+
+    Statistics are lock-light by construction: each shard maintains its
+    own counters on its own worker thread and :attr:`stats` merges them
+    on read; ``describe()`` takes no dispatch lock at all.
+    """
+
+    def __init__(
+        self,
+        model: CostGNN,
+        shards: int | None = None,
+        max_batch_size: int = 64,
+        max_wait_us: float = 2000.0,
+        request_cache: PreparedRequestCache | None = None,
+        prediction_cache: PredictionCache | None = None,
+    ):
+        n_shards = shards if shards is not None else default_shards()
+        if n_shards < 1:
+            raise ServingError("shards must be >= 1")
+        self.max_batch_size = max_batch_size
+        self.request_cache = (
+            request_cache if request_cache is not None else PreparedRequestCache()
+        )
+        self.prediction_cache = prediction_cache
+        # per-shard identity caches stay unused while request_cache is
+        # set, but keep them private per shard: the process-global
+        # default cache is not safe under concurrent shard workers
+        self._shards = [
+            MicroBatchEngine(
+                model,
+                max_batch_size=max_batch_size,
+                max_wait_us=max_wait_us,
+                cache=PreparedGraphCache(max_graphs=1024),
+                request_cache=self.request_cache,
+                name=f"microbatch-shard-{i}",
+            )
+            for i in range(n_shards)
+        ]
+        self._rr = itertools.count()  # next() is atomic under the GIL
+        self._swap_lock = threading.Lock()
+        self._model_version = 1
+
+    # -- identity ------------------------------------------------------
+    @property
+    def model(self) -> CostGNN:
+        return self._shards[0].model
+
+    @property
+    def model_version(self) -> int:
+        return self._model_version
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    def _pick(self) -> MicroBatchEngine:
+        return self._shards[next(self._rr) % len(self._shards)]
+
+    # -- client API ----------------------------------------------------
+    def submit(self, graph: JointGraph) -> Future:
+        return self._pick().submit(graph)
+
+    def submit_many(self, graphs: list[JointGraph]) -> list[Future]:
+        """Round-robin dispatch; one call's burst lands on one shard so
+        it coalesces, unless it exceeds ``max_batch_size`` — then it is
+        spread across all shards to run in parallel."""
+        n = len(self._shards)
+        if n == 1 or len(graphs) <= self.max_batch_size:
+            return self._pick().submit_many(graphs)
+        chunk = -(-len(graphs) // n)  # ceil division
+        futures: list[Future] = []
+        for start in range(0, len(graphs), chunk):
+            futures.extend(self._pick().submit_many(graphs[start : start + chunk]))
+        return futures
+
+    def predict(self, graphs: list[JointGraph]) -> np.ndarray:
+        futures = self.submit_many(graphs)
+        return np.asarray([f.result() for f in futures], dtype=np.float64)
+
+    def score(
+        self,
+        graphs: list[JointGraph],
+        contexts: list[tuple[str, float]] | None = None,
+    ) -> np.ndarray:
+        """Prediction-cache-aware blocking predict (the serving fast path).
+
+        ``contexts`` optionally tags each graph with its
+        ``(placement, selectivity)`` — the advisor's key space; plain
+        predictions use the empty context. Cache hits return the exact
+        float an earlier forward produced (bit-identical to the cold
+        path); only misses travel through the shards, deduplicated so a
+        burst of identical requests costs one forward.
+        """
+        cache = self.prediction_cache
+        if cache is None:
+            return self.predict(graphs)
+        if contexts is None:
+            contexts = [("", 0.0)] * len(graphs)
+        token = cache.token()
+        version = self._model_version
+        fps = self.request_cache.fingerprints(graphs)
+        keys: list[tuple[int, str, str, float]] = [
+            (version, fp, ctx[0], float(ctx[1])) for fp, ctx in zip(fps, contexts)
+        ]
+        values = cache.get_many(keys)
+        miss = [i for i, v in enumerate(values) if v is None]
+        if miss:
+            first_at: dict[tuple[int, str, str, float], int] = {}
+            dupes: list[int] = []
+            for i in miss:
+                if keys[i] in first_at:
+                    dupes.append(i)
+                else:
+                    first_at[keys[i]] = i
+            distinct = list(first_at.values())
+            futures = self.submit_many([graphs[i] for i in distinct])
+            for i, future in zip(distinct, futures):
+                values[i] = float(future.result())
+            for i in dupes:
+                values[i] = values[first_at[keys[i]]]
+            cache.put_many(
+                [keys[i] for i in miss], [values[i] for i in miss], token
+            )
+        return np.asarray(values, dtype=np.float64)
+
+    # -- lifecycle -----------------------------------------------------
+    def swap_model(self, model: CostGNN) -> None:
+        """Coordinated hot-swap: all shards, then version, then caches."""
+        with self._swap_lock:
+            for shard in self._shards:
+                shard.swap_model(model)
+            self._model_version += 1
+            if self.prediction_cache is not None:
+                self.prediction_cache.invalidate()
+
+    def close(self, timeout: float | None = 10.0) -> None:
+        for shard in self._shards:
+            shard.close(timeout)
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- introspection -------------------------------------------------
+    @property
+    def stats(self) -> EngineStats:
+        """Per-shard counters merged on read (no hot-path lock)."""
+        merged = EngineStats()
+        for shard in self._shards:
+            s = shard.stats
+            for spec in dataclass_fields(EngineStats):
+                if spec.name == "max_batch_observed":
+                    merged.max_batch_observed = max(
+                        merged.max_batch_observed, s.max_batch_observed
+                    )
+                else:
+                    total = getattr(merged, spec.name) + getattr(s, spec.name)
+                    setattr(merged, spec.name, total)
+        merged.model_swaps = self._model_version - 1
+        return merged
+
+    def queue_depth(self) -> int:
+        return sum(shard.queue_depth() for shard in self._shards)
+
+    def describe(self) -> dict:
+        """Engine-wide snapshot; takes no dispatch lock anywhere."""
+        info = {
+            "shards": len(self._shards),
+            "model_version": self._model_version,
+            "max_batch_size": self.max_batch_size,
+            "queued": self.queue_depth(),
+            "stats": self.stats.as_dict(),
+            "per_shard": [
+                {
+                    "queued": shard.queue_depth(),
+                    "requests": shard.stats.requests,
+                    "batches": shard.stats.batches,
+                    "busy_seconds": shard.stats.busy_seconds,
+                }
+                for shard in self._shards
+            ],
+            "request_cache": self.request_cache.stats(),
+        }
+        if self.prediction_cache is not None:
+            info["prediction_cache"] = self.prediction_cache.stats()
+        return info

@@ -19,6 +19,13 @@ Built on :class:`http.server.ThreadingHTTPServer`: each connection is
 handled on its own thread, so concurrent clients' ``/predict`` and
 ``/advise`` calls meet inside the micro-batching engine and share joint
 forward passes — the serving win needs no async framework.
+
+When the engine carries a :class:`~repro.serve.cache
+.PreparedRequestCache`, repeated ``/predict`` and ``/advise`` bodies are
+recognized by a fingerprint of the *raw request bytes* and skip JSON
+parsing and codec decoding entirely — and because the cache hands back
+the same decoded objects every time, the downstream fingerprint memo and
+prepared/prediction tiers stay hot too (DESIGN.md §11).
 """
 
 from __future__ import annotations
@@ -30,6 +37,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.exceptions import ReproError, ServingError
 from repro.serve.advisor_service import AdvisorService
+from repro.serve.cache import payload_fingerprint
 from repro.serve.codec import (
     decision_to_json,
     feedback_record_from_json,
@@ -70,9 +78,18 @@ class ServingServer(ThreadingHTTPServer):
         self.started = time.time()
 
     def drain(self) -> None:
-        """Stop accepting requests and drain the micro-batch engine."""
+        """Stop accepting requests, drain the engine, flush feedback.
+
+        The feedback log buffers appends in memory (its flusher spills
+        chunks in the background), so the SIGTERM/ctrl-c path must force
+        a final synchronous flush or the tail of observed runtimes dies
+        with the process.
+        """
         self.shutdown()
         self.engine.close()
+        feedback = self.service.feedback
+        if feedback is not None:
+            feedback.flush()
 
     @property
     def url(self) -> str:
@@ -105,13 +122,16 @@ class ServingHandler(BaseHTTPRequestHandler):
     def _send_error_json(self, status: int, message: str) -> None:
         self._send_json({"error": message}, status=status)
 
-    def _read_body(self) -> dict:
+    def _read_raw(self) -> bytes:
         length = int(self.headers.get("Content-Length", 0) or 0)
         if length <= 0:
             raise ServingError("request body required")
         if length > MAX_BODY_BYTES:
             raise ServingError(f"request body exceeds {MAX_BODY_BYTES} bytes")
-        raw = self.rfile.read(length)
+        return self.rfile.read(length)
+
+    @staticmethod
+    def _parse(raw: bytes) -> dict:
         try:
             payload = json.loads(raw)
         except json.JSONDecodeError as exc:
@@ -119,6 +139,26 @@ class ServingHandler(BaseHTTPRequestHandler):
         if not isinstance(payload, dict):
             raise ServingError("JSON body must be an object")
         return payload
+
+    def _request_cache(self):
+        return getattr(self.server.engine, "request_cache", None)
+
+    def _cached_payload(self, raw: bytes, route: str):
+        """``(decoded, remember)`` for a raw body via the payload tier.
+
+        ``decoded`` is the cached object for a repeated body (entries
+        are tagged by route so /predict and /advise bodies can never
+        cross-serve) or ``None`` on a miss; ``remember(decoded)`` stores
+        the parse result, and is ``None`` when no cache is attached.
+        """
+        cache = self._request_cache()
+        if cache is None:
+            return None, None
+        fp = payload_fingerprint(raw)
+        cached = cache.lookup_payload(fp)
+        if cached is not None and cached[0] == route:
+            return cached[1], None
+        return None, lambda decoded: cache.remember_payload(fp, (route, decoded))
 
     # -- routes --------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - stdlib handler name
@@ -135,9 +175,14 @@ class ServingHandler(BaseHTTPRequestHandler):
                 }
             )
         elif self.path == "/stats":
+            # every section is a snapshot read: the engine reports queue
+            # depths and per-shard counters without its dispatch lock,
+            # so /stats stays responsive while the workers are saturated
             stats = server.service.describe()
             if server.loop is not None:
                 stats["feedback_loop"] = server.loop.describe()
+            if server.registry is not None:
+                stats["registry"] = server.registry.describe()
             self._send_json(stats)
         elif self.path == "/models":
             if server.registry is None:
@@ -149,13 +194,13 @@ class ServingHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib handler name
         try:
-            payload = self._read_body()
+            raw = self._read_raw()
             if self.path == "/predict":
-                self._handle_predict(payload)
+                self._handle_predict(raw)
             elif self.path == "/advise":
-                self._handle_advise(payload)
+                self._handle_advise(raw)
             elif self.path == "/feedback":
-                self._handle_feedback(payload)
+                self._handle_feedback(self._parse(raw))
             else:
                 self._send_error_json(404, f"unknown path {self.path!r}")
         except ServingError as exc:
@@ -165,12 +210,38 @@ class ServingHandler(BaseHTTPRequestHandler):
         except Exception as exc:  # pragma: no cover - defensive
             self._send_error_json(500, f"internal error: {exc}")
 
-    def _handle_predict(self, payload: dict) -> None:
-        raw_graphs = payload.get("graphs")
-        if not isinstance(raw_graphs, list) or not raw_graphs:
-            raise ServingError('"graphs" must be a non-empty list')
-        graphs = [graph_from_json(g) for g in raw_graphs]
-        futures = self.server.engine.submit_many(graphs)
+    def _handle_predict(self, raw: bytes) -> None:
+        # repeat bodies (same bytes) skip json.loads + codec decode and
+        # return the same graph objects, keeping downstream caches hot
+        graphs, remember = self._cached_payload(raw, "predict")
+        if graphs is None:
+            payload = self._parse(raw)
+            raw_graphs = payload.get("graphs")
+            if not isinstance(raw_graphs, list) or not raw_graphs:
+                raise ServingError('"graphs" must be a non-empty list')
+            graphs = [graph_from_json(g) for g in raw_graphs]
+            if remember is not None:
+                remember(graphs)
+        engine = self.server.engine
+        scorer = getattr(engine, "score", None)
+        # `is not None`: an empty PredictionCache is falsy (__len__ == 0)
+        prediction_cache = getattr(engine, "prediction_cache", None)
+        if scorer is not None and prediction_cache is not None:
+            # the fast path: repeated graphs skip the forward pass via
+            # the prediction cache. score() is all-or-nothing, so a
+            # scoring failure (e.g. one poisoned graph) falls back to
+            # the per-request path below, which isolates the culprit —
+            # but the response write stays outside the net, so a broken
+            # client connection cannot trigger a duplicate re-score.
+            values = None
+            try:
+                values = [float(v) for v in scorer(graphs)]
+            except Exception:
+                pass
+            if values is not None:
+                self._send_json({"runtimes": values})
+                return
+        futures = engine.submit_many(graphs)
         runtimes, errors = [], []
         for i, future in enumerate(futures):
             try:
@@ -183,25 +254,33 @@ class ServingHandler(BaseHTTPRequestHandler):
             response["errors"] = errors
         self._send_json(response)
 
-    def _handle_advise(self, payload: dict) -> None:
-        raw_query = payload.get("query")
-        if not isinstance(raw_query, dict):
-            raise ServingError('"query" must be an object')
-        query = query_from_json(raw_query)
-        true_selectivity = payload.get("true_selectivity")
-        if true_selectivity is not None:
-            try:
-                true_selectivity = float(true_selectivity)
-            except (TypeError, ValueError) as exc:
-                raise ServingError(
-                    f"invalid true_selectivity {true_selectivity!r}"
-                ) from exc
-        client = str(payload.get("client", "anonymous"))
+    def _handle_advise(self, raw: bytes) -> None:
+        parsed, remember = self._cached_payload(raw, "advise")
+        if parsed is None:
+            payload = self._parse(raw)
+            raw_query = payload.get("query")
+            if not isinstance(raw_query, dict):
+                raise ServingError('"query" must be an object')
+            query = query_from_json(raw_query)
+            true_selectivity = payload.get("true_selectivity")
+            if true_selectivity is not None:
+                try:
+                    true_selectivity = float(true_selectivity)
+                except (TypeError, ValueError) as exc:
+                    raise ServingError(
+                        f"invalid true_selectivity {true_selectivity!r}"
+                    ) from exc
+            client = str(payload.get("client", "anonymous"))
+            strategy = payload.get("strategy")
+            parsed = (query, true_selectivity, client, strategy)
+            if remember is not None:
+                remember(parsed)
+        query, true_selectivity, client, strategy = parsed
         session = self.server.service.session(client)
         decision = session.suggest_placement(
             query,
             true_selectivity=true_selectivity,
-            strategy=payload.get("strategy"),
+            strategy=strategy,
         )
         self._send_json(decision_to_json(decision))
 

@@ -77,16 +77,26 @@ def test_lint_job_runs_ruff_with_repo_config(workflow):
 
 def test_lint_format_scope_covers_grown_trees(workflow):
     """The formatter's coverage must grow with the subsystems it guards:
-    serving (PR 3), the feedback tree and every script (PR 4)."""
+    serving (PR 3), the feedback tree and every script (PR 4), the model
+    layer behind the serving fast path (PR 5)."""
     runs = job_run_lines(workflow["jobs"]["lint"])
-    format_lines = [
-        line
-        for line in runs.splitlines()
-        if "ruff format --check" in line
-    ]
-    assert format_lines, "lint job lost its ruff format step"
-    scope = " ".join(format_lines)
-    for target in ("src/repro/serve", "src/repro/feedback", "scripts"):
+    format_step = next(
+        (
+            step.get("run", "")
+            for step in workflow["jobs"]["lint"]["steps"]
+            if "ruff format --check" in str(step.get("run", ""))
+        ),
+        "",
+    )
+    assert format_step, "lint job lost its ruff format step"
+    assert "ruff format --check" in runs
+    scope = " ".join(format_step.split())
+    for target in (
+        "src/repro/serve",
+        "src/repro/model",
+        "src/repro/feedback",
+        "scripts",
+    ):
         assert target in scope, f"ruff format scope lost {target}"
         assert (ROOT / target).exists()
 
@@ -103,6 +113,19 @@ def test_bench_smoke_records_perf_artifacts(workflow):
     ]
     assert uploads, "bench-smoke must upload the BENCH_*.json artifacts"
     assert "BENCH_*.json" in uploads[0]["with"]["path"]
+    assert "bench_history.jsonl" in uploads[0]["with"]["path"], (
+        "bench-smoke must upload the perf-trajectory history artifact"
+    )
+
+
+def test_bench_compare_appends_perf_history():
+    """Every compare run must append to bench_history.jsonl so the perf
+    trajectory accumulates instead of living only in the last snapshot."""
+    script = (ROOT / "scripts" / "bench_compare.py").read_text()
+    assert "bench_history.jsonl" in script
+    assert "append_history" in script
+    # the history file is a CI artifact, never repo content
+    assert "bench_history.jsonl" in (ROOT / ".gitignore").read_text()
 
 
 def test_bench_smoke_compares_against_baselines(workflow):
@@ -148,6 +171,15 @@ def test_bench_compare_judges_negative_baselines_by_absolute_delta():
     assert module.direction("x.speedup") == 1
     assert module.direction("x.overhead_fraction") == -1
     assert module.direction("x.batch_size") == 0
+    # the loadtest's headline metrics must be tracked...
+    assert module.direction("scenarios.repeat50.achieved_qps") == 1
+    assert module.direction("scenarios.repeat50.p99_ms") == -1
+    assert module.direction("scenarios.open_loop.stats_poll.p95_ms") == -1
+    # ...while its config knobs and run-shape values must not be
+    assert module.direction("scenarios.repeat50.config.max_wait_us") == 0
+    assert module.direction("scenarios.repeat50.config.duration_s") == 0
+    assert module.direction("scenarios.repeat50.seconds") == 0
+    assert module.direction("scenarios.repeat50.stats_poll.samples") == 0
 
 
 def test_bench_script_is_ci_safe():

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -116,7 +117,10 @@ class TestFeedbackLog:
         replayed = log.replay()
         assert len(replayed) == 25
         assert [r.graph_fp for r in replayed] == [r.graph_fp for r in records]
-        assert log.stats()["disk_chunks"] == 2  # 20 flushed, 5 pending
+        assert log.drain()  # background flusher catches up on full chunks
+        stats = log.stats()
+        assert stats["disk_chunks"] == 2  # 20 flushed, 5 pending
+        assert stats["pending_records"] == 5  # young tail stays in memory
 
     def test_flush_and_restart_persistence(self, tmp_path):
         log = FeedbackLog(tmp_path, capacity=100, chunk_records=10)
@@ -131,6 +135,7 @@ class TestFeedbackLog:
     def test_capacity_bounds_disk(self, tmp_path):
         log = FeedbackLog(tmp_path, capacity=40, chunk_records=10)
         log.extend(make_records(100))
+        assert log.drain()
         stats = log.stats()
         assert stats["disk_chunks"] <= 4
         assert len(log.replay()) <= 40 + log.chunk_records
@@ -158,6 +163,7 @@ class TestFeedbackLog:
     def test_corrupt_chunk_quarantined(self, tmp_path):
         log = FeedbackLog(tmp_path, capacity=100, chunk_records=10)
         log.extend(make_records(20))
+        assert log.drain()
         chunk = log._chunk_paths()[0]
         chunk.write_bytes(b"not a pickle")
         assert len(log.replay()) == 10  # corrupt chunk skipped
@@ -183,6 +189,79 @@ class TestFeedbackLog:
     def test_invalid_capacity_rejected(self, tmp_path):
         with pytest.raises(FeedbackError):
             FeedbackLog(tmp_path, capacity=0)
+        with pytest.raises(FeedbackError):
+            FeedbackLog(tmp_path, flush_age_s=0)
+
+    def test_age_flush_spills_partial_tail(self, tmp_path):
+        # fewer records than a chunk must still reach the disk once the
+        # oldest pending record is flush_age_s old
+        log = FeedbackLog(
+            tmp_path, capacity=100, chunk_records=50, flush_age_s=0.05
+        )
+        log.extend(make_records(3))
+        deadline = time.monotonic() + 5.0
+        while log.stats()["disk_chunks"] == 0 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        stats = log.stats()
+        assert stats["disk_chunks"] == 1
+        assert stats["pending_records"] == 0
+        assert len(log.replay()) == 3
+
+    def test_close_flushes_and_keeps_log_usable(self, tmp_path):
+        log = FeedbackLog(tmp_path, capacity=100, chunk_records=10)
+        log.extend(make_records(4))
+        log.close()
+        assert log.stats()["pending_records"] == 0
+        assert len(log.replay()) == 4
+        # post-close appends still spill at chunk boundaries (inline:
+        # the flusher is gone, the pending tail must stay bounded)
+        log.extend(make_records(10, seed=3))
+        assert len(log.replay()) == 14
+        assert log.stats()["pending_records"] < 10
+
+    def test_flusher_survives_write_errors(self, tmp_path):
+        # a failed chunk write (disk full, unwritable root) must not
+        # kill the background flusher or lose the claimed records
+        log = FeedbackLog(
+            tmp_path, capacity=100, chunk_records=5, flush_age_s=0.05
+        )
+        original = log._write_chunk
+        failures = {"left": 2}
+
+        def flaky(records):
+            if failures["left"] > 0:
+                failures["left"] -= 1
+                raise OSError("disk full")
+            return original(records)
+
+        log._write_chunk = flaky
+        log.extend(make_records(5))
+        deadline = time.monotonic() + 10.0
+        while log.stats()["disk_chunks"] == 0 and time.monotonic() < deadline:
+            time.sleep(0.02)
+        stats = log.stats()
+        assert stats["disk_chunks"] == 1  # retried and eventually landed
+        assert stats["write_errors"] == 2
+        assert "disk full" in stats["last_write_error"]
+        assert log._flusher.is_alive()
+        assert len(log.replay()) == 5  # nothing lost along the way
+
+    def test_append_never_writes_inline(self, tmp_path):
+        # the /advise + /feedback hot path: append only buffers; every
+        # chunk write happens on the background flusher thread
+        log = FeedbackLog(tmp_path, capacity=100, chunk_records=5)
+        writers: list[str] = []
+        original = log._write_chunk
+
+        def spy(records):
+            writers.append(threading.current_thread().name)
+            return original(records)
+
+        log._write_chunk = spy
+        log.extend(make_records(20))
+        assert log.drain()
+        assert writers
+        assert all(name == "feedback-flusher" for name in writers)
 
 
 # ======================================================================

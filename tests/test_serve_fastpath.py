@@ -1,0 +1,503 @@
+"""Serving fast-path tests: sharded engine + fingerprint-keyed caches.
+
+Covers DESIGN.md §11: the sharded engine's equivalence with the single
+worker (identical predictions and stats totals, including a mid-stream
+model swap), the two-tier request cache (content fingerprints, prepared
+reuse, payload decode skip), the version-keyed prediction cache (exact
+hit/cold equality, atomic invalidation on canary promotion under live
+load), and the lock-free ``/stats`` snapshot surface.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.core import encoding as enc
+from repro.core.joint_graph import JointGraph
+from repro.feedback import FeedbackLog, graph_fingerprint
+from repro.model import CostGNN, GNNConfig, predict_runtimes
+from repro.model.prepared import prepare_graph
+from repro.serve import (
+    AdvisorService,
+    MicroBatchEngine,
+    ModelRegistry,
+    PredictionCache,
+    PreparedRequestCache,
+    ShardedEngine,
+    graph_to_json,
+    make_server,
+    payload_fingerprint,
+    query_to_json,
+)
+from repro.stats import ActualCardinalityEstimator, StatisticsCatalog
+
+from tests.test_serving import make_udf_query, synthetic_graphs
+
+
+def clone_graph(graph: JointGraph) -> JointGraph:
+    """A deep, content-equal copy — a fresh object like a decoded request."""
+    return JointGraph(
+        node_types=list(graph.node_types),
+        features=[f.copy() for f in graph.features],
+        edges=list(graph.edges),
+        root_id=graph.root_id,
+    )
+
+
+@pytest.fixture(scope="module")
+def model() -> CostGNN:
+    # float64: engine-vs-serial comparisons stay bit-tight regardless of
+    # batch composition
+    return CostGNN(GNNConfig(hidden_dim=8, dtype="float64"))
+
+
+@pytest.fixture(scope="module")
+def other_model() -> CostGNN:
+    return CostGNN(GNNConfig(hidden_dim=8, dtype="float64", seed=17))
+
+
+# ======================================================================
+class TestGraphFingerprint:
+    def test_equal_content_equal_fingerprint(self):
+        a = synthetic_graphs(1, seed=1)[0]
+        b = clone_graph(a)
+        assert a is not b
+        assert graph_fingerprint(a) == graph_fingerprint(b)
+
+    def test_sensitivity(self):
+        base = synthetic_graphs(1, seed=2)[0]
+        fp = graph_fingerprint(base)
+
+        feat = clone_graph(base)
+        feat.features[0] = feat.features[0] + 1e-9
+        assert graph_fingerprint(feat) != fp
+
+        edge = clone_graph(base)
+        edge.edges = edge.edges[:-1]
+        assert graph_fingerprint(edge) != fp
+
+        root = clone_graph(base)
+        root.root_id = 0
+        assert graph_fingerprint(root) != fp
+
+
+# ======================================================================
+class TestPreparedRequestCache:
+    def test_fingerprints_are_memoized_by_identity(self):
+        cache = PreparedRequestCache()
+        graphs = synthetic_graphs(4, seed=3)
+        first = cache.fingerprints(graphs)
+        again = cache.fingerprints(graphs)
+        assert first == again
+        assert cache.stats()["fingerprint_memo"] == 4
+        # content-equal fresh objects produce the same fingerprints
+        assert cache.fingerprints([clone_graph(g) for g in graphs]) == first
+
+    def test_prepared_hits_across_distinct_objects(self, model):
+        cache = PreparedRequestCache()
+        graphs = synthetic_graphs(6, seed=4)
+        cache.prepared_many(graphs)
+        assert cache.stats()["prepared_misses"] == 6
+        clones = [clone_graph(g) for g in graphs]
+        prepared = cache.prepared_many(clones)
+        stats = cache.stats()
+        assert stats["prepared_hits"] == 6
+        assert stats["prepared_misses"] == 6
+        # the cached topology is the real one
+        for graph, cached in zip(graphs, prepared):
+            reference = prepare_graph(graph)
+            np.testing.assert_array_equal(cached.levels, reference.levels)
+            np.testing.assert_array_equal(cached.type_code, reference.type_code)
+
+    def test_duplicate_misses_prepare_once(self):
+        cache = PreparedRequestCache()
+        graph = synthetic_graphs(1, seed=5)[0]
+        twins = [graph, clone_graph(graph), clone_graph(graph)]
+        prepared = cache.prepared_many(twins)
+        assert cache.stats()["prepared_misses"] == 3  # all missed...
+        assert prepared[0] is prepared[1] is prepared[2]  # ...one prepare
+
+    def test_topology_tier_rehydrates_template_variants_exactly(self, model):
+        # a known template at a new "selectivity": same shape, different
+        # feature values — prepared via the topology skeleton, and the
+        # predictions must be exactly the full-preparation predictions
+        cache = PreparedRequestCache()
+        base = synthetic_graphs(5, seed=21)
+        cache.prepared_many(base)
+        rng = np.random.default_rng(99)
+        variants = []
+        for g in base:
+            variants.append(
+                JointGraph(
+                    node_types=list(g.node_types),
+                    features=[rng.random(len(f)) for f in g.features],
+                    edges=list(g.edges),
+                    root_id=g.root_id,
+                )
+            )
+        from repro.model.batching import make_batch_prepared
+
+        prepared = cache.prepared_many(variants)
+        stats = cache.stats()
+        assert stats["topology_hits"] == 5
+        batch = make_batch_prepared(
+            prepared, np.zeros(len(variants)), dtype=model.dtype
+        )
+        np.testing.assert_array_equal(
+            model.predict_runtimes(batch), predict_runtimes(model, variants)
+        )
+
+    def test_large_miss_sets_prepare_jointly(self):
+        from repro.serve.cache import JOINT_PREPARE_THRESHOLD
+
+        cache = PreparedRequestCache()
+        n = JOINT_PREPARE_THRESHOLD + 4
+        prepared = cache.prepared_many(synthetic_graphs(n, seed=22))
+        # joint preparation: one shared base token across the whole set
+        assert len({p.base_token for p in prepared}) == 1
+        assert cache.stats()["topology_hits"] == 0
+
+    def test_payload_tier_roundtrip(self):
+        cache = PreparedRequestCache()
+        body = b'{"graphs": [1, 2, 3]}'
+        fp = payload_fingerprint(body)
+        assert cache.lookup_payload(fp) is None
+        cache.remember_payload(fp, ("predict", ["decoded"]))
+        assert cache.lookup_payload(fp) == ("predict", ["decoded"])
+        stats = cache.stats()
+        assert stats["payload_hits"] == 1
+        assert stats["payload_misses"] == 1
+
+    def test_payload_fingerprint_bytes_vs_value(self):
+        value = {"b": 1, "a": [1.5, "x"]}
+        blob = json.dumps(value, sort_keys=True, separators=(",", ":")).encode()
+        assert payload_fingerprint(value) == payload_fingerprint(blob)
+        assert payload_fingerprint(value) != payload_fingerprint({"b": 2})
+
+
+# ======================================================================
+class TestPredictionCache:
+    def test_put_get_roundtrip_and_lru(self):
+        cache = PredictionCache(max_entries=2)
+        token = cache.token()
+        keys = [(1, "a", "", 0.0), (1, "b", "", 0.0), (1, "c", "", 0.0)]
+        assert cache.get_many(keys) == [None, None, None]
+        assert cache.put_many(keys, [1.0, 2.0, 3.0], token)
+        values = cache.get_many(keys)
+        assert values[0] is None  # evicted: max_entries=2
+        assert values[1:] == [2.0, 3.0]
+
+    def test_invalidate_clears_and_fences_writers(self):
+        cache = PredictionCache()
+        stale_token = cache.token()
+        cache.put_many([(1, "a", "", 0.0)], [1.0], stale_token)
+        cache.invalidate()
+        # old entries are gone...
+        assert cache.get_many([(1, "a", "", 0.0)]) == [None]
+        # ...and a writer that read before the swap cannot repopulate
+        assert not cache.put_many([(1, "a", "", 0.0)], [1.0], stale_token)
+        assert cache.get_many([(1, "a", "", 0.0)]) == [None]
+        assert cache.stats()["rejected_puts"] == 1
+        assert cache.put_many([(2, "a", "", 0.0)], [2.0], cache.token())
+        assert cache.get_many([(2, "a", "", 0.0)]) == [2.0]
+
+
+# ======================================================================
+class TestShardedEngine:
+    def test_predictions_match_single_worker(self, model):
+        graphs = synthetic_graphs(48, seed=6)
+        with MicroBatchEngine(model, max_batch_size=16) as single:
+            serial = single.predict(graphs)
+        with ShardedEngine(model, shards=4, max_batch_size=16) as sharded:
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                concurrent = list(
+                    pool.map(lambda g: sharded.submit(g).result(), graphs)
+                )
+        np.testing.assert_allclose(concurrent, serial, rtol=1e-9)
+
+    def test_stats_totals_match_single_worker(self, model):
+        graphs = synthetic_graphs(40, seed=7)
+        with MicroBatchEngine(model, max_batch_size=8) as single:
+            single.predict(graphs)
+        with ShardedEngine(model, shards=4, max_batch_size=8) as sharded:
+            sharded.predict(graphs)
+        merged = sharded.stats
+        assert merged.requests == single.stats.requests == 40
+        assert merged.predictions == single.stats.predictions == 40
+        assert merged.failed_requests == single.stats.failed_requests == 0
+        # the burst was spread over every shard's queue
+        per_shard = sharded.describe()["per_shard"]
+        assert len(per_shard) == 4
+        assert sum(s["requests"] for s in per_shard) == 40
+        assert all(s["requests"] > 0 for s in per_shard)
+
+    def test_mid_stream_swap_matches_single_worker(self, model, other_model):
+        first = synthetic_graphs(12, seed=8)
+        second = synthetic_graphs(12, seed=9)
+        results = {}
+        for name, engine in (
+            ("single", MicroBatchEngine(model, max_batch_size=4)),
+            ("sharded", ShardedEngine(model, shards=4, max_batch_size=4)),
+        ):
+            with engine:
+                before = engine.predict(first)
+                engine.swap_model(other_model)
+                after = engine.predict(second)
+            results[name] = (before, after)
+        for phase in (0, 1):
+            np.testing.assert_allclose(
+                results["sharded"][phase], results["single"][phase], rtol=1e-9
+            )
+        np.testing.assert_allclose(
+            results["sharded"][1],
+            predict_runtimes(other_model, second),
+            rtol=1e-9,
+        )
+
+    def test_score_hit_path_is_exact(self, model):
+        graphs = synthetic_graphs(16, seed=10)
+        with ShardedEngine(
+            model, shards=2, prediction_cache=PredictionCache()
+        ) as engine:
+            cold = engine.score(graphs)
+            hot = engine.score([clone_graph(g) for g in graphs])
+            stats = engine.prediction_cache.stats()
+        np.testing.assert_allclose(cold, predict_runtimes(model, graphs), rtol=1e-9)
+        assert np.array_equal(hot, cold)  # bit-identical, not just close
+        assert stats["hits"] == 16
+        assert stats["misses"] == 16
+
+    def test_score_deduplicates_in_flight_twins(self, model):
+        graph = synthetic_graphs(1, seed=11)[0]
+        twins = [graph, clone_graph(graph), clone_graph(graph), clone_graph(graph)]
+        with ShardedEngine(
+            model, shards=2, prediction_cache=PredictionCache()
+        ) as engine:
+            values = engine.score(twins)
+            assert engine.stats.predictions == 1  # one forward for four asks
+        assert len(set(values.tolist())) == 1
+
+    def test_swap_under_live_load_never_serves_stale(self, model, other_model):
+        """The version-keyed invalidation gate of the acceptance list:
+        once ``swap_model`` returns, every score comes from the new
+        model — no cached prediction of the predecessor survives."""
+        graphs = synthetic_graphs(24, seed=12)
+        expected_old = predict_runtimes(model, graphs)
+        expected_new = predict_runtimes(other_model, graphs)
+        # the two models must actually disagree for this test to bite
+        assert not np.allclose(expected_old, expected_new, rtol=1e-3)
+        engine = ShardedEngine(
+            model, shards=4, prediction_cache=PredictionCache()
+        )
+        stop = threading.Event()
+        errors: list[str] = []
+
+        def hammer(seed: int) -> None:
+            rng = np.random.default_rng(seed)
+            while not stop.is_set():
+                idx = rng.integers(0, len(graphs), size=8)
+                values = engine.score([graphs[i] for i in idx])
+                for value, i in zip(values, idx):
+                    ok_old = abs(value - expected_old[i]) <= 1e-9 * abs(
+                        expected_old[i]
+                    )
+                    ok_new = abs(value - expected_new[i]) <= 1e-9 * abs(
+                        expected_new[i]
+                    )
+                    if not (ok_old or ok_new):
+                        errors.append(f"graph {i}: {value}")
+
+        threads = [
+            threading.Thread(target=hammer, args=(seed,)) for seed in range(3)
+        ]
+        with engine:
+            for t in threads:
+                t.start()
+            engine.swap_model(other_model)
+            # the moment swap_model returns, scores must be new-model
+            post = engine.score(graphs)
+            stop.set()
+            for t in threads:
+                t.join()
+        np.testing.assert_allclose(post, expected_new, rtol=1e-9)
+        assert not errors, errors[:5]
+        assert engine.prediction_cache.stats()["invalidations"] == 1
+
+    def test_describe_takes_no_dispatch_lock(self, model):
+        with ShardedEngine(model, shards=2) as engine:
+            engine.predict(synthetic_graphs(4, seed=13))
+            # hold every shard's dispatch lock: a describe() that needed
+            # one would deadlock here; a snapshot read sails through
+            for shard in engine._shards:
+                shard._lock.acquire()
+            try:
+                info = engine.describe()
+            finally:
+                for shard in engine._shards:
+                    shard._lock.release()
+        assert info["stats"]["predictions"] == 4
+        assert info["queued"] == 0
+
+
+# ======================================================================
+@pytest.fixture()
+def sharded_service(handmade_db, model):
+    engine = ShardedEngine(
+        model,
+        shards=4,
+        max_batch_size=32,
+        request_cache=PreparedRequestCache(),
+        prediction_cache=PredictionCache(),
+    )
+    service = AdvisorService(
+        engine,
+        catalog=StatisticsCatalog(handmade_db),
+        estimator=ActualCardinalityEstimator(handmade_db),
+    )
+    yield service
+    engine.close()
+
+
+class TestShardedAdvisorService:
+    def test_parity_with_offline_advisor(self, sharded_service, handmade_db, model):
+        from repro.advisor import PullUpAdvisor
+
+        query = make_udf_query()
+        offline = PullUpAdvisor(
+            model=model,
+            catalog=StatisticsCatalog(handmade_db),
+            estimator=ActualCardinalityEstimator(handmade_db),
+        )
+        online = sharded_service.suggest_placement(query)
+        reference = offline.decide(query)
+        assert online.pull_up == reference.pull_up
+        assert online.strategy == reference.strategy
+        np.testing.assert_allclose(
+            online.pullup_costs, reference.pullup_costs, rtol=1e-9
+        )
+        np.testing.assert_allclose(
+            online.pushdown_costs, reference.pushdown_costs, rtol=1e-9
+        )
+
+    def test_repeat_decision_served_from_cache_exactly(self, sharded_service):
+        cold = sharded_service.suggest_placement(make_udf_query())
+        cache = sharded_service.engine.prediction_cache
+        misses_after_cold = cache.stats()["misses"]
+        hot = sharded_service.suggest_placement(make_udf_query())
+        stats = cache.stats()
+        assert stats["misses"] == misses_after_cold  # no new forwards
+        assert stats["hits"] >= len(cold.pullup_costs) * 2
+        assert hot.pull_up == cold.pull_up
+        assert np.array_equal(hot.pullup_costs, cold.pullup_costs)
+        assert np.array_equal(hot.pushdown_costs, cold.pushdown_costs)
+
+
+# ======================================================================
+class TestHTTPFastPath:
+    @pytest.fixture()
+    def server(self, sharded_service, tmp_path, model):
+        registry = ModelRegistry(tmp_path / "registry")
+        version = registry.publish("costgnn-shop", model)
+        feedback = FeedbackLog(
+            tmp_path / "fb", capacity=256, chunk_records=64
+        )
+        sharded_service.feedback = feedback
+        server = make_server(
+            sharded_service, registry=registry, model_ref=version.ref
+        )
+        server.serve_in_background()
+        yield server
+        server.shutdown()
+        feedback.close()
+
+    @staticmethod
+    def _call(url: str, payload: dict | None = None) -> dict:
+        if payload is None:
+            request = urllib.request.Request(url)
+        else:
+            request = urllib.request.Request(
+                url,
+                data=json.dumps(payload).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return json.loads(response.read())
+
+    def test_repeat_predict_body_skips_decode_and_forward(self, server, model):
+        graphs = synthetic_graphs(4, seed=14)
+        payload = {"graphs": [graph_to_json(g) for g in graphs]}
+        first = self._call(f"{server.url}/predict", payload)
+        forwards_after_first = server.engine.stats.predictions
+        second = self._call(f"{server.url}/predict", payload)
+        assert second["runtimes"] == first["runtimes"]
+        cache_stats = server.engine.request_cache.stats()
+        assert cache_stats["payload_hits"] >= 1
+        # the repeat body was served from the prediction cache: no new
+        # forward passes ran anywhere in the engine
+        assert server.engine.stats.predictions == forwards_after_first
+        np.testing.assert_allclose(
+            first["runtimes"], predict_runtimes(model, graphs), rtol=1e-9
+        )
+
+    def test_predict_poisoned_graph_still_isolated(self, server):
+        good = synthetic_graphs(2, seed=16)
+        cyclic = JointGraph()
+        a = cyclic.add_node("TABLE", np.zeros(enc.FEATURE_DIMS["TABLE"]))
+        b = cyclic.add_node("SCAN", np.zeros(enc.FEATURE_DIMS["SCAN"]))
+        cyclic.add_edge(a, b)
+        cyclic.add_edge(b, a)
+        cyclic.root_id = b
+        response = self._call(
+            f"{server.url}/predict",
+            {"graphs": [graph_to_json(g) for g in (good[0], cyclic, good[1])]},
+        )
+        # score() is all-or-nothing, so the handler fell back to the
+        # per-request path: neighbours succeed, only the culprit errors
+        assert response["runtimes"][0] is not None
+        assert response["runtimes"][1] is None
+        assert response["runtimes"][2] is not None
+        assert response["errors"][0]["index"] == 1
+
+    def test_repeat_advise_body_skips_decode(self, server):
+        payload = {"query": query_to_json(make_udf_query()), "client": "c1"}
+        first = self._call(f"{server.url}/advise", payload)
+        second = self._call(f"{server.url}/advise", payload)
+        assert second["pull_up"] == first["pull_up"]
+        assert second["pullup_costs"] == first["pullup_costs"]
+        assert server.engine.request_cache.stats()["payload_hits"] >= 1
+
+    def test_stats_reports_registry_shards_and_caches(self, server):
+        self._call(
+            f"{server.url}/predict",
+            {"graphs": [graph_to_json(g) for g in synthetic_graphs(2, seed=15)]},
+        )
+        stats = self._call(f"{server.url}/stats")
+        engine = stats["engine"]
+        assert engine["shards"] == 4
+        assert len(engine["per_shard"]) == 4
+        assert "queued" in engine["per_shard"][0]
+        assert "prediction_cache" in engine
+        assert "request_cache" in engine
+        assert "costgnn-shop" in stats["registry"]["models"]
+
+    def test_drain_flushes_feedback_log(self, sharded_service, tmp_path):
+        feedback = FeedbackLog(
+            tmp_path / "fb2", capacity=256, chunk_records=64
+        )
+        sharded_service.feedback = feedback
+        server = make_server(sharded_service)
+        server.serve_in_background()
+        decision = sharded_service.suggest_placement(make_udf_query())
+        sharded_service.record_runtime(decision.decision_id, observed=0.5)
+        assert feedback.stats()["disk_chunks"] == 0  # buffered, not spilled
+        server.drain()
+        stats = feedback.stats()
+        assert stats["pending_records"] == 0
+        assert stats["disk_chunks"] == 1  # SIGTERM drain forced the flush
+        feedback.close()
