@@ -33,23 +33,42 @@ A sideband poller samples the engine's ``/stats`` snapshot during the
 run and reports its latency percentiles: the statistics surface must
 stay responsive exactly while the shards are saturated (it takes no
 dispatch lock — DESIGN.md §11).
+
+**Chaos mode** (``--chaos [scenario ...]``) replaces the throughput run
+with the fault scenarios from DESIGN.md §12: each scenario arms a seeded
+``repro.serve.faults`` spec against a breaker+fallback engine and
+measures what resilience actually delivered — availability over admitted
+requests, shed/degraded rates, and the p99 of answered ones — writing
+``BENCH_chaos.json``::
+
+    PYTHONPATH=src python scripts/loadtest.py --chaos --duration 2
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import tempfile
 import threading
 import time
-from dataclasses import asdict, dataclass
+from collections import Counter
+from dataclasses import asdict, dataclass, replace
 from pathlib import Path
 
 import numpy as np
 
 from repro.core import encoding as enc
 from repro.core.joint_graph import JointGraph
+from repro.feedback import FeedbackLog, FeedbackRecord
 from repro.model import CostGNN, GNNConfig
-from repro.serve import PredictionCache, PreparedRequestCache, ShardedEngine
+from repro.serve import (
+    CircuitBreaker,
+    DegradedFallback,
+    PredictionCache,
+    PreparedRequestCache,
+    ShardedEngine,
+    faults,
+)
 
 ROOT = Path(__file__).resolve().parent.parent
 
@@ -247,6 +266,228 @@ def run_loadtest(config: LoadtestConfig) -> dict:
     return result
 
 
+# ---------------------------------------------------------------------------
+# chaos harness (DESIGN.md §12)
+# ---------------------------------------------------------------------------
+
+#: the scenario book. Each entry pairs a fault spec (seeded per run, so a
+#: scenario's decision sequence is reproducible) with the engine knobs
+#: that make the failure bite; ``overrides`` reshape the workload config.
+#: Probabilities are tuned for a few-second closed-loop run: enough fires
+#: to exercise every recovery path, not so many the run measures nothing
+#: but recovery.
+CHAOS_SCENARIOS: dict[str, dict] = {
+    "shard_storm": {
+        "summary": "shard workers crash mid-batch; the supervisor revives "
+        "them and stranded requests retry on healthy shards",
+        "faults": "shard.worker:crash:0.005",
+    },
+    "brownout": {
+        "summary": "slow forwards trip the latency breaker; the degraded "
+        "tier (prediction cache, then GBM fallback) keeps answering",
+        "faults": "forward:delay:0.5:0.05",
+        "breaker_latency_s": 0.015,
+    },
+    "disk_flake": {
+        "summary": "feedback chunk writes fail; the flusher backs off and "
+        "quarantines poison chunks — no record is lost silently",
+        "faults": "feedback.flush:error:0.7",
+        "feedback": True,
+    },
+    "flash_flood": {
+        "summary": "offered load far over a small admission queue; the "
+        "excess sheds cleanly while admitted requests complete",
+        "faults": "",
+        "queue_cap": 64,
+        "overrides": {"concurrency": 8, "submit_chunk": 64, "repeat_ratio": 0.0},
+    },
+    "storm_mix": {
+        "summary": "crashes + forward faults + disk failures at once — the "
+        "acceptance scenario: >=99% of admitted requests answered",
+        "faults": "shard.worker:crash:0.003;forward:error:0.02;"
+        "feedback.flush:error:0.5",
+        "feedback": True,
+    },
+}
+
+
+def run_chaos_scenario(base: LoadtestConfig, name: str) -> dict:
+    """Run one named chaos scenario; returns its result document.
+
+    The engine is warmed *before* faults are armed — the prediction cache
+    and the degraded tier's reservoir get their baseline from a healthy
+    engine, the same state a long-running service would have when a
+    failure hits it.
+    """
+    spec = CHAOS_SCENARIOS[name]
+    config = replace(base, **spec.get("overrides", {}))
+    deadline_s = spec.get("deadline_ms", 1000.0) / 1e3
+    model = CostGNN(GNNConfig(hidden_dim=config.hidden_dim, seed=config.seed))
+    model.eval()
+    breaker = CircuitBreaker(
+        max_latency_s=spec.get("breaker_latency_s"), cooldown_s=0.5
+    )
+    engine = ShardedEngine(
+        model,
+        shards=config.shards,
+        max_batch_size=config.max_batch_size,
+        max_wait_us=config.max_wait_us,
+        request_cache=PreparedRequestCache(),
+        prediction_cache=PredictionCache(),
+        max_queue=spec.get("queue_cap"),
+        breaker=breaker,
+        fallback=DegradedFallback(),
+    )
+    feedback_dir = feedback_log = None
+    if spec.get("feedback"):
+        feedback_dir = tempfile.TemporaryDirectory(prefix="chaos-feedback-")
+        feedback_log = FeedbackLog(
+            feedback_dir.name, capacity=1_000_000, chunk_records=64,
+            flush_age_s=0.05,
+        )
+        feedback_log.backoff_cap_s = 0.5  # keep retry waits inside the run
+        feedback_log.poison_after = 3
+
+    templates = synthetic_graphs(config.templates, seed=config.seed)
+    for start in range(0, len(templates), config.max_batch_size):
+        engine.score_resilient(templates[start : start + config.max_batch_size])
+
+    injector = faults.install(spec["faults"], seed=config.seed)
+    started = time.perf_counter()
+    until = started + config.duration_s
+    tallies = [Counter() for _ in range(config.concurrency)]
+    latencies: list[list[float]] = [[] for _ in range(config.concurrency)]
+
+    def worker(index: int) -> None:
+        sampler = WorkloadSampler(config, index, started)
+        tally, mine = tallies[index], latencies[index]
+        while time.perf_counter() < until:
+            batch = [
+                sampler.sample(time.perf_counter())
+                for _ in range(config.submit_chunk)
+            ]
+            t0 = time.perf_counter()
+            outcome = engine.score_resilient(
+                batch, deadline=time.monotonic() + deadline_s
+            )
+            elapsed = time.perf_counter() - t0
+            answered = 0
+            for status in outcome.statuses:
+                tally[status] += 1
+                answered += status in ("ok", "degraded")
+            mine.extend([elapsed] * answered)
+            if feedback_log is not None:
+                # the serving path's observe-report stream, a trickle per
+                # burst — enough to keep the flusher writing under fire
+                for value in outcome.values[:4]:
+                    if value is None:
+                        continue
+                    feedback_log.append(
+                        FeedbackRecord(
+                            predicted=value,
+                            observed=abs(value) * 1.07 + 1e-6,
+                            segment="chaos",
+                        )
+                    )
+
+    threads = [
+        threading.Thread(
+            target=worker, args=(i,), name=f"chaos-{name}-{i}", daemon=True
+        )
+        for i in range(config.concurrency)
+    ]
+    for t in threads:
+        t.start()
+    # the no-hung-clients guarantee, enforced: every worker must return.
+    # Daemon threads + a hard join budget mean a wedged scenario is
+    # *reported* (hung_workers > 0) instead of wedging the harness.
+    join_by = time.perf_counter() + config.duration_s + 30.0
+    hung = 0
+    for t in threads:
+        t.join(timeout=max(0.0, join_by - time.perf_counter()))
+        hung += t.is_alive()
+    fault_report = injector.describe()
+    faults.uninstall()
+
+    feedback_report = None
+    if feedback_log is not None:
+        feedback_log.drain(10.0)
+        stats = feedback_log.stats()
+        replayed = len(feedback_log.replay())
+        accounted = replayed + stats["poison_records"] + stats["dropped_pending"]
+        feedback_report = {
+            "appended": stats["appended"],
+            "replayable": replayed,
+            "write_errors": stats["write_errors"],
+            "quarantined_chunks": stats["quarantined_chunks"],
+            "poison_records": stats["poison_records"],
+            "dropped_pending": stats["dropped_pending"],
+            "records_accounted_for": accounted == stats["appended"],
+        }
+        feedback_log.close()
+        feedback_dir.cleanup()
+    restarts = engine.restarts
+    if not hung:
+        engine.close()
+
+    tally: Counter = Counter()
+    for partial in tallies:
+        tally.update(partial)
+    total = sum(tally.values())
+    shed = tally["shed_overload"] + tally["shed_deadline"]
+    answered = tally["ok"] + tally["degraded"]
+    admitted = total - shed
+    flat = [value for mine in latencies for value in mine]
+    result = {
+        "scenario": name,
+        "summary": spec["summary"],
+        "faults": spec["faults"],
+        "requests": total,
+        "ok": tally["ok"],
+        "degraded": tally["degraded"],
+        "shed_overload": tally["shed_overload"],
+        "shed_deadline": tally["shed_deadline"],
+        "errors": tally["error"],
+        "admitted": admitted,
+        "availability": answered / admitted if admitted else 1.0,
+        "shed_rate": shed / total if total else 0.0,
+        "degraded_rate": tally["degraded"] / total if total else 0.0,
+        "hung_workers": hung,
+        "shard_restarts": restarts,
+        "breaker_trips": breaker.describe()["trips"],
+        "fault_fires": {
+            f"{rule['site']}:{rule['kind']}": rule["fired"]
+            for rule in fault_report["rules"]
+        },
+        **_percentiles_ms(flat),
+    }
+    if feedback_report is not None:
+        result["feedback"] = feedback_report
+    return result
+
+
+def run_chaos(config: LoadtestConfig, names: list[str]) -> dict:
+    """Run the named scenarios; returns the ``BENCH_chaos.json`` document."""
+    scenarios: dict[str, dict] = {}
+    for name in names:
+        print(f"chaos scenario {name}: {CHAOS_SCENARIOS[name]['summary']}")
+        result = run_chaos_scenario(config, name)
+        scenarios[name] = result
+        shed = result["shed_overload"] + result["shed_deadline"]
+        print(
+            f"  {result['requests']} requests: {result['ok']} ok, "
+            f"{result['degraded']} degraded, {shed} shed, "
+            f"{result['errors']} errors -> availability "
+            f"{result['availability']:.4f}, p99 {result['p99_ms']:.2f}ms"
+        )
+    return {
+        "config": asdict(config),
+        "scenarios": scenarios,
+        "min_availability": min(s["availability"] for s in scenarios.values()),
+        "hung_workers": sum(s["hung_workers"] for s in scenarios.values()),
+    }
+
+
 def serving_baseline_rps() -> float | None:
     """The committed micro-batched baseline (PR 3's BENCH_serving.json)."""
     path = ROOT / "BENCH_serving.json"
@@ -277,6 +518,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--hidden-dim", type=int, default=32)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--out", default="", help="write the result JSON here")
+    parser.add_argument(
+        "--chaos",
+        nargs="*",
+        metavar="SCENARIO",
+        default=None,
+        help="run fault scenarios instead of the throughput loadtest "
+        f"(no names = all of: {', '.join(CHAOS_SCENARIOS)}); "
+        "writes BENCH_chaos.json unless --out is given",
+    )
     args = parser.parse_args(argv)
 
     config = LoadtestConfig(
@@ -293,6 +543,24 @@ def main(argv: list[str] | None = None) -> int:
         hidden_dim=args.hidden_dim,
         seed=args.seed,
     )
+    if args.chaos is not None:
+        names = args.chaos or list(CHAOS_SCENARIOS)
+        unknown = [n for n in names if n not in CHAOS_SCENARIOS]
+        if unknown:
+            parser.error(
+                f"unknown chaos scenario(s) {unknown}; "
+                f"know {list(CHAOS_SCENARIOS)}"
+            )
+        doc = run_chaos(config, names)
+        out = args.out or "BENCH_chaos.json"
+        with open(out, "w") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        print(
+            f"min availability {doc['min_availability']:.4f}, "
+            f"hung workers {doc['hung_workers']} -> wrote {out}"
+        )
+        return 1 if doc["hung_workers"] else 0
     result = run_loadtest(config)
     baseline = serving_baseline_rps()
     if baseline:

@@ -17,6 +17,7 @@ See ``examples/serving_client.py`` for a full client round-trip.
 from __future__ import annotations
 
 import argparse
+import os
 import signal
 
 from repro.bench import build_dataset_benchmark
@@ -24,17 +25,23 @@ from repro.eval import prepare_dataset_samples, training_placements
 from repro.model import GNNConfig, GracefulModel, TrainConfig
 from repro.serve import (
     AdvisorService,
+    CircuitBreaker,
+    DegradedFallback,
     ModelRegistry,
     PredictionCache,
     PreparedRequestCache,
     ShardedEngine,
     make_server,
 )
+from repro.serve import faults
 from repro.stats import StatisticsCatalog, make_estimator
 
 
 def build_service(args: argparse.Namespace):
     """(server, registry, model_version) for the parsed CLI options."""
+    injector = faults.install_from_env()
+    if injector is not None:
+        print(f"fault injection armed: {injector.spec!r} (seed={injector.seed})")
     registry = ModelRegistry(args.registry_dir)
     model_name = args.model or f"costgnn-{args.dataset}"
 
@@ -45,8 +52,11 @@ def build_service(args: argparse.Namespace):
 
     versions = registry.versions(model_name)
     if versions and not args.retrain:
-        version = versions[-1]
-        model = registry.load(model_name)
+        # crash-safe startup: a corrupt sidecar or truncated archive is
+        # quarantined and the next-best candidate serves instead
+        model, version = registry.load_serving(model_name)
+        if registry.quarantined:
+            print(f"quarantined artifacts: {registry.quarantined}")
         print(f"serving registry model {version.ref} ({version.dtype})")
     else:
         print(f"training {model_name} (epochs={args.epochs})...")
@@ -74,8 +84,14 @@ def build_service(args: argparse.Namespace):
         max_wait_us=args.max_wait_us,
         request_cache=PreparedRequestCache(),
         prediction_cache=PredictionCache(),
+        max_queue=args.queue_cap or None,  # None -> $REPRO_QUEUE_CAP
+        breaker=CircuitBreaker(),
+        fallback=DegradedFallback(),
     )
-    print(f"inference engine: {engine.n_shards} shard(s), fast-path caches on")
+    print(
+        f"inference engine: {engine.n_shards} shard(s), fast-path caches on, "
+        f"breaker + degraded fallback armed"
+    )
     service = AdvisorService(
         engine,
         catalog=StatisticsCatalog(bench.database),
@@ -134,6 +150,20 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument("--max-batch-size", type=int, default=64)
     parser.add_argument("--max-wait-us", type=float, default=2000.0)
     parser.add_argument(
+        "--queue-cap",
+        type=int,
+        default=0,
+        help="per-shard admission bound (0 = $REPRO_QUEUE_CAP or 8192); "
+        "submissions past it are shed with HTTP 503 + Retry-After",
+    )
+    parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=0.0,
+        help="default per-request budget in ms (0 = $REPRO_DEADLINE_MS or "
+        "none); clients override per call with an X-Deadline-Ms header",
+    )
+    parser.add_argument(
         "--shards",
         type=int,
         default=0,
@@ -144,6 +174,10 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument("--estimator", default="actual")
     args = parser.parse_args(argv)
 
+    if args.deadline_ms > 0:
+        # the HTTP layer reads the env per request, so the flag is just
+        # a spelling of the env knob that wins over an inherited value
+        os.environ["REPRO_DEADLINE_MS"] = str(args.deadline_ms)
     server, _, version = build_service(args)
     print(f"serving {version.ref} at {server.url} (SIGTERM/ctrl-c to stop)")
     serve_until_signalled(server)

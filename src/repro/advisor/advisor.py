@@ -106,6 +106,9 @@ class AdvisorDecision:
     #: correlation handle for runtime feedback (set by the online
     #: advisor service when a feedback log is attached; "" offline)
     decision_id: str = ""
+    #: True when any cost came from the degraded fallback tier rather
+    #: than the GNN (set by the online service; always False offline)
+    degraded: bool = False
 
     @property
     def placement(self) -> UDFPlacement:

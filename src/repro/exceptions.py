@@ -44,6 +44,29 @@ class ServingError(ReproError):
     unknown model version, malformed payload, ...)."""
 
 
+class EngineOverloaded(ServingError):
+    """Admission control shed the request: the bounded queue is full.
+
+    Maps to HTTP 503 + ``Retry-After`` — the client should back off and
+    retry; nothing about the request itself was wrong."""
+
+
+class EngineClosed(ServingError):
+    """The engine is draining or closed; no new work is admitted."""
+
+
+class DeadlineExceeded(ServingError):
+    """The request's deadline expired before a forward pass was paid for
+    it; the engine shed it from the queue instead of computing a result
+    nobody is waiting for. Maps to HTTP 504."""
+
+
+class WorkerCrashed(ServingError):
+    """A shard worker thread died with this request in flight. The shard
+    supervisor fails the stranded futures with this error so callers can
+    retry on a healthy shard instead of hanging forever."""
+
+
 class FeedbackError(ReproError):
     """The feedback loop could not proceed (empty replay buffer, too few
     trainable samples, unknown decision id, ...)."""

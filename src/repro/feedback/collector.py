@@ -136,6 +136,15 @@ class FeedbackLog:
         self.write_errors = 0
         self.last_write_error = ""
         self.dropped_pending = 0
+        #: cap on the flusher's exponential retry backoff
+        self.backoff_cap_s = 30.0
+        #: consecutive failures of the *same* head chunk before its
+        #: records are quarantined so the queue behind them can flush
+        self.poison_after = 5
+        self.quarantined_chunks = 0
+        self.poison_records = 0
+        self._consecutive_failures = 0
+        self._poison_head: FeedbackRecord | None = None
         self._buffer: deque[FeedbackRecord] = deque(maxlen=capacity)
         self._pending: list[FeedbackRecord] = []
         self._flushing: list[FeedbackRecord] = []
@@ -247,12 +256,49 @@ class FeedbackLog:
             except Exception as exc:  # disk full, unwritable root, ...
                 # the flusher must outlive a failed write: unwritten
                 # records went back to _pending (see _write_out), so
-                # record the error and retry after a backoff instead of
-                # dying silently and letting the buffer grow unbounded
+                # record the error and retry with capped exponential
+                # backoff instead of dying silently (or hammering a
+                # struggling disk at full speed)
                 with self._cond:
                     self.write_errors += 1
                     self.last_write_error = repr(exc)
-                    self._cond.wait(self.flush_age_s)
+                    backoff = self._note_failure_locked()
+                    self._cond.wait(backoff)
+            else:
+                with self._cond:
+                    self._consecutive_failures = 0
+                    self._poison_head = None
+
+    def _note_failure_locked(self) -> float:
+        """Track a failed write; quarantine a poison head chunk.
+
+        A chunk whose records themselves break the write (an unpicklable
+        graph, say) would otherwise wedge the queue forever: every retry
+        claims the same head and fails. After ``poison_after``
+        consecutive failures of the *same* head record, that chunk's
+        worth of records is set aside — counted, dropped from the spill
+        queue, still visible via ``recent()`` until evicted — so the
+        records behind it get their turn. Returns the backoff to wait.
+        """
+        head = self._pending[0] if self._pending else None
+        if head is not None and head is self._poison_head:
+            self._consecutive_failures += 1
+        else:
+            self._poison_head = head
+            self._consecutive_failures = 1
+        if head is not None and self._consecutive_failures >= self.poison_after:
+            n = min(self.chunk_records, len(self._pending))
+            del self._pending[:n]
+            self.quarantined_chunks += 1
+            self.poison_records += n
+            self._consecutive_failures = 0
+            self._poison_head = self._pending[0] if self._pending else None
+            if not self._pending:
+                self._pending_since = None
+        return min(
+            self.flush_age_s * (2 ** max(0, self._consecutive_failures - 1)),
+            self.backoff_cap_s,
+        )
 
     def _write_out(self, take_all: bool) -> Path | None:
         """Claim pending records and write them as chunk(s) on disk."""
@@ -293,6 +339,11 @@ class FeedbackLog:
         return last
 
     def _write_chunk(self, records: list[FeedbackRecord]) -> Path:
+        # imported lazily: repro.serve.__init__ imports this module, so a
+        # top-level import of a repro.serve submodule would be circular
+        from repro.serve import faults
+
+        faults.fire("feedback.flush")
         fp = fingerprint(
             "feedback_chunk",
             self._next_seq,
@@ -408,6 +459,8 @@ class FeedbackLog:
                 "write_errors": self.write_errors,
                 "last_write_error": self.last_write_error,
                 "dropped_pending": self.dropped_pending,
+                "quarantined_chunks": self.quarantined_chunks,
+                "poison_records": self.poison_records,
                 "disk_chunks": len(chunks),
                 "disk_bytes": disk_bytes,
                 "segments": dict(self._segments),

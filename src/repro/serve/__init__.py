@@ -12,7 +12,11 @@ optimization time*; this package is that serving surface (DESIGN.md §9):
   caches (:class:`PreparedRequestCache`, :class:`PredictionCache`);
 * :class:`AdvisorService` — multi-client ``suggest_placement`` sessions
   scoring every placement alternative in one micro-batch;
-* :mod:`repro.serve.http` — a stdlib JSON front end over all of it.
+* :mod:`repro.serve.http` — a stdlib JSON front end over all of it;
+* :mod:`repro.serve.resilience` / :mod:`repro.serve.faults` — deadlines,
+  circuit breaker, degraded fallback, health states, and the
+  deterministic fault-injection registry behind the chaos harness
+  (DESIGN.md §12).
 """
 
 from repro.serve.advisor_service import (
@@ -37,25 +41,41 @@ from repro.serve.codec import (
 from repro.serve.engine import (
     EngineStats,
     MicroBatchEngine,
+    ScoreOutcome,
     ShardedEngine,
+    default_queue_cap,
     default_shards,
 )
+from repro.serve.faults import FaultInjector, InjectedFault, WorkerCrash
 from repro.serve.http import ServingServer, make_server
 from repro.serve.registry import ModelRegistry, ModelVersion
+from repro.serve.resilience import (
+    CircuitBreaker,
+    DegradedFallback,
+    HealthMonitor,
+)
 
 __all__ = [
     "AdvisorService",
     "AdvisorSession",
+    "CircuitBreaker",
+    "DegradedFallback",
     "EngineStats",
+    "FaultInjector",
+    "HealthMonitor",
+    "InjectedFault",
     "MicroBatchEngine",
     "ModelRegistry",
     "ModelVersion",
     "PredictionCache",
     "PreparedRequestCache",
+    "ScoreOutcome",
     "ServingServer",
     "SessionStats",
     "ShardedEngine",
+    "WorkerCrash",
     "decision_to_json",
+    "default_queue_cap",
     "default_shards",
     "feedback_record_from_json",
     "feedback_record_to_json",

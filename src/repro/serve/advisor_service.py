@@ -98,12 +98,14 @@ class AdvisorSession:
         query: Query,
         true_selectivity: float | None = None,
         strategy: str | None = None,
+        deadline: float | None = None,
     ) -> AdvisorDecision:
         return self.service.suggest_placement(
             query,
             true_selectivity=true_selectivity,
             strategy=strategy,
             session=self,
+            deadline=deadline,
         )
 
 
@@ -166,6 +168,7 @@ class AdvisorService:
         true_selectivity: float | None = None,
         strategy: str | None = None,
         session: AdvisorSession | None = None,
+        deadline: float | None = None,
     ) -> AdvisorDecision:
         """Decide pull-up vs push-down with one micro-batched model call."""
         check_udf_filter_query(query)
@@ -186,9 +189,25 @@ class AdvisorService:
         # entirely and only the misses travel to the shards.
         order = (UDFPlacement.PUSH_DOWN, UDFPlacement.PULL_UP)
         flat = [g for placement in order for g in graphs[placement]]
+        degraded = False
+        resilient = getattr(self.engine, "score_resilient", None)
         scorer = getattr(self.engine, "score", None)
         try:
-            if scorer is not None:
+            if resilient is not None:
+                contexts = [
+                    (placement.value, float(level))
+                    for placement in order
+                    for level in levels
+                ]
+                outcome = resilient(flat, contexts, deadline=deadline)
+                err = outcome.first_error()
+                if err is not None:
+                    # a decision needs every cost; any failed point
+                    # fails the advisory call as a whole
+                    raise err
+                values = outcome.values
+                degraded = outcome.degraded
+            elif scorer is not None:
                 contexts = [
                     (placement.value, float(level))
                     for placement in order
@@ -198,6 +217,10 @@ class AdvisorService:
             else:
                 futures = self.engine.submit_many(flat)
                 values = [f.result() for f in futures]
+        except ServingError:
+            # sheds and rejections keep their class: the HTTP layer maps
+            # EngineOverloaded/DeadlineExceeded/... to their own statuses
+            raise
         except Exception as exc:  # surface engine-side failures uniformly
             raise ServingError(f"placement scoring failed: {exc}") from exc
         per_placement = np.asarray(values, dtype=np.float64).reshape(
@@ -215,6 +238,7 @@ class AdvisorService:
             selectivity_levels=levels,
             decision_seconds=time.perf_counter() - start,
         )
+        decision.degraded = degraded
         if self.feedback is not None:
             decision.decision_id = self._stash_pending(query, graphs, decision, session)
         self._record(session, decision)

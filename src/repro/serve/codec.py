@@ -220,6 +220,8 @@ def decision_to_json(decision: AdvisorDecision) -> dict:
     }
     if decision.decision_id:
         out["decision_id"] = decision.decision_id
+    if decision.degraded:
+        out["degraded"] = True
     return out
 
 

@@ -31,11 +31,20 @@ prepared/prediction tiers stay hot too (DESIGN.md §11).
 from __future__ import annotations
 
 import json
+import logging
+import os
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from repro.exceptions import ReproError, ServingError
+from repro.exceptions import (
+    DeadlineExceeded,
+    EngineClosed,
+    EngineOverloaded,
+    ReproError,
+    ServingError,
+)
+from repro.serve import faults
 from repro.serve.advisor_service import AdvisorService
 from repro.serve.cache import payload_fingerprint
 from repro.serve.codec import (
@@ -45,6 +54,9 @@ from repro.serve.codec import (
     query_from_json,
 )
 from repro.serve.registry import ModelRegistry
+from repro.serve.resilience import HealthMonitor, deadline_from_ms
+
+logger = logging.getLogger("repro.serve")
 
 #: caps request bodies; a joint graph is ~KBs, advise payloads smaller
 MAX_BODY_BYTES = 16 * 1024 * 1024
@@ -52,6 +64,21 @@ MAX_BODY_BYTES = 16 * 1024 * 1024
 #: caps one ``/feedback`` post; larger reports must be split (keeps a
 #: single request from monopolizing the log's lock and the JSON parser)
 MAX_FEEDBACK_RECORDS = 1024
+
+#: seconds a shed client should wait before retrying (the 503 header)
+RETRY_AFTER_S = 1
+
+
+def default_deadline_ms() -> float | None:
+    """Default per-request budget: ``$REPRO_DEADLINE_MS``, else none."""
+    env = os.environ.get("REPRO_DEADLINE_MS", "").strip()
+    if not env:
+        return None
+    try:
+        value = float(env)
+    except ValueError:
+        return None
+    return value if value > 0 else None
 
 
 class ServingServer(ThreadingHTTPServer):
@@ -66,6 +93,7 @@ class ServingServer(ThreadingHTTPServer):
         registry: ModelRegistry | None = None,
         model_ref: str = "",
         loop=None,
+        health: HealthMonitor | None = None,
     ):
         super().__init__(address, ServingHandler)
         self.service = service
@@ -75,16 +103,27 @@ class ServingServer(ThreadingHTTPServer):
         #: optional :class:`repro.feedback.FeedbackLoop`; surfaces drift
         #: and promotion state through /stats and keeps model_ref honest
         self.loop = loop
+        #: the /healthz state machine, wired to the engine's breaker and
+        #: (via the shard supervisor) its restart history
+        self.health = health or HealthMonitor(
+            breaker=getattr(service.engine, "breaker", None)
+        )
+        if getattr(service.engine, "health", "missing") is None:
+            service.engine.health = self.health
         self.started = time.time()
+        self.health.mark_ready()
 
     def drain(self) -> None:
         """Stop accepting requests, drain the engine, flush feedback.
 
-        The feedback log buffers appends in memory (its flusher spills
-        chunks in the background), so the SIGTERM/ctrl-c path must force
-        a final synchronous flush or the tail of observed runtimes dies
-        with the process.
+        The health state flips to ``draining`` first (new requests get a
+        clean 503 instead of racing the shutdown), then in-flight work
+        drains; the feedback log buffers appends in memory (its flusher
+        spills chunks in the background), so the SIGTERM/ctrl-c path
+        must force a final synchronous flush or the tail of observed
+        runtimes dies with the process.
         """
+        self.health.mark_draining()
         self.shutdown()
         self.engine.close()
         feedback = self.service.feedback
@@ -111,16 +150,69 @@ class ServingHandler(BaseHTTPRequestHandler):
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         pass  # keep pytest/CLI output clean; stats cover observability
 
-    def _send_json(self, payload: dict, status: int = 200) -> None:
+    def _send_json(
+        self, payload: dict, status: int = 200, retry_after: int | None = None
+    ) -> None:
         body = json.dumps(payload).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            self.send_header("Retry-After", str(retry_after))
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error_json(self, status: int, message: str) -> None:
-        self._send_json({"error": message}, status=status)
+    def _send_error_json(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        retry_after: int | None = None,
+    ) -> None:
+        """Structured error body: ``{"error": {"code", "message"}}``.
+
+        ``message`` is client-safe by contract — internal exception text
+        never travels here (see ``_map_exception``), only the log line.
+        """
+        self._send_json(
+            {"error": {"code": code, "message": message}},
+            status=status,
+            retry_after=retry_after,
+        )
+
+    def _map_exception(self, exc: BaseException) -> None:
+        """One structured error response per exception class.
+
+        Expected rejections carry their message (it describes the
+        *request*, not the server); anything unexpected is logged
+        server-side with its traceback and answered with a generic 500 —
+        internal exception text is an information leak, not an API.
+        """
+        if isinstance(exc, (EngineOverloaded, EngineClosed)):
+            code = "overloaded" if isinstance(exc, EngineOverloaded) else "draining"
+            self._send_error_json(503, code, str(exc), retry_after=RETRY_AFTER_S)
+        elif isinstance(exc, DeadlineExceeded):
+            self._send_error_json(504, "deadline_exceeded", str(exc))
+        elif isinstance(exc, ServingError):
+            self._send_error_json(400, "bad_request", str(exc))
+        elif isinstance(exc, ReproError):
+            self._send_error_json(422, "unprocessable", str(exc))
+        else:
+            logger.exception("unhandled error serving %s", self.path, exc_info=exc)
+            self._send_error_json(500, "internal", "internal server error")
+
+    def _deadline(self) -> float | None:
+        """Absolute deadline for this request: header, else env default."""
+        header = self.headers.get("X-Deadline-Ms")
+        if header is not None:
+            try:
+                budget = float(header)
+            except ValueError as exc:
+                raise ServingError(f"invalid X-Deadline-Ms {header!r}") from exc
+            if budget <= 0:
+                raise ServingError("X-Deadline-Ms must be > 0")
+            return deadline_from_ms(budget)
+        return deadline_from_ms(default_deadline_ms())
 
     def _read_raw(self) -> bytes:
         length = int(self.headers.get("Content-Length", 0) or 0)
@@ -167,18 +259,27 @@ class ServingHandler(BaseHTTPRequestHandler):
             model_ref = server.model_ref
             if server.loop is not None and server.loop.live_ref:
                 model_ref = server.loop.live_ref  # survives hot-swaps
-            self._send_json(
-                {
-                    "status": "ok",
-                    "model": model_ref,
-                    "uptime_seconds": time.time() - server.started,
-                }
-            )
+            health = server.health
+            state = health.state()
+            payload = {
+                "status": state,
+                "model": model_ref,
+                "uptime_seconds": time.time() - server.started,
+                "restarts": health.restarts,
+            }
+            if health.breaker is not None:
+                payload["breaker"] = health.breaker.state
+            # ready/degraded answer 200 (the service responds, possibly
+            # at reduced fidelity); starting/draining answer 503 so load
+            # balancers stop routing here
+            retry = RETRY_AFTER_S if health.http_status() == 503 else None
+            self._send_json(payload, status=health.http_status(), retry_after=retry)
         elif self.path == "/stats":
             # every section is a snapshot read: the engine reports queue
             # depths and per-shard counters without its dispatch lock,
             # so /stats stays responsive while the workers are saturated
             stats = server.service.describe()
+            stats["health"] = server.health.describe()
             if server.loop is not None:
                 stats["feedback_loop"] = server.loop.describe()
             if server.registry is not None:
@@ -186,31 +287,51 @@ class ServingHandler(BaseHTTPRequestHandler):
             self._send_json(stats)
         elif self.path == "/models":
             if server.registry is None:
-                self._send_error_json(404, "no registry attached")
+                self._send_error_json(404, "not_found", "no registry attached")
             else:
                 self._send_json(server.registry.describe())
         else:
-            self._send_error_json(404, f"unknown path {self.path!r}")
+            self._send_error_json(404, "not_found", f"unknown path {self.path!r}")
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib handler name
         try:
+            if self.server.health.state() == "draining":
+                raise EngineClosed("server is draining")
+            # the budget starts when the request arrives: decode time
+            # (and any fault injected into it) counts against the client
+            # deadline, so a slow parse can expire a request before the
+            # engine ever sees it
+            deadline = self._deadline()
             raw = self._read_raw()
+            faults.fire("decode")
+            if deadline is not None and time.monotonic() >= deadline:
+                raise DeadlineExceeded("deadline expired while decoding")
             if self.path == "/predict":
-                self._handle_predict(raw)
+                self._handle_predict(raw, deadline)
             elif self.path == "/advise":
-                self._handle_advise(raw)
+                self._handle_advise(raw, deadline)
             elif self.path == "/feedback":
                 self._handle_feedback(self._parse(raw))
             else:
-                self._send_error_json(404, f"unknown path {self.path!r}")
-        except ServingError as exc:
-            self._send_error_json(400, str(exc))
-        except ReproError as exc:
-            self._send_error_json(422, str(exc))
-        except Exception as exc:  # pragma: no cover - defensive
-            self._send_error_json(500, f"internal error: {exc}")
+                self._send_error_json(
+                    404, "not_found", f"unknown path {self.path!r}"
+                )
+        except Exception as exc:
+            self._map_exception(exc)
 
-    def _handle_predict(self, raw: bytes) -> None:
+    @staticmethod
+    def _item_error(index: int, status: str, err: BaseException | None) -> dict:
+        # the same leak discipline as _map_exception, per item: library
+        # errors describe the request; anything else stays server-side
+        if isinstance(err, (ServingError, ReproError)):
+            message = str(err)
+        else:
+            message = "internal error"
+            logger.error("request item %d failed: %r", index, err)
+        code = {"shed_overload": "overloaded", "shed_deadline": "deadline_exceeded"}
+        return {"index": index, "code": code.get(status, "error"), "message": message}
+
+    def _handle_predict(self, raw: bytes, deadline: float | None = None) -> None:
         # repeat bodies (same bytes) skip json.loads + codec decode and
         # return the same graph objects, keeping downstream caches hot
         graphs, remember = self._cached_payload(raw, "predict")
@@ -223,38 +344,43 @@ class ServingHandler(BaseHTTPRequestHandler):
             if remember is not None:
                 remember(graphs)
         engine = self.server.engine
-        scorer = getattr(engine, "score", None)
-        # `is not None`: an empty PredictionCache is falsy (__len__ == 0)
-        prediction_cache = getattr(engine, "prediction_cache", None)
-        if scorer is not None and prediction_cache is not None:
-            # the fast path: repeated graphs skip the forward pass via
-            # the prediction cache. score() is all-or-nothing, so a
-            # scoring failure (e.g. one poisoned graph) falls back to
-            # the per-request path below, which isolates the culprit —
-            # but the response write stays outside the net, so a broken
-            # client connection cannot trigger a duplicate re-score.
-            values = None
-            try:
-                values = [float(v) for v in scorer(graphs)]
-            except Exception:
-                pass
-            if values is not None:
-                self._send_json({"runtimes": values})
-                return
-        futures = engine.submit_many(graphs)
+        resilient = getattr(engine, "score_resilient", None)
+        if resilient is not None:
+            outcome = resilient(graphs, deadline=deadline)
+            answered = [v is not None for v in outcome.values]
+            if not any(answered):
+                # nothing was answered: one structured rejection beats a
+                # vector of nulls (a lone shed request gets its 503/504)
+                raise outcome.first_error() or ServingError("scoring failed")
+            runtimes = [
+                float(v) if v is not None else None for v in outcome.values
+            ]
+            response: dict = {"runtimes": runtimes}
+            errors = [
+                self._item_error(i, outcome.statuses[i], outcome.errors[i])
+                for i in range(len(graphs))
+                if not answered[i]
+            ]
+            if errors:
+                response["errors"] = errors
+            if outcome.degraded:
+                response["degraded"] = True
+            self._send_json(response)
+            return
+        futures = engine.submit_many(graphs, deadline=deadline)
         runtimes, errors = [], []
         for i, future in enumerate(futures):
             try:
                 runtimes.append(future.result())
             except Exception as exc:
                 runtimes.append(None)
-                errors.append({"index": i, "error": str(exc)})
-        response: dict = {"runtimes": runtimes}
+                errors.append(self._item_error(i, "error", exc))
+        response = {"runtimes": runtimes}
         if errors:
             response["errors"] = errors
         self._send_json(response)
 
-    def _handle_advise(self, raw: bytes) -> None:
+    def _handle_advise(self, raw: bytes, deadline: float | None = None) -> None:
         parsed, remember = self._cached_payload(raw, "advise")
         if parsed is None:
             payload = self._parse(raw)
@@ -281,6 +407,7 @@ class ServingHandler(BaseHTTPRequestHandler):
             query,
             true_selectivity=true_selectivity,
             strategy=strategy,
+            deadline=deadline,
         )
         self._send_json(decision_to_json(decision))
 
@@ -334,6 +461,7 @@ def make_server(
     port: int = 0,
     model_ref: str = "",
     loop=None,
+    health: HealthMonitor | None = None,
 ) -> ServingServer:
     """Bind a :class:`ServingServer` (``port=0`` picks a free port)."""
-    return ServingServer((host, port), service, registry, model_ref, loop)
+    return ServingServer((host, port), service, registry, model_ref, loop, health)

@@ -34,6 +34,7 @@ from repro.eval.resultstore import fingerprint, registry_dir
 from repro.exceptions import ServingError
 from repro.model.gnn import CostGNN
 from repro.model.persistence import load_model, model_summary, save_model
+from repro.serve import faults
 
 _NAME_RE = re.compile(r"^[a-z][a-z0-9_.-]*$")
 _VERSION_RE = re.compile(r"^v(\d{4})\.npz$")
@@ -53,6 +54,10 @@ class ModelVersion:
     created: float
     metrics: dict = field(default_factory=dict)
     description: str = ""
+    #: False when the metadata sidecar is missing, truncated, or not
+    #: JSON — the artifact may still deserialize, but a crash-safe
+    #: startup (``load_serving``) refuses to guess and skips it
+    intact: bool = True
 
     @property
     def ref(self) -> str:
@@ -74,6 +79,10 @@ class ModelRegistry:
         self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
+        #: ref -> reason for artifacts that failed to load or lost
+        #: their sidecar; ``load_serving`` routes around them and
+        #: ``describe()`` (the ``/stats`` payload) reports them
+        self._quarantined: dict[str, str] = {}
 
     # -- publishing ----------------------------------------------------
     def publish(
@@ -168,12 +177,13 @@ class ModelRegistry:
             if not _VERSION_RE.match(path.name):
                 continue
             meta = {}
+            intact = True
             try:
                 with open(path.with_suffix(".json")) as fh:
                     meta = json.load(fh)
             except (OSError, json.JSONDecodeError):
-                pass
-            out.append(self._version_from_meta(path, meta))
+                intact = False
+            out.append(self._version_from_meta(path, meta, intact=intact))
         return out
 
     def latest(self, name: str) -> ModelVersion:
@@ -189,11 +199,13 @@ class ModelRegistry:
         with self._lock:
             live = [f"{n}@v{v}" for n, v in self._live]
             hits, misses = self.hits, self.misses
+            quarantined = dict(self._quarantined)
         return {
             "root": str(self.root),
             "live": live,
             "hits": hits,
             "misses": misses,
+            "quarantined": quarantined,
             "models": {
                 name: [
                     {
@@ -228,9 +240,77 @@ class ModelRegistry:
             path = self.root / name / f"v{version:04d}.npz"
             if not path.exists():
                 raise ServingError(f"model {name}@v{version} is not published")
+            faults.fire("registry.load")
             model = load_model(path)
             self._remember(key, model)
             return model
+
+    def load_serving(self, name: str) -> tuple[CostGNN, ModelVersion]:
+        """Crash-safe startup load: the best version that actually works.
+
+        Candidates are tried in serving-preference order — newest
+        promoted canary first, then the newest original, then anything
+        else — and a candidate that is corrupt (unreadable sidecar,
+        truncated archive, anything ``load_model`` rejects) is
+        quarantined and *skipped* instead of taking down startup. Raises
+        only when no published version of ``name`` is loadable at all.
+        """
+        candidates = self.serving_candidates(name)
+        if not candidates:
+            raise ServingError(f"no published versions of model {name!r}")
+        for candidate in candidates:
+            with self._lock:
+                if candidate.ref in self._quarantined:
+                    continue
+            if not candidate.intact:
+                self._quarantine(candidate.ref, "metadata sidecar unreadable")
+                continue
+            try:
+                return self.load(name, candidate.version), candidate
+            except Exception as exc:  # corrupt archive, injected fault, ...
+                self._quarantine(candidate.ref, f"load failed: {exc}")
+        raise ServingError(
+            f"every published version of model {name!r} is quarantined"
+        )
+
+    def serving_candidates(self, name: str) -> list[ModelVersion]:
+        """Versions of ``name`` in serving-preference order.
+
+        The same policy as the feedback loop's
+        ``select_serving_version``: promoted canaries (newest first),
+        then versions that were not retrained from anything (newest
+        first), then the rest — but returning *every* candidate so a
+        recovery path exists when the preferred artifact is corrupt.
+        """
+        versions = self.versions(name)
+
+        def is_promoted(v: ModelVersion) -> bool:
+            canary = v.metrics.get("canary")
+            return isinstance(canary, dict) and canary.get("promoted") is True
+
+        promoted = [v for v in versions if is_promoted(v)]
+        originals = [
+            v
+            for v in versions
+            if not is_promoted(v) and "retrained_from" not in v.metrics
+        ]
+        rest = [
+            v
+            for v in versions
+            if not is_promoted(v) and "retrained_from" in v.metrics
+        ]
+        return (
+            list(reversed(promoted)) + list(reversed(originals)) + list(reversed(rest))
+        )
+
+    def _quarantine(self, ref: str, reason: str) -> None:
+        with self._lock:
+            self._quarantined.setdefault(ref, reason)
+
+    @property
+    def quarantined(self) -> dict[str, str]:
+        with self._lock:
+            return dict(self._quarantined)
 
     def _remember(self, key: tuple[str, int], model: CostGNN) -> None:
         self._live[key] = model
@@ -266,10 +346,11 @@ class ModelRegistry:
 
     # -- helpers -------------------------------------------------------
     @staticmethod
-    def _version_from_meta(path: Path, meta: dict) -> ModelVersion:
+    def _version_from_meta(path: Path, meta: dict, intact: bool = True) -> ModelVersion:
         match = _VERSION_RE.match(path.name)
         version = int(match.group(1)) if match else int(meta.get("version", 0))
         return ModelVersion(
+            intact=intact,
             name=meta.get("name", path.parent.name),
             version=version,
             path=path,

@@ -78,7 +78,8 @@ def test_lint_job_runs_ruff_with_repo_config(workflow):
 def test_lint_format_scope_covers_grown_trees(workflow):
     """The formatter's coverage must grow with the subsystems it guards:
     serving (PR 3), the feedback tree and every script (PR 4), the model
-    layer behind the serving fast path (PR 5)."""
+    layer behind the serving fast path (PR 5), the resilience layer and
+    its chaos suite (PR 6)."""
     runs = job_run_lines(workflow["jobs"]["lint"])
     format_step = next(
         (
@@ -96,6 +97,8 @@ def test_lint_format_scope_covers_grown_trees(workflow):
         "src/repro/model",
         "src/repro/feedback",
         "scripts",
+        "tests/test_resilience.py",
+        "benchmarks/test_perf_chaos.py",
     ):
         assert target in scope, f"ruff format scope lost {target}"
         assert (ROOT / target).exists()
@@ -190,6 +193,20 @@ def test_bench_script_is_ci_safe():
     assert re.search(r'exit "\$status"', script), (
         "bench.sh must propagate pytest's exit status"
     )
+
+
+def test_chaos_marker_is_wired_like_perf():
+    """The chaos suite must stay out of the tier-1 run (its fault storms
+    take seconds and are load-sensitive) but *in* the bench-smoke job:
+    dual perf+chaos marks mean bench.sh's ``-m perf`` selection picks it
+    up, and the every-perf-suite test below pins its bench.sh entry."""
+    ini = (ROOT / "pytest.ini").read_text()
+    assert "chaos:" in ini, "pytest.ini lost the chaos marker declaration"
+    assert '-m "not perf and not chaos"' in ini, (
+        "tier-1 addopts must exclude chaos scenarios"
+    )
+    suite = (ROOT / "benchmarks" / "test_perf_chaos.py").read_text()
+    assert "pytest.mark.perf" in suite and "pytest.mark.chaos" in suite
 
 
 def test_bench_script_runs_every_perf_suite():

@@ -11,7 +11,10 @@ load), and the lock-free ``/stats`` snapshot surface.
 from __future__ import annotations
 
 import json
+import os
+import signal
 import threading
+import urllib.error
 import urllib.request
 from concurrent.futures import ThreadPoolExecutor
 
@@ -20,6 +23,7 @@ import pytest
 
 from repro.core import encoding as enc
 from repro.core.joint_graph import JointGraph
+from repro.exceptions import ServingError
 from repro.feedback import FeedbackLog, graph_fingerprint
 from repro.model import CostGNN, GNNConfig, predict_runtimes
 from repro.model.prepared import prepare_graph
@@ -37,7 +41,7 @@ from repro.serve import (
 )
 from repro.stats import ActualCardinalityEstimator, StatisticsCatalog
 
-from tests.test_serving import make_udf_query, synthetic_graphs
+from tests.test_serving import _load_serve_script, make_udf_query, synthetic_graphs
 
 
 def clone_graph(graph: JointGraph) -> JointGraph:
@@ -501,3 +505,92 @@ class TestHTTPFastPath:
         assert stats["pending_records"] == 0
         assert stats["disk_chunks"] == 1  # SIGTERM drain forced the flush
         feedback.close()
+
+
+# ======================================================================
+class TestSigtermUnderLiveLoad:
+    """SIGTERM while clients are mid-flight: every request either
+    completes normally or gets a structured 503/504 — nobody hangs, no
+    request dies with an unexplained 500, and the feedback tail reaches
+    disk before the process would exit."""
+
+    def test_sigterm_drains_cleanly_under_load(self, sharded_service, tmp_path):
+        serve_script = _load_serve_script()
+        feedback = FeedbackLog(tmp_path / "fb-drain", capacity=256, chunk_records=64)
+        sharded_service.feedback = feedback
+        server = make_server(sharded_service)
+        stop = threading.Event()
+        tallies: list[dict] = []
+
+        def client(idx: int) -> None:
+            tally = {"ok": 0, "shed": 0, "conn": 0, "bad": 0}
+            tallies.append(tally)
+            burst = 0
+            while not stop.is_set():
+                burst += 1
+                graphs = synthetic_graphs(2, seed=1000 * idx + burst)
+                request = urllib.request.Request(
+                    f"{server.url}/predict",
+                    data=json.dumps(
+                        {"graphs": [graph_to_json(g) for g in graphs]}
+                    ).encode(),
+                    headers={"Content-Type": "application/json"},
+                )
+                try:
+                    with urllib.request.urlopen(request, timeout=10) as response:
+                        body = json.loads(response.read())
+                    if all(r is not None for r in body["runtimes"]):
+                        tally["ok"] += 1
+                    else:
+                        tally["bad"] += 1
+                except urllib.error.HTTPError as err:
+                    body = json.loads(err.read())
+                    if err.code in (503, 504) and body["error"]["message"]:
+                        tally["shed"] += 1  # clean, structured rejection
+                        if body["error"]["code"] == "draining":
+                            return  # the server told us to go away
+                    else:
+                        tally["bad"] += 1
+                except Exception:
+                    # the socket died mid-drain (connection refused or
+                    # reset) — abrupt but not a hang and not a lie
+                    tally["conn"] += 1
+                    return
+
+        threads = [
+            threading.Thread(target=client, args=(i,), daemon=True)
+            for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        # a feedback record in the in-memory buffer: the drain must not
+        # let it die with the process
+        decision = sharded_service.suggest_placement(make_udf_query())
+        sharded_service.record_runtime(decision.decision_id, observed=0.5)
+        previous = signal.getsignal(signal.SIGTERM)
+        timer = threading.Timer(0.5, os.kill, (os.getpid(), signal.SIGTERM))
+        timer.start()
+        try:
+            serve_script.serve_until_signalled(server)  # returns on signal
+        finally:
+            timer.cancel()
+            stop.set()
+        for thread in threads:
+            thread.join(timeout=15.0)
+        try:
+            assert not any(t.is_alive() for t in threads), "a client hung"
+            assert signal.getsignal(signal.SIGTERM) is previous
+            answered = sum(t["ok"] for t in tallies)
+            assert answered > 0, "no request completed before the signal"
+            assert sum(t["bad"] for t in tallies) == 0, (
+                f"unclean responses under drain: {tallies}"
+            )
+            # the engine is drained and refuses new work explicitly
+            with pytest.raises(ServingError):
+                sharded_service.engine.submit(synthetic_graphs(1, seed=2)[0])
+            stats = feedback.stats()
+            assert stats["pending_records"] == 0
+            assert stats["dropped_pending"] == 0
+            assert len(feedback.replay()) == stats["appended"]
+        finally:
+            feedback.close()

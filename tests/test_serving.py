@@ -420,7 +420,7 @@ class TestHTTPFrontend:
 
     def test_healthz_and_models(self, server):
         health = self._call(f"{server.url}/healthz")
-        assert health["status"] == "ok"
+        assert health["status"] == "ready"
         assert health["model"] == "costgnn-shop@v1"
         models = self._call(f"{server.url}/models")
         assert "costgnn-shop" in models["models"]
