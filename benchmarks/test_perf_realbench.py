@@ -1,0 +1,88 @@
+"""Real-engine grounding bench: simulator vs. DuckDB (DESIGN.md §13).
+
+Drives ``scripts/realbench.py`` in-process: a TPC-DS-flavored star
+schema, a >=200-query UDF workload executed on both backends, and real
+DuckDB wall-clock runtimes flowing into the feedback log. Writes
+``BENCH_duckdb.json`` at the repo root. Gates:
+
+* every plan round-trips — COUNT(*) parity between the simulator and
+  the SQL executed on DuckDB is 100%;
+* Python UDFs actually ran inside DuckDB (invocation counter > 0);
+* the feedback log received real-runtime records tagged
+  ``backend=duckdb``;
+* the report carries per-query Spearman correlation numbers (the
+  honesty measurement itself — reported, not gated: fidelity is a
+  finding, not a pass/fail).
+
+Skips cleanly when the ``duckdb`` extra is not installed; CI's
+bench-smoke job installs it. Marked ``perf`` and therefore excluded
+from the tier-1 run; invoke via
+``scripts/bench.sh benchmarks/test_perf_realbench.py``.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+pytest.importorskip("duckdb")
+
+pytestmark = pytest.mark.perf
+
+ROOT = Path(__file__).resolve().parent.parent
+BENCH_PATH = ROOT / "BENCH_duckdb.json"
+
+
+def _load_realbench_module():
+    """Import scripts/realbench.py (scripts/ is not a package)."""
+    path = ROOT / "scripts" / "realbench.py"
+    spec = importlib.util.spec_from_file_location("realbench_script", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["realbench_script"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_realbench_duckdb(tmp_path):
+    rb = _load_realbench_module()
+    config = rb.RealbenchConfig(
+        n_queries=200,
+        fact_rows=4_000,
+        seed=7,
+        epochs=4,
+        hidden_dim=16,
+        max_feedback_queries=40,
+        feedback_dir=str(tmp_path / "feedback"),
+    )
+    report = rb.run_realbench(config)
+
+    workload = report["workload"]
+    assert workload["n_queries"] >= 200
+    assert workload["n_plans_executed"] >= 200
+
+    parity = report["count_parity"]
+    assert parity["parity_rate"] == 1.0, parity["mismatches"]
+    assert parity["udf_invocations"] > 0
+
+    feedback = report["feedback"]
+    assert feedback["n_records"] > 0
+    assert feedback["backend_tagged"] == feedback["n_records"]
+
+    overall = report["fidelity"]["spearman_overall"]
+    assert overall["n"] >= 200
+    assert overall["rho"] is not None
+
+    BENCH_PATH.write_text(json.dumps(report, indent=2, sort_keys=True))
+    rho = overall["rho"]
+    agreement = report["fidelity"]["advisor_sign_agreement"]["agreement"]
+    print()
+    print(
+        f"duckdb realbench: {workload['n_plans_executed']} plans, "
+        f"spearman rho {rho:.3f}, sign agreement "
+        f"{'n/a' if agreement is None else round(agreement, 3)}, "
+        f"udf invocations {parity['udf_invocations']:.0f}"
+    )

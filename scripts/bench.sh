@@ -26,6 +26,7 @@ selection=(
     benchmarks/test_perf_feedback.py
     benchmarks/test_perf_loadtest.py
     benchmarks/test_perf_chaos.py
+    benchmarks/test_perf_realbench.py
 )
 if [ "$#" -gt 0 ]; then
     selection=("$@")

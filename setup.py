@@ -10,4 +10,9 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.10",
     install_requires=["numpy>=1.24", "scipy>=1.10", "networkx>=3.0"],
+    extras_require={
+        # real-engine execution backend (repro.exec.duckdb_backend) and
+        # SQL-AST validation in the render tests
+        "duckdb": ["duckdb>=0.9", "sqlglot>=20.0"],
+    },
 )

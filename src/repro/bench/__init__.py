@@ -6,6 +6,7 @@ from repro.bench.builder import (
     PlacementRun,
     benchmark_statistics,
     build_benchmark,
+    build_benchmark_for_database,
     build_dataset_benchmark,
     load_or_build_dataset,
     prepare_full_database,
@@ -20,6 +21,7 @@ __all__ = [
     "WorkloadGenerator",
     "benchmark_statistics",
     "build_benchmark",
+    "build_benchmark_for_database",
     "build_dataset_benchmark",
     "load_or_build_dataset",
     "prepare_full_database",

@@ -24,8 +24,8 @@ from pathlib import Path
 
 from repro.cfg.builder import build_udf_graph
 from repro.cfg.nodes import UDFNodeType
+from repro.exec import resolve_backend
 from repro.sql.costmodel import COST_CONSTANTS
-from repro.sql.executor import Executor
 from repro.sql.optimizer import build_plan
 from repro.sql.plan import PlanNode
 from repro.sql.query import Query, UDFPlacement, UDFRole
@@ -132,11 +132,35 @@ def build_dataset_benchmark(
     seed: int = 0,
     generator_config: GeneratorConfig | None = None,
     workload_config: WorkloadConfig | None = None,
+    backend=None,
 ) -> DatasetBenchmark:
-    """Generate, execute, and package the benchmark for one dataset."""
+    """Generate, execute, and package the benchmark for one dataset.
+
+    ``backend`` selects the execution backend (name, instance, or
+    ``None`` for the simulator — the historical behaviour, identical
+    down to the noise seeds).
+    """
     database = prepare_full_database(generate_database(name, config=generator_config))
-    workload = WorkloadGenerator(database, seed=seed, config=workload_config)
-    executor = Executor(database)
+    return build_benchmark_for_database(
+        name, database, n_queries, seed=seed,
+        workload_config=workload_config, backend=backend,
+    )
+
+
+def build_benchmark_for_database(
+    name: str,
+    database: Database,
+    n_queries: int,
+    seed: int = 0,
+    workload_config: WorkloadConfig | None = None,
+    backend=None,
+) -> DatasetBenchmark:
+    """Benchmark an already-prepared database (the realbench path: the
+    star-schema generator builds the database, this executes on it)."""
+    exec_backend = resolve_backend(backend, database)
+    workload = WorkloadGenerator(
+        database, seed=seed, config=workload_config, backend=exec_backend
+    )
     entries: list[BenchmarkEntry] = []
     for query in workload.generate(n_queries):
         runs: dict[UDFPlacement, PlacementRun] = {}
@@ -147,7 +171,7 @@ def build_dataset_benchmark(
         for placement in placements:
             plan = build_plan(query, placement)
             noise_seed = hash_name(f"{name}/{query.query_id}/{placement.value}")
-            result = executor.execute(plan, noise_seed=noise_seed)
+            result = exec_backend.execute(plan, noise_seed=noise_seed)
             udf_runtime, query_runtime = _runtime_components(result)
             runs[placement] = PlacementRun(
                 placement=placement,
@@ -182,8 +206,13 @@ def load_or_build_dataset(
     use_cache: bool = True,
     generator_config: GeneratorConfig | None = None,
     workload_config: WorkloadConfig | None = None,
+    backend: str | None = None,
 ) -> DatasetBenchmark:
     """Store-cached version of :func:`build_dataset_benchmark`.
+
+    The fingerprint gains a backend part only for non-simulator
+    backends, so every cached simulator benchmark built before the
+    backend seam existed stays valid.
 
     (Imports the result store lazily: ``repro.eval`` pulls in the
     sample-prep stack, which itself imports this module.)
@@ -191,16 +220,20 @@ def load_or_build_dataset(
     from repro.eval.resultstore import default_store
 
     store = default_store()
-    fp = store.fingerprint(
+    parts = [
         "bench", name, n_queries, seed,
         generator_config or GeneratorConfig(),
         workload_config or WorkloadConfig(),
-    )
+    ]
+    if backend not in (None, "simulator"):
+        parts.append(("backend", backend))
+    fp = store.fingerprint(*parts)
     return store.get_or_compute(
         "bench", fp,
         lambda: build_dataset_benchmark(
             name, n_queries, seed,
             generator_config=generator_config, workload_config=workload_config,
+            backend=backend,
         ),
         use_cache=use_cache,
         description=f"benchmark {name} ({n_queries} queries, seed {seed})",

@@ -45,6 +45,10 @@ class WorkloadConfig:
     non_udf_fraction: float = 0.08
     udf_filter_selectivity_range: tuple[float, float] = (1e-4, 1.0)
     udf_sample_rows: int = 200
+    #: probability a string filter is a LIKE prefix match instead of
+    #: EQ/NEQ; 0.0 keeps the historical workload (and its benchmark
+    #: fingerprints) byte-identical
+    like_prob: float = 0.0
     udf: UDFGeneratorConfig = field(default_factory=UDFGeneratorConfig)
 
 
@@ -56,10 +60,15 @@ class WorkloadGenerator:
         database: Database,
         seed: int = 0,
         config: WorkloadConfig | None = None,
+        backend=None,
     ):
+        """``backend`` (an :class:`~repro.exec.ExecutionBackend`) routes
+        the UDF-output sampling that calibrates filter literals; ``None``
+        evaluates in-process, identical to the historical behaviour."""
         self.database = database
         self.rng = np.random.default_rng(seed)
         self.config = config or WorkloadConfig()
+        self.backend = backend
         self._query_counter = 0
 
     # ------------------------------------------------------------------
@@ -132,7 +141,9 @@ class WorkloadGenerator:
             table = self.database.table(table_name)
             candidates = [
                 c for c in table.columns
-                if c.name != "id" and not c.name.endswith("_id")
+                if c.name != "id"
+                and not c.name.endswith("_id")
+                and not c.name.endswith("_sk")  # star-schema surrogate keys
             ]
             if not candidates:
                 continue
@@ -146,12 +157,18 @@ class WorkloadGenerator:
 
     def _sample_predicate(self, table_name: str, column) -> FilterSpec | None:
         rng = self.rng
+        cfg = self.config
         values = column.non_null_values()
         if len(values) == 0:
             return None
         ref = ColumnRef(table_name, column.name)
         if column.dtype is DataType.STRING:
             literal = str(values[int(rng.integers(0, len(values)))])
+            # like_prob draws only when enabled, so the default rng
+            # sequence (and cached benchmark fingerprints) is untouched.
+            if cfg.like_prob > 0 and rng.random() < cfg.like_prob:
+                cut = int(rng.integers(1, max(2, len(literal))))
+                return FilterSpec(ref, CompareOp.LIKE, literal[:cut])
             op = CompareOp.EQ if rng.random() < 0.8 else CompareOp.NEQ
             return FilterSpec(ref, op, literal)
         op = _NUMERIC_FILTER_OPS[int(rng.integers(0, len(_NUMERIC_FILTER_OPS)))]
@@ -195,7 +212,10 @@ class WorkloadGenerator:
             tuple(table.column(c).python_value(int(i)) for c in spec.input_columns)
             for i in sample_idx
         ]
-        outputs, _ = spec.udf.evaluate_batch(rows)
+        if self.backend is not None:
+            outputs = self.backend.evaluate_udf(spec.udf, rows)
+        else:
+            outputs, _ = spec.udf.evaluate_batch(rows)
         numeric = np.asarray([v for v in outputs if v is not None], dtype=np.float64)
         lo, hi = cfg.udf_filter_selectivity_range
         target = float(np.exp(rng.uniform(np.log(lo), np.log(hi))))

@@ -41,6 +41,7 @@ from repro.bench.workload import WorkloadConfig
 from repro.cfg.builder import UDFGraphConfig
 from repro.core.joint_graph import JointGraphConfig
 from repro.eval.folds import leave_one_out_folds
+from repro.exec import default_backend_name
 from repro.eval.metrics import q_error, q_error_summary
 from repro.eval.parallel import parallel_map, resolve_jobs
 from repro.eval.resultstore import default_store, fingerprint
@@ -161,10 +162,13 @@ class SampleStore:
 
     def bench(self, dataset: str) -> DatasetBenchmark:
         if dataset not in self._benches:
+            # REPRO_EXEC_BACKEND selects the execution backend; the
+            # default ("simulator") keeps historical fingerprints.
             self._benches[dataset] = load_or_build_dataset(
                 dataset, self.scale.n_queries_per_db, self.scale.seed,
                 use_cache=self.scale.use_cache,
                 generator_config=self.scale.generator,
+                backend=default_backend_name(),
             )
         return self._benches[dataset]
 
@@ -690,6 +694,7 @@ def _warm_bench_task(args) -> None:
     load_or_build_dataset(
         name, scale.n_queries_per_db, seed, use_cache=scale.use_cache,
         generator_config=scale.generator, workload_config=workload,
+        backend=default_backend_name(),
     )
 
 
@@ -719,7 +724,7 @@ def run_select_only(
         name: load_or_build_dataset(
             name, scale.n_queries_per_db, scale.seed + 1_000,
             use_cache=scale.use_cache, generator_config=scale.generator,
-            workload_config=workload,
+            workload_config=workload, backend=default_backend_name(),
         )
         for name in scale.datasets
     }

@@ -44,6 +44,13 @@ class ServingError(ReproError):
     unknown model version, malformed payload, ...)."""
 
 
+class BackendUnavailable(ServingError):
+    """An execution backend cannot be constructed on this host — its
+    driver package (e.g. ``duckdb``) is not installed, or the requested
+    name is not registered. The message names the missing dependency and
+    the extra that provides it (``pip install repro[duckdb]``)."""
+
+
 class EngineOverloaded(ServingError):
     """Admission control shed the request: the bounded queue is full.
 

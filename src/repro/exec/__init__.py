@@ -1,0 +1,42 @@
+"""Pluggable execution backends (DESIGN.md §13).
+
+Importing this package registers the built-in backends: ``simulator``
+always, ``duckdb`` whenever its optional driver is installed (probed at
+creation time, so the import itself never fails).
+"""
+
+from repro.exec.backend import (
+    BACKEND_ENV_VAR,
+    ExecutionBackend,
+    available_backends,
+    backend_available,
+    create_backend,
+    default_backend_name,
+    register_backend,
+    registered_backends,
+    resolve_backend,
+)
+from repro.exec.duckdb_backend import DuckDBBackend
+from repro.exec.schema_gen import (
+    StarSchemaConfig,
+    generate_star_database,
+    schema_config_from_scale,
+)
+from repro.exec.simulator import SimulatorBackend
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "DuckDBBackend",
+    "ExecutionBackend",
+    "SimulatorBackend",
+    "StarSchemaConfig",
+    "available_backends",
+    "backend_available",
+    "create_backend",
+    "default_backend_name",
+    "generate_star_database",
+    "register_backend",
+    "registered_backends",
+    "resolve_backend",
+    "schema_config_from_scale",
+]

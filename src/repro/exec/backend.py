@@ -1,0 +1,172 @@
+"""The execution backend seam (DESIGN.md §13).
+
+Everything that *runs a plan* — the benchmark builder, the feedback
+observer, the actual-cardinality estimator, the realbench driver — goes
+through :class:`ExecutionBackend` instead of constructing
+:class:`~repro.sql.executor.Executor` directly. Two implementations
+ship:
+
+* ``simulator`` (:mod:`repro.exec.simulator`) — the calibrated toy
+  engine behind the interface, byte-identical to direct executor use;
+* ``duckdb`` (:mod:`repro.exec.duckdb_backend`) — renders plans to SQL
+  and measures real wall-clock on DuckDB, when the ``duckdb`` extra is
+  installed.
+
+Backends register themselves in a name → factory registry so callers
+can select one by string (``REPRO_EXEC_BACKEND``) without importing
+driver packages they may not have; :func:`create_backend` raises
+:class:`~repro.exceptions.BackendUnavailable` with an actionable
+message when the driver is missing.
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Callable
+
+from repro.exceptions import BackendUnavailable
+from repro.sql.executor import ExecutionResult
+from repro.sql.plan import PlanNode
+from repro.storage.database import Database
+
+if TYPE_CHECKING:  # pragma: no cover - the udf package imports the cost
+    # model, whose package init reaches back here via repro.stats; a
+    # runtime import would close that cycle
+    from repro.udf.udf import UDF
+
+#: Environment variable selecting the default backend for experiment
+#: drivers (``scale_from_env`` analogue for execution).
+BACKEND_ENV_VAR = "REPRO_EXEC_BACKEND"
+
+
+class ExecutionBackend(ABC):
+    """Executes query plans against one database.
+
+    The result-compat contract: :meth:`execute` returns an
+    :class:`~repro.sql.executor.ExecutionResult` whose relation keys
+    columns by qualified name, whose ``runtime`` is in seconds
+    (simulated or wall-clock), and whose ``true_cards`` contains at
+    least the root node's output cardinality. Backends that cannot
+    observe per-operator cardinalities report what they can; callers
+    needing full annotations use the simulator.
+    """
+
+    #: Registry name; subclasses override.
+    name: str = "abstract"
+
+    def __init__(self, database: Database):
+        self.database = database
+
+    @abstractmethod
+    def execute(self, root: PlanNode, noise_seed: int | None = None) -> ExecutionResult:
+        """Run the plan and return result rows, work counters, and a
+        runtime. ``noise_seed`` seeds measurement jitter on simulated
+        backends; real backends ignore it (their jitter is physical)."""
+
+    def evaluate_udf(self, udf: "UDF", rows: list[tuple]) -> list:
+        """Evaluate a scalar UDF on materialized rows (``None`` = NULL).
+
+        Used by the workload generator to calibrate UDF-filter literals
+        against output quantiles. The in-process interpreter is exact
+        for every backend — generated UDFs are pure Python either way —
+        so the default suffices; backends may override to route through
+        the engine itself.
+        """
+        values, _ = udf.evaluate_batch(rows)
+        return values
+
+    def close(self) -> None:
+        """Release engine resources (connections, temp files)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(database={self.database.name!r})"
+
+
+# ----------------------------------------------------------------------
+# registry
+#: name -> (factory, probe). The probe returns None when the backend can
+#: be constructed on this host, else a human-readable reason.
+_REGISTRY: dict[
+    str,
+    tuple[Callable[[Database], ExecutionBackend], Callable[[], str | None]],
+] = {}
+
+
+def register_backend(
+    name: str,
+    factory: Callable[[Database], ExecutionBackend],
+    probe: Callable[[], str | None] = lambda: None,
+) -> None:
+    """Register a backend factory under ``name`` (last wins)."""
+    _REGISTRY[name] = (factory, probe)
+
+
+def registered_backends() -> list[str]:
+    """All registered backend names, available or not."""
+    return sorted(_REGISTRY)
+
+
+def backend_available(name: str) -> bool:
+    """Whether ``create_backend(name, ...)`` would succeed here."""
+    entry = _REGISTRY.get(name)
+    return entry is not None and entry[1]() is None
+
+
+def available_backends() -> list[str]:
+    """Backend names that can actually be constructed on this host."""
+    return [name for name in registered_backends() if backend_available(name)]
+
+
+def create_backend(name: str, database: Database) -> ExecutionBackend:
+    """Construct a backend by registry name.
+
+    Raises :class:`BackendUnavailable` for unknown names and for
+    registered backends whose driver package is missing.
+    """
+    entry = _REGISTRY.get(name)
+    if entry is None:
+        raise BackendUnavailable(
+            f"unknown execution backend {name!r}; "
+            f"registered: {registered_backends()}"
+        )
+    factory, probe = entry
+    reason = probe()
+    if reason is not None:
+        raise BackendUnavailable(f"backend {name!r} is unavailable: {reason}")
+    return factory(database)
+
+
+def resolve_backend(
+    backend: "str | ExecutionBackend | None", database: Database
+) -> ExecutionBackend:
+    """Normalize the ``backend=`` argument refactored call sites accept.
+
+    ``None`` means the simulator (the historical hard-wired behaviour);
+    a string goes through the registry; an instance passes through —
+    after a guard that it is bound to the same database, because a
+    backend holds loaded tables and silently executing against a
+    different database's data would be a correctness bug.
+    """
+    if backend is None:
+        backend = "simulator"
+    if isinstance(backend, str):
+        return create_backend(backend, database)
+    if backend.database is not database:
+        raise BackendUnavailable(
+            f"backend {backend.name!r} is bound to database "
+            f"{backend.database.name!r}, not {database.name!r}; "
+            "create one per database"
+        )
+    return backend
+
+
+def default_backend_name() -> str:
+    """The backend experiment drivers use, from ``REPRO_EXEC_BACKEND``."""
+    return os.environ.get(BACKEND_ENV_VAR, "simulator")

@@ -1,0 +1,196 @@
+"""Real-engine execution: plans rendered to SQL and run on DuckDB.
+
+The backend exports the in-memory :mod:`repro.storage` tables into a
+DuckDB database, registers generated Python UDFs via
+``create_function``, renders each plan with
+:func:`repro.sql.render.plan_to_sql`, and measures wall-clock per
+query. NULL semantics line up by construction: DuckDB's default null
+handling skips the Python UDF on NULL inputs (NULL in → NULL out), and
+the registered wrapper converts runtime errors to NULL — both exactly
+what :meth:`UDF.evaluate_batch` does on the simulator.
+
+``duckdb`` itself is an optional extra (``pip install repro[duckdb]``);
+importing this module is always safe, constructing the backend without
+the driver raises :class:`~repro.exceptions.BackendUnavailable`.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import time
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.exceptions import BackendUnavailable, ExecutionError
+from repro.exec.backend import ExecutionBackend, register_backend
+from repro.sql.executor import ExecutionResult
+from repro.sql.plan import PlanNode, UDFFilter, UDFProject
+from repro.sql.relation import Relation
+from repro.sql.render import plan_to_sql, quote_ident
+from repro.storage.column import Column
+from repro.storage.database import Database
+from repro.storage.datatypes import DataType
+from repro.storage.table import Table
+
+if TYPE_CHECKING:  # pragma: no cover - see repro.exec.backend: importing
+    # the udf package at module scope would close an import cycle
+    from repro.udf.udf import UDF
+
+#: storage type -> DuckDB SQL type
+DUCKDB_TYPES: dict[DataType, str] = {
+    DataType.INT: "BIGINT",
+    DataType.FLOAT: "DOUBLE",
+    DataType.STRING: "VARCHAR",
+}
+
+#: rows per executemany chunk when loading tables
+_INSERT_CHUNK = 10_000
+
+
+def duckdb_missing_reason() -> str | None:
+    """None when the duckdb package is importable, else the fix."""
+    if importlib.util.find_spec("duckdb") is None:
+        return (
+            "the 'duckdb' package is not installed "
+            "(pip install repro[duckdb])"
+        )
+    return None
+
+
+def _require_duckdb():
+    reason = duckdb_missing_reason()
+    if reason is not None:
+        raise BackendUnavailable(f"backend 'duckdb' is unavailable: {reason}")
+    import duckdb
+
+    return duckdb
+
+
+class DuckDBBackend(ExecutionBackend):
+    """Executes plans on DuckDB with registered Python UDFs."""
+
+    name = "duckdb"
+
+    def __init__(self, database: Database, path: str = ":memory:"):
+        from repro.udf.trace import InvocationCounter  # deferred: cycle
+
+        duckdb = _require_duckdb()
+        super().__init__(database)
+        self._conn = duckdb.connect(path)
+        self._counter = InvocationCounter()
+        #: UDF name -> source registered under that name. Generated UDF
+        #: names are process-unique, but hand-built tests may reuse one;
+        #: re-registering a different body under a live name would
+        #: silently answer with the old function.
+        self._registered: dict[str, str] = {}
+        for table in database.tables.values():
+            self._load_table(table)
+
+    # ------------------------------------------------------------------
+    def _load_table(self, table: Table) -> None:
+        decls = ", ".join(
+            f"{quote_ident(col.name)} {DUCKDB_TYPES[col.dtype]}"
+            for col in table.columns
+        )
+        self._conn.execute(f"CREATE TABLE {quote_ident(table.name)} ({decls})")
+        if len(table) == 0 or not table.columns:
+            return
+        placeholders = ", ".join("?" for _ in table.columns)
+        insert = f"INSERT INTO {quote_ident(table.name)} VALUES ({placeholders})"
+        rows = [
+            tuple(col.python_value(i) for col in table.columns)
+            for i in range(len(table))
+        ]
+        for start in range(0, len(rows), _INSERT_CHUNK):
+            self._conn.executemany(insert, rows[start : start + _INSERT_CHUNK])
+
+    def _ensure_udf(self, udf: "UDF") -> None:
+        registered_source = self._registered.get(udf.name)
+        if registered_source == udf.source:
+            return
+        if registered_source is not None:
+            self._conn.remove_function(udf.name)
+        compiled = udf.compiled
+        function = compiled.function
+        n_blocks = compiled.n_blocks
+        counter = self._counter
+
+        def wrapper(*args):
+            counter.add()
+            local = [0] * n_blocks
+            try:
+                return function(local, *args)
+            except Exception:  # noqa: BLE001 - runtime errors yield NULL
+                return None
+
+        self._conn.create_function(
+            udf.name,
+            wrapper,
+            [DUCKDB_TYPES[t] for t in udf.arg_types],
+            DUCKDB_TYPES[udf.return_type],
+        )
+        self._registered[udf.name] = udf.source
+
+    # ------------------------------------------------------------------
+    def execute(self, root: PlanNode, noise_seed: int | None = None) -> ExecutionResult:
+        """Render, run, and time the plan. ``noise_seed`` is ignored —
+        wall-clock jitter here is physical, not simulated."""
+        sql = plan_to_sql(root, self.database)  # raises on UDFAggregate
+        for node in root.walk():
+            if isinstance(node, (UDFFilter, UDFProject)):
+                self._ensure_udf(node.udf)
+        invocations_before = self._counter.count
+        start = time.perf_counter()
+        try:
+            cursor = self._conn.execute(sql)
+            rows = cursor.fetchall()
+        except Exception as exc:
+            raise ExecutionError(f"duckdb failed on rendered SQL: {exc}\n{sql}") from exc
+        runtime = time.perf_counter() - start
+        names = [d[0] for d in cursor.description]
+        relation = _relation_from_rows(names, rows)
+        counters = self._counter.to_counters(since=invocations_before)
+        # A real engine only shows the final result set; per-operator
+        # cardinalities stay on the simulator.
+        true_cards = {root.node_id: len(rows)}
+        return ExecutionResult(relation, counters, runtime, true_cards)
+
+    def run_sql(self, sql: str) -> list[tuple]:
+        """Escape hatch for harnesses: run raw SQL, return all rows."""
+        return self._conn.execute(sql).fetchall()
+
+    def close(self) -> None:
+        self._conn.close()
+
+
+def _relation_from_rows(names: list[str], rows: list[tuple]) -> Relation:
+    """A :class:`Relation` from a fetched DuckDB result set."""
+    columns: dict[str, Column] = {}
+    for j, name in enumerate(names):
+        cell_values = [row[j] for row in rows]
+        valid = np.array([v is not None for v in cell_values], dtype=bool)
+        non_null = [v for v in cell_values if v is not None]
+        if non_null and all(isinstance(v, str) for v in non_null):
+            dtype = DataType.STRING
+            data = np.array(
+                [v if v is not None else "" for v in cell_values], dtype=object
+            )
+        elif non_null and all(isinstance(v, int) for v in non_null):
+            dtype = DataType.INT
+            data = np.array(
+                [v if v is not None else 0 for v in cell_values], dtype=np.int64
+            )
+        else:
+            dtype = DataType.FLOAT
+            data = np.array(
+                [float(v) if v is not None else 0.0 for v in cell_values],
+                dtype=np.float64,
+            )
+        columns[name] = Column(name, dtype, data, valid)
+    return Relation(columns)
+
+
+register_backend(
+    "duckdb", DuckDBBackend, probe=duckdb_missing_reason
+)

@@ -1,0 +1,282 @@
+"""TPC-DS-flavored star-schema generator for real-engine benchmarks.
+
+The twenty paper datasets (:mod:`repro.storage.generator`) have random
+shapes; this module generates one *recognizable* analytics schema — a
+``store_sales`` fact ringed by ``date_dim`` / ``item`` / ``customer`` /
+``store`` / ``promotion`` dimensions with TPC-DS column prefixes — so
+realbench workloads look like the multi-table analytics the paper
+targets. Unlike the random generator, columns are deliberately
+*correlated*:
+
+* fact measures derive from the joined item row (wholesale cost and
+  list price flow through the FK), so filter selectivities interact
+  across the join exactly where independence assumptions break;
+* the date FK is seasonal (monthly sine + yearly growth) and the item
+  and customer FKs are Zipf-skewed, giving joins realistic hot keys;
+* ``ss_net_profit`` is a noisy function of price minus cost — the kind
+  of derived column UDFs love to recompute.
+
+Everything is seeded and sized by :class:`StarSchemaConfig`;
+:func:`schema_config_from_scale` maps an
+:class:`~repro.eval.experiments.ExperimentScale` onto one (duck-typed,
+to keep this module import-light).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.storage.column import Column
+from repro.storage.database import Database, ForeignKey
+from repro.storage.datatypes import DataType
+from repro.storage.generator import _zipf_values, hash_name
+from repro.storage.table import Table
+
+_CATEGORIES = (
+    "Books", "Electronics", "Home", "Jewelry", "Music",
+    "Shoes", "Sports", "Children", "Men", "Women",
+)
+_MARKETS = ("primary", "secondary", "tertiary", "rural", "metro")
+_CREDIT_RATINGS = ("Low Risk", "Good", "High Risk", "Unknown")
+_QUARTERS = ("Q1", "Q2", "Q3", "Q4")
+_CHANNELS = ("email", "tv", "radio", "press", "event")
+
+
+@dataclass(frozen=True)
+class StarSchemaConfig:
+    """Size and shape knobs of one generated star schema."""
+
+    fact_rows: int = 20_000
+    date_rows: int = 1_095  # three years of days
+    item_rows: int = 1_000
+    customer_rows: int = 2_000
+    store_rows: int = 60
+    promotion_rows: int = 120
+    seed: int = 0
+    #: Zipf exponent of the item/customer FK fan-out (hot products).
+    zipf_a: float = 1.5
+    #: NULL fraction on nullable fact measures and the promotion FK.
+    null_fraction: float = 0.03
+    name: str = "tpcds_star"
+
+
+def schema_config_from_scale(scale) -> StarSchemaConfig:
+    """A :class:`StarSchemaConfig` sized like an ``ExperimentScale``.
+
+    Uses the scale's generator override (its ``scale`` multiplier) and
+    seed; any object with ``generator``/``seed`` attributes works.
+    """
+    generator = getattr(scale, "generator", None)
+    factor = float(getattr(generator, "scale", 1.0) or 1.0) if generator else 1.0
+    base = StarSchemaConfig()
+    return StarSchemaConfig(
+        fact_rows=max(1_000, int(base.fact_rows * factor)),
+        date_rows=max(90, int(base.date_rows * min(factor, 1.0))),
+        item_rows=max(100, int(base.item_rows * factor)),
+        customer_rows=max(100, int(base.customer_rows * factor)),
+        store_rows=max(10, int(base.store_rows * min(factor, 1.0))),
+        promotion_rows=max(20, int(base.promotion_rows * min(factor, 1.0))),
+        seed=int(getattr(scale, "seed", 0)),
+    )
+
+
+def _int_col(name: str, values, valid=None) -> Column:
+    return Column(name, DataType.INT, np.asarray(values, dtype=np.int64), valid)
+
+
+def _float_col(name: str, values, valid=None) -> Column:
+    return Column(name, DataType.FLOAT, np.asarray(values, dtype=np.float64), valid)
+
+
+def _str_col(name: str, values, valid=None) -> Column:
+    return Column(name, DataType.STRING, np.asarray(values, dtype=object), valid)
+
+
+def _rng(config: StarSchemaConfig, table: str) -> np.random.Generator:
+    return np.random.default_rng(hash_name(f"{config.name}/{config.seed}/{table}"))
+
+
+# ----------------------------------------------------------------------
+def _date_dim(config: StarSchemaConfig) -> Table:
+    n = config.date_rows
+    day = np.arange(n)
+    year = 1998 + day // 365
+    moy = (day % 365) // 31 + 1
+    dom = day % 28 + 1
+    quarter = [f"{y}{_QUARTERS[(m - 1) // 3]}" for y, m in zip(year, moy)]
+    return Table(
+        "date_dim",
+        [
+            _int_col("d_date_sk", day),
+            _int_col("d_year", year),
+            _int_col("d_moy", moy),
+            _int_col("d_dom", dom),
+            _str_col("d_quarter_name", quarter),
+        ],
+    )
+
+
+def _item(config: StarSchemaConfig) -> Table:
+    rng = _rng(config, "item")
+    n = config.item_rows
+    category_id = _zipf_values(rng, n, len(_CATEGORIES), 1.3)
+    category = [_CATEGORIES[i] for i in category_id]
+    # Brands nest inside categories (TPC-DS's i_brand ~ i_category
+    # hierarchy): knowing the brand pins the category.
+    brand_local = rng.integers(1, 6, size=n)
+    brand = [f"{_CATEGORIES[c][:4].lower()}brand#{b}" for c, b in zip(category_id, brand_local)]
+    # Price level is driven by a per-category latent factor, so price
+    # correlates with category; wholesale cost is a noisy 50-80% of it.
+    category_factor = np.exp(rng.normal(0.0, 0.5, size=len(_CATEGORIES)))
+    price = np.round(
+        np.exp(rng.normal(2.5, 0.6, size=n)) * category_factor[category_id], 2
+    )
+    wholesale = np.round(price * rng.uniform(0.5, 0.8, size=n), 2)
+    return Table(
+        "item",
+        [
+            _int_col("i_item_sk", np.arange(n)),
+            _str_col("i_category", category),
+            _str_col("i_brand", brand),
+            _float_col("i_current_price", price),
+            _float_col("i_wholesale_cost", wholesale),
+        ],
+    )
+
+
+def _customer(config: StarSchemaConfig) -> Table:
+    rng = _rng(config, "customer")
+    n = config.customer_rows
+    birth_year = rng.integers(1930, 2005, size=n)
+    preferred = np.where(rng.random(n) < 0.35, "Y", "N")
+    # Credit rating skews with age: older customers rate "Good" more
+    # often — a cross-column correlation for the estimators to miss.
+    old = birth_year < 1970
+    rating_idx = np.where(
+        old, _zipf_values(rng, n, 4, 2.2), _zipf_values(rng, n, 4, 1.1)
+    )
+    rating = [_CREDIT_RATINGS[i] for i in rating_idx]
+    return Table(
+        "customer",
+        [
+            _int_col("c_customer_sk", np.arange(n)),
+            _int_col("c_birth_year", birth_year),
+            _str_col("c_preferred_cust_flag", preferred),
+            _str_col("c_credit_rating", rating),
+        ],
+    )
+
+
+def _store(config: StarSchemaConfig) -> Table:
+    rng = _rng(config, "store")
+    n = config.store_rows
+    employees = rng.integers(50, 300, size=n)
+    floor_space = employees * rng.integers(40, 80, size=n)
+    market = [_MARKETS[i] for i in _zipf_values(rng, n, len(_MARKETS), 1.2)]
+    return Table(
+        "store",
+        [
+            _int_col("s_store_sk", np.arange(n)),
+            _int_col("s_number_employees", employees),
+            _int_col("s_floor_space", floor_space),
+            _str_col("s_market_desc", market),
+        ],
+    )
+
+
+def _promotion(config: StarSchemaConfig) -> Table:
+    rng = _rng(config, "promotion")
+    n = config.promotion_rows
+    channel = [_CHANNELS[i] for i in _zipf_values(rng, n, len(_CHANNELS), 1.4)]
+    cost = np.round(np.exp(rng.normal(6.0, 1.0, size=n)), 2)
+    target = rng.integers(100, 100_000, size=n)
+    return Table(
+        "promotion",
+        [
+            _int_col("p_promo_sk", np.arange(n)),
+            _str_col("p_channel", channel),
+            _float_col("p_cost", cost),
+            _int_col("p_response_target", target),
+        ],
+    )
+
+
+def _seasonal_date_fks(
+    rng: np.random.Generator, n: int, date_rows: int
+) -> np.ndarray:
+    """Date FKs with monthly seasonality and year-over-year growth."""
+    day = np.arange(date_rows, dtype=np.float64)
+    season = 1.0 + 0.45 * np.sin(2.0 * np.pi * (day % 365) / 365.0)
+    growth = 1.0 + 0.25 * (day / max(date_rows - 1, 1))
+    weights = season * growth
+    weights /= weights.sum()
+    return rng.choice(date_rows, size=n, p=weights)
+
+
+def _store_sales(config: StarSchemaConfig, item: Table) -> Table:
+    rng = _rng(config, "store_sales")
+    n = config.fact_rows
+    date_fk = _seasonal_date_fks(rng, n, config.date_rows)
+    item_fk = _zipf_values(rng, n, config.item_rows, config.zipf_a)
+    customer_fk = _zipf_values(rng, n, config.customer_rows, config.zipf_a)
+    store_fk = _zipf_values(rng, n, config.store_rows, 1.15)
+    promo_fk = _zipf_values(rng, n, config.promotion_rows, 1.3)
+    promo_valid = rng.random(n) >= config.null_fraction
+
+    quantity = rng.integers(1, 101, size=n)
+    item_price = item.column("i_current_price").values[item_fk]
+    item_cost = item.column("i_wholesale_cost").values[item_fk]
+    list_price = np.round(item_price * rng.uniform(0.95, 1.1, size=n), 2)
+    # Promoted sales discount deeper — sales price correlates with the
+    # promotion FK's validity, a join-dependent correlation.
+    discount = np.where(
+        promo_valid, rng.uniform(0.05, 0.45, size=n), rng.uniform(0.0, 0.15, size=n)
+    )
+    sales_price = np.round(list_price * (1.0 - discount), 2)
+    wholesale_cost = np.round(item_cost * rng.uniform(0.98, 1.02, size=n), 2)
+    net_profit = np.round(
+        (sales_price - wholesale_cost) * quantity + rng.normal(0.0, 2.0, size=n), 2
+    )
+    coupon_valid = rng.random(n) >= config.null_fraction
+    coupon = np.round(np.abs(rng.normal(3.0, 4.0, size=n)), 2)
+    return Table(
+        "store_sales",
+        [
+            _int_col("ss_id", np.arange(n)),
+            _int_col("ss_sold_date_sk", date_fk),
+            _int_col("ss_item_sk", item_fk),
+            _int_col("ss_customer_sk", customer_fk),
+            _int_col("ss_store_sk", store_fk),
+            _int_col("ss_promo_sk", promo_fk, promo_valid),
+            _int_col("ss_quantity", quantity),
+            _float_col("ss_wholesale_cost", wholesale_cost),
+            _float_col("ss_list_price", list_price),
+            _float_col("ss_sales_price", sales_price),
+            _float_col("ss_net_profit", net_profit),
+            _float_col("ss_coupon_amt", coupon, coupon_valid),
+        ],
+    )
+
+
+def generate_star_database(config: StarSchemaConfig | None = None) -> Database:
+    """Generate the star schema as a :class:`Database` with FK edges."""
+    config = config or StarSchemaConfig()
+    item = _item(config)
+    tables = [
+        _store_sales(config, item),
+        _date_dim(config),
+        item,
+        _customer(config),
+        _store(config),
+        _promotion(config),
+    ]
+    fks = [
+        ForeignKey("store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk"),
+        ForeignKey("store_sales", "ss_item_sk", "item", "i_item_sk"),
+        ForeignKey("store_sales", "ss_customer_sk", "customer", "c_customer_sk"),
+        ForeignKey("store_sales", "ss_store_sk", "store", "s_store_sk"),
+        ForeignKey("store_sales", "ss_promo_sk", "promotion", "p_promo_sk"),
+    ]
+    return Database(config.name, tables, fks)

@@ -1,0 +1,30 @@
+"""The calibrated toy engine behind the backend seam.
+
+A pure refactor of direct :class:`~repro.sql.executor.Executor` use:
+identical relations, counters, runtimes, and ``true_card`` annotations
+(the executor still writes them onto the plan nodes), so resultstore
+fingerprints and every cached benchmark stay valid.
+"""
+
+from __future__ import annotations
+
+from repro.exec.backend import ExecutionBackend, register_backend
+from repro.sql.executor import ExecutionResult, Executor
+from repro.sql.plan import PlanNode
+from repro.storage.database import Database
+
+
+class SimulatorBackend(ExecutionBackend):
+    """Runs plans on the in-repo vectorized executor + cost model."""
+
+    name = "simulator"
+
+    def __init__(self, database: Database):
+        super().__init__(database)
+        self._executor = Executor(database)
+
+    def execute(self, root: PlanNode, noise_seed: int | None = None) -> ExecutionResult:
+        return self._executor.execute(root, noise_seed=noise_seed)
+
+
+register_backend("simulator", SimulatorBackend)

@@ -52,13 +52,22 @@ def observe_benchmark(
     drift_factor: float = 1.0,
     use_true_selectivity: bool = True,
     max_queries: int | None = None,
+    backend: str = "simulator",
+    runtimes: dict[tuple[int, str], float] | None = None,
 ) -> list[FeedbackRecord]:
     """Serve placement decisions and feed observed runtimes back.
 
     For every advisable benchmark entry: ask ``service`` for a placement,
-    look up the simulated runtime of the chosen placement, and report it
-    through :meth:`AdvisorService.record_runtime` (scaled by
-    ``drift_factor``). Returns the appended feedback records.
+    look up the runtime of the chosen placement, and report it through
+    :meth:`AdvisorService.record_runtime` (scaled by ``drift_factor``).
+    Returns the appended feedback records.
+
+    By default the observed runtime is the benchmark's stored (simulated)
+    one. For real-engine observations, pass ``backend`` (recorded in each
+    feedback record's metadata) and ``runtimes`` mapping
+    ``(query_id, placement.value)`` to measured wall-clock seconds — the
+    realbench driver fills it from DuckDB executions. Entries whose
+    chosen placement has no measured runtime fall back to the stored one.
     """
     if service.feedback is None:
         raise FeedbackError("service has no feedback log attached")
@@ -67,17 +76,24 @@ def observe_benchmark(
         entries = entries[:max_queries]
     if not entries:
         raise FeedbackError(f"benchmark {bench.name!r} has no advisable queries")
+    metadata = {"backend": backend} if backend != "simulator" else None
     records: list[FeedbackRecord] = []
     for _ in range(repeats):
         for entry in entries:
             decision = service.suggest_placement(entry.query)
             run = entry.runs[decision.placement]
+            observed = run.runtime
+            if runtimes is not None:
+                observed = runtimes.get(
+                    (entry.query.query_id, decision.placement.value), observed
+                )
             selectivity = true_udf_selectivity(run) if use_true_selectivity else None
             records.append(
                 service.record_runtime(
                     decision.decision_id,
-                    run.runtime * drift_factor,
+                    observed * drift_factor,
                     true_selectivity=selectivity,
+                    metadata=metadata,
                 )
             )
     return records

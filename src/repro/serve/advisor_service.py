@@ -275,6 +275,7 @@ class AdvisorService:
         decision_id: str,
         observed: float,
         true_selectivity: float | None = None,
+        metadata: dict | None = None,
     ) -> FeedbackRecord:
         """Pair an observed runtime with its served decision.
 
@@ -283,6 +284,11 @@ class AdvisorService:
         the reported true selectivity when the caller knows it, at the
         grid midpoint otherwise — so the retrainer trains on exactly
         what serving predicted.
+
+        ``metadata`` entries are merged into the record's metadata
+        (callers tag provenance, e.g. ``{"backend": "duckdb"}`` for
+        real-engine observations); reserved keys (``decision_id``,
+        ``true_selectivity``) cannot be overridden.
         """
         if self.feedback is None:
             raise ServingError("no feedback log attached to this service")
@@ -302,9 +308,10 @@ class AdvisorService:
             index = int(np.argmin(np.abs(pending.levels - float(true_selectivity))))
         else:
             index = len(pending.graphs) // 2
-        metadata = {"decision_id": decision_id}
+        record_metadata = dict(metadata) if metadata else {}
+        record_metadata["decision_id"] = decision_id
         if true_selectivity is not None:
-            metadata["true_selectivity"] = float(true_selectivity)
+            record_metadata["true_selectivity"] = float(true_selectivity)
         record = FeedbackRecord(
             predicted=float(pending.costs[index]),
             observed=observed,
@@ -312,7 +319,7 @@ class AdvisorService:
             segment=pending.segment,
             client=pending.client,
             graph=pending.graphs[index],
-            metadata=metadata,
+            metadata=record_metadata,
         )
         self.feedback.append(record)
         return record

@@ -1,34 +1,101 @@
-"""Render declarative queries and plans as SQL text.
+"""Render declarative queries and plans as executable SQL text.
 
-Purely presentational: the executor works on plan trees, but examples,
-logs, and papers talk SQL. The rendered dialect matches the paper's
-figures (DuckDB-flavored, with the UDF called inline).
+Historically this module was presentational — examples, logs, and papers
+talk SQL while the executor works on plan trees. With the pluggable
+execution backends (:mod:`repro.exec`) the rendered text must now
+*round-trip*: :func:`plan_to_sql` produces SQL that DuckDB executes with
+the same semantics as the simulator, so literal rendering is exact
+(``repr`` floats, escaped ``LIKE`` metacharacters) and every operator
+renders as a nested subquery that preserves the plan's shape, including
+the UDF placement the advisor decided on.
+
+Naming contract: intermediate columns are aliased to their *qualified*
+name (``"table.column"``, a quoted identifier) — exactly the keys a
+:class:`~repro.sql.relation.Relation` uses — so results read back from a
+real engine are column-compatible with simulator results.
 """
 
 from __future__ import annotations
 
-from repro.sql.expressions import CompareOp
-from repro.sql.plan import AggFunc
+import math
+
+from repro.exceptions import PlanError
+from repro.sql.expressions import CompareOp, Conjunction
+from repro.sql.plan import (
+    Aggregate,
+    AggFunc,
+    Filter,
+    HashJoin,
+    PlanNode,
+    Project,
+    Scan,
+    UDFAggregate,
+    UDFFilter,
+    UDFProject,
+)
 from repro.sql.query import Query, UDFRole
+
+#: Characters with meaning inside a ``LIKE`` pattern. The simulator's
+#: LIKE is a literal prefix match, so when rendering to SQL the prefix
+#: must be escaped — a ``%`` or ``_`` inside the literal would silently
+#: widen the match on a real engine.
+_LIKE_ESCAPE = "\\"
+
+
+def quote_ident(name: str) -> str:
+    """A double-quoted SQL identifier (embedded quotes doubled)."""
+    return '"' + name.replace('"', '""') + '"'
 
 
 def _literal_sql(value: object) -> str:
+    """Render a Python literal exactly.
+
+    Floats use ``repr`` (shortest round-trip form — ``%g`` truncates to
+    six significant digits and changes comparison results); non-finite
+    floats render as explicit casts so the text stays parseable.
+    """
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
     if isinstance(value, str):
         escaped = value.replace("'", "''")
         return f"'{escaped}'"
     if isinstance(value, float):
-        return f"{value:g}"
+        if math.isnan(value):
+            return "CAST('NaN' AS DOUBLE)"
+        if math.isinf(value):
+            sign = "-" if value < 0 else ""
+            return f"CAST('{sign}Infinity' AS DOUBLE)"
+        return repr(value)
     return str(value)
+
+
+def like_pattern(prefix: str) -> str:
+    """The SQL ``LIKE`` pattern matching strings that start with
+    ``prefix`` literally: metacharacters escaped, trailing ``%``."""
+    escaped = (
+        prefix.replace(_LIKE_ESCAPE, _LIKE_ESCAPE + _LIKE_ESCAPE)
+        .replace("%", _LIKE_ESCAPE + "%")
+        .replace("_", _LIKE_ESCAPE + "_")
+    )
+    return escaped + "%"
 
 
 def _predicate_sql(column: str, op: CompareOp, literal: object) -> str:
     if op is CompareOp.LIKE:
-        return f"{column} LIKE {_literal_sql(str(literal) + '%')}"
+        pattern = _literal_sql(like_pattern(str(literal)))
+        # SQL quoted literals don't backslash-escape: one backslash char
+        # is the (required, length-1) escape character.
+        return f"{column} LIKE {pattern} ESCAPE '{_LIKE_ESCAPE}'"
     return f"{column} {op.value} {_literal_sql(literal)}"
 
 
 def query_to_sql(query: Query) -> str:
-    """The SQL text of a :class:`~repro.sql.query.Query`."""
+    """The SQL text of a :class:`~repro.sql.query.Query`.
+
+    This is the *declarative* rendering (flat FROM list + WHERE
+    conjunction) — the engine's optimizer picks the plan, including the
+    UDF placement. Use :func:`plan_to_sql` to pin a placement.
+    """
     udf = query.udf
     select = "COUNT(*)"
     if query.agg is not None and query.agg.func is not AggFunc.COUNT:
@@ -52,3 +119,126 @@ def query_to_sql(query: Query) -> str:
     if conditions:
         lines.append("WHERE " + "\n  AND ".join(conditions))
     return "\n".join(lines) + ";"
+
+
+# ----------------------------------------------------------------------
+# plan -> SQL (structural rendering for execution backends)
+class _PlanRenderer:
+    """Renders a plan tree bottom-up as nested subqueries.
+
+    Every subquery exposes columns under their qualified-name aliases,
+    so parent operators reference ``"table.column"`` regardless of
+    nesting depth. Each derived table gets a unique alias (required by
+    SQL, unused by references).
+    """
+
+    def __init__(self, database) -> None:
+        self.database = database
+        self._alias = 0
+
+    def _next_alias(self, prefix: str) -> str:
+        self._alias += 1
+        return f"{prefix}{self._alias}"
+
+    def render(self, node: PlanNode) -> str:
+        if isinstance(node, Scan):
+            return self._scan(node)
+        if isinstance(node, Filter):
+            return self._filter(node)
+        if isinstance(node, HashJoin):
+            return self._join(node)
+        if isinstance(node, UDFFilter):
+            return self._udf_filter(node)
+        if isinstance(node, UDFProject):
+            return self._udf_project(node)
+        if isinstance(node, UDFAggregate):
+            raise PlanError(
+                "UDFAggregate cannot be rendered to SQL: aggregate UDFs "
+                "consume whole columns and exist only on the simulator "
+                "backend (see DESIGN.md §13)"
+            )
+        if isinstance(node, Aggregate):
+            return self._aggregate(node)
+        if isinstance(node, Project):
+            return self._project(node)
+        raise PlanError(f"cannot render plan node {type(node).__name__}")
+
+    def _scan(self, node: Scan) -> str:
+        table = self.database.table(node.table)
+        cols = ", ".join(
+            f"{quote_ident(c)} AS {quote_ident(f'{node.table}.{c}')}"
+            for c in table.column_names
+        )
+        return f"SELECT {cols} FROM {quote_ident(node.table)}"
+
+    def _subquery(self, node: PlanNode, prefix: str) -> str:
+        return f"({self.render(node)}) AS {self._next_alias(prefix)}"
+
+    def _filter(self, node: Filter) -> str:
+        conds = _conjunction_sql(node.predicate)
+        return f"SELECT * FROM {self._subquery(node.child, 'f')} WHERE {conds}"
+
+    def _join(self, node: HashJoin) -> str:
+        left = self._subquery(node.left, "jl")
+        right = self._subquery(node.right, "jr")
+        on = (
+            f"{quote_ident(node.left_key.qualified)} = "
+            f"{quote_ident(node.right_key.qualified)}"
+        )
+        return f"SELECT * FROM {left} INNER JOIN {right} ON {on}"
+
+    def _udf_call(self, node) -> str:
+        args = ", ".join(quote_ident(ref.qualified) for ref in node.input_columns)
+        return f"{node.udf.name}({args})"
+
+    def _udf_filter(self, node: UDFFilter) -> str:
+        pred = _predicate_sql(self._udf_call(node), node.op, node.literal)
+        return f"SELECT * FROM {self._subquery(node.child, 'u')} WHERE {pred}"
+
+    def _udf_project(self, node: UDFProject) -> str:
+        call = self._udf_call(node)
+        alias = quote_ident(node.output_name)
+        return (
+            f"SELECT *, {call} AS {alias} "
+            f"FROM {self._subquery(node.child, 'p')}"
+        )
+
+    def _aggregate(self, node: Aggregate) -> str:
+        if node.func is AggFunc.COUNT:
+            target = "*"
+        elif node.column is None:
+            raise PlanError(f"{node.func.value} requires a column")
+        else:
+            target = quote_ident(node.column.qualified)
+        call = f"{node.func.value.upper()}({target}) AS {quote_ident('agg')}"
+        child = self._subquery(node.child, "a")
+        if node.group_by is None:
+            return f"SELECT {call} FROM {child}"
+        key = quote_ident(node.group_by.qualified)
+        return (
+            f"SELECT {key} AS {quote_ident('group')}, {call} "
+            f"FROM {child} GROUP BY {key}"
+        )
+
+    def _project(self, node: Project) -> str:
+        cols = ", ".join(quote_ident(c) for c in node.columns)
+        return f"SELECT {cols} FROM {self._subquery(node.child, 's')}"
+
+
+def _conjunction_sql(predicate: Conjunction) -> str:
+    return " AND ".join(
+        _predicate_sql(quote_ident(p.column.qualified), p.op, p.literal)
+        for p in predicate.predicates
+    )
+
+
+def plan_to_sql(root: PlanNode, database) -> str:
+    """Executable SQL for a plan tree, preserving its structure.
+
+    The UDF placement is pinned *syntactically* (the UDF predicate sits
+    in the subquery level matching its plan position). A real engine's
+    optimizer may still flatten subqueries; for the workloads this repo
+    generates, DuckDB evaluates opaque Python UDF predicates where they
+    are written.
+    """
+    return _PlanRenderer(database).render(root) + ";"

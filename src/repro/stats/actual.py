@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.sql.executor import Executor
+from repro.exec.simulator import SimulatorBackend
 from repro.stats.base import CardinalityEstimator, QueryFragment
 from repro.stats.fragments import fragment_to_plan
 from repro.storage.database import Database
@@ -12,16 +12,18 @@ class ActualCardinalityEstimator(CardinalityEstimator):
     """Executes fragments against the database — the paper's "Actual" rows.
 
     This is the upper baseline of Table III and the oracle used to isolate
-    model error from estimation error (Exp 2/4).
+    model error from estimation error (Exp 2/4). Fragments run on the
+    simulator backend regardless of where benchmark queries execute:
+    ground-truth counting needs per-node cardinalities, not wall-clock.
     """
 
     name = "actual"
 
     def __init__(self, database: Database):
         super().__init__(database)
-        self._executor = Executor(database)
+        self._backend = SimulatorBackend(database)
 
     def _estimate(self, fragment: QueryFragment) -> float:
         plan = fragment_to_plan(fragment)
-        result = self._executor.execute(plan)
+        result = self._backend.execute(plan)
         return float(result.relation.num_rows)

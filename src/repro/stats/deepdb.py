@@ -17,7 +17,7 @@ uniform samples and scaled by the inverse sampling fractions.
 
 from __future__ import annotations
 
-from repro.sql.executor import Executor
+from repro.exec.simulator import SimulatorBackend
 from repro.stats.base import CardinalityEstimator, QueryFragment
 from repro.stats.catalog import StatisticsCatalog
 from repro.stats.fragments import fragment_to_plan
@@ -48,7 +48,7 @@ class DeepDBEstimator(CardinalityEstimator):
     def _estimate(self, fragment: QueryFragment) -> float:
         sampled = self._ensure_sampled()
         plan = fragment_to_plan(fragment)
-        count = float(Executor(sampled).execute(plan).relation.num_rows)
+        count = float(SimulatorBackend(sampled).execute(plan).relation.num_rows)
         scale = 1.0
         for table in fragment.tables:
             scale /= self._scale[table]

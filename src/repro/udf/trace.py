@@ -1,7 +1,19 @@
-"""Cost traces: per-operation work performed by UDF executions."""
+"""Cost traces: per-operation work performed by UDF executions.
+
+Two tracing modes live here:
+
+* :class:`CostTrace` — the simulator's per-operation ledger, produced by
+  the instrumented interpreter (:mod:`repro.udf.compilation`);
+* :class:`InvocationCounter` — the minimal trace a *real* engine can
+  produce. When a UDF runs inside DuckDB (:mod:`repro.exec`), per-block
+  instrumentation is invisible to us, but the registered Python wrapper
+  still observes every call; the counter turns that into the same
+  ``udf_invocation`` work-counter key the simulator charges.
+"""
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.sql.costmodel import WorkCounters
@@ -47,3 +59,34 @@ class CostTrace:
 
     def total_ops(self) -> float:
         return sum(self.counts.values())
+
+
+class InvocationCounter:
+    """Thread-safe tally of UDF invocations on a real-engine backend.
+
+    Engines may evaluate registered Python UDFs from multiple threads;
+    the wrapper increments under a lock and the backend reads
+    :attr:`count` before/after a query to attribute invocations to it.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def add(self, n: int = 1) -> None:
+        with self._lock:
+            self._count += n
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def to_counters(self, since: int = 0) -> WorkCounters:
+        """Invocations observed since a prior :attr:`count` snapshot, as
+        executor work counters (the ``udf_invocation`` key)."""
+        counters = WorkCounters()
+        delta = self.count - since
+        if delta > 0:
+            counters.add("udf_invocation", float(delta))
+        return counters

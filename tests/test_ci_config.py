@@ -79,7 +79,8 @@ def test_lint_format_scope_covers_grown_trees(workflow):
     """The formatter's coverage must grow with the subsystems it guards:
     serving (PR 3), the feedback tree and every script (PR 4), the model
     layer behind the serving fast path (PR 5), the resilience layer and
-    its chaos suite (PR 6)."""
+    its chaos suite (PR 6), the execution backends and their test suites
+    (PR 7)."""
     runs = job_run_lines(workflow["jobs"]["lint"])
     format_step = next(
         (
@@ -96,9 +97,13 @@ def test_lint_format_scope_covers_grown_trees(workflow):
         "src/repro/serve",
         "src/repro/model",
         "src/repro/feedback",
+        "src/repro/exec",
         "scripts",
         "tests/test_resilience.py",
+        "tests/test_exec_backend.py",
+        "tests/test_sql_render.py",
         "benchmarks/test_perf_chaos.py",
+        "benchmarks/test_perf_realbench.py",
     ):
         assert target in scope, f"ruff format scope lost {target}"
         assert (ROOT / target).exists()
@@ -119,6 +124,19 @@ def test_bench_smoke_records_perf_artifacts(workflow):
     assert "bench_history.jsonl" in uploads[0]["with"]["path"], (
         "bench-smoke must upload the perf-trajectory history artifact"
     )
+
+
+def test_bench_smoke_installs_duckdb_extra(workflow):
+    """The realbench suite needs the real engine: bench-smoke must
+    install the [duckdb] extra (tier-1 deliberately does not, so the
+    importorskip/BackendUnavailable degradation path stays exercised),
+    and setup.py must keep declaring it."""
+    runs = job_run_lines(workflow["jobs"]["bench-smoke"])
+    assert '[duckdb]' in runs
+    tier1_runs = job_run_lines(workflow["jobs"]["tier1"])
+    assert "[duckdb]" not in tier1_runs
+    setup = (ROOT / "setup.py").read_text()
+    assert "extras_require" in setup and '"duckdb"' in setup
 
 
 def test_bench_compare_appends_perf_history():

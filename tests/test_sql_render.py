@@ -1,0 +1,394 @@
+"""Golden-SQL tests for the round-trippable renderer (DESIGN.md §13).
+
+Every plan operator and both UDF roles render to pinned SQL text, and
+the escaping rules that make the text *executable* (not just readable)
+are pinned individually: ``repr`` floats (no ``%g`` precision loss),
+LIKE metacharacter escaping with a single-character ESCAPE, doubled
+quotes, NaN/Infinity casts. When the optional drivers are installed the
+same strings are parsed with sqlglot and executed on DuckDB, comparing
+row counts against the simulator.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import PlanError
+from repro.sql.expressions import ColumnRef, CompareOp, Conjunction, Predicate
+from repro.sql.plan import (
+    Aggregate,
+    AggFunc,
+    Filter,
+    HashJoin,
+    Project,
+    Scan,
+    UDFAggregate,
+    UDFFilter,
+    UDFProject,
+)
+from repro.sql.query import AggSpec, FilterSpec, JoinSpec, Query, UDFRole, UDFSpec
+from repro.sql.render import (
+    _literal_sql,
+    like_pattern,
+    plan_to_sql,
+    query_to_sql,
+    quote_ident,
+)
+from repro.storage.datatypes import DataType
+from repro.udf.udf import UDF
+
+_ORDERS_SCAN = (
+    'SELECT "id" AS "orders.id", "customer_id" AS "orders.customer_id", '
+    '"amount" AS "orders.amount", "status" AS "orders.status" FROM "orders"'
+)
+_CUSTOMERS_SCAN = (
+    'SELECT "id" AS "customers.id", "region" AS "customers.region", '
+    '"score" AS "customers.score" FROM "customers"'
+)
+
+
+@pytest.fixture()
+def udf_double() -> UDF:
+    return UDF(
+        name="udf_double",
+        source="def udf_double(x):\n    return x * 2.0\n",
+        arg_types=(DataType.FLOAT,),
+    )
+
+
+def orders_scan() -> Scan:
+    return Scan(table="orders")
+
+
+# ======================================================================
+# literal / identifier escaping
+class TestEscaping:
+    def test_quote_ident_doubles_embedded_quotes(self):
+        assert quote_ident("plain") == '"plain"'
+        assert quote_ident('we"ird') == '"we""ird"'
+
+    def test_float_literals_round_trip_exactly(self):
+        # %g would truncate to six significant digits and change
+        # comparison results; repr is the shortest exact form
+        for value in (448.2008608820295, 0.1, 1234567.015625, -2e-9):
+            rendered = _literal_sql(value)
+            assert float(rendered) == value
+        assert _literal_sql(448.2008608820295) == "448.2008608820295"
+
+    def test_non_finite_floats_render_as_casts(self):
+        assert _literal_sql(float("nan")) == "CAST('NaN' AS DOUBLE)"
+        assert _literal_sql(float("inf")) == "CAST('Infinity' AS DOUBLE)"
+        assert _literal_sql(float("-inf")) == "CAST('-Infinity' AS DOUBLE)"
+
+    def test_string_bool_int_literals(self):
+        assert _literal_sql("it's") == "'it''s'"
+        assert _literal_sql(True) == "TRUE"
+        assert _literal_sql(False) == "FALSE"
+        assert _literal_sql(42) == "42"
+
+    def test_like_pattern_escapes_metacharacters(self):
+        # a % or _ inside the literal must not widen the match
+        assert like_pattern("abc") == "abc%"
+        assert like_pattern("50%_o\\x") == "50\\%\\_o\\\\x%"
+
+    def test_like_predicate_uses_single_char_escape(self, handmade_db):
+        flt = Filter(
+            child=orders_scan(),
+            predicate=Conjunction(
+                (Predicate(ColumnRef("orders", "status"), CompareOp.LIKE, "50%_o"),)
+            ),
+        )
+        sql = plan_to_sql(flt, handmade_db)
+        # engines require a length-1 ESCAPE character; quoted SQL
+        # literals don't backslash-escape, so one backslash it is
+        assert "LIKE '50\\%\\_o%' ESCAPE '\\'" in sql
+
+
+# ======================================================================
+# plan operators -> golden SQL
+class TestPlanGoldens:
+    """Exact rendered text per operator; columns surface under their
+    qualified-name aliases (the Relation key contract)."""
+
+    @pytest.fixture()
+    def db(self, handmade_db):
+        return handmade_db
+
+    def test_scan(self, db):
+        assert plan_to_sql(Scan(table="customers"), db) == _CUSTOMERS_SCAN + ";"
+
+    def test_filter_conjunction(self, db):
+        flt = Filter(
+            child=orders_scan(),
+            predicate=Conjunction(
+                (
+                    Predicate(ColumnRef("orders", "amount"), CompareOp.GEQ, 30.0),
+                    Predicate(ColumnRef("orders", "status"), CompareOp.EQ, "open"),
+                )
+            ),
+        )
+        assert plan_to_sql(flt, db) == (
+            f"SELECT * FROM ({_ORDERS_SCAN}) AS f1 "
+            "WHERE \"orders.amount\" >= 30.0 AND \"orders.status\" = 'open';"
+        )
+
+    def test_hash_join(self, db):
+        join = HashJoin(
+            left=orders_scan(),
+            right=Scan(table="customers"),
+            left_key=ColumnRef("orders", "customer_id"),
+            right_key=ColumnRef("customers", "id"),
+        )
+        assert plan_to_sql(join, db) == (
+            f"SELECT * FROM ({_ORDERS_SCAN}) AS jl1 "
+            f"INNER JOIN ({_CUSTOMERS_SCAN}) AS jr2 "
+            'ON "orders.customer_id" = "customers.id";'
+        )
+
+    def test_udf_filter(self, db, udf_double):
+        node = UDFFilter(
+            child=orders_scan(),
+            udf=udf_double,
+            input_columns=(ColumnRef("orders", "amount"),),
+            op=CompareOp.LEQ,
+            literal=80.5,
+        )
+        assert plan_to_sql(node, db) == (
+            f"SELECT * FROM ({_ORDERS_SCAN}) AS u1 "
+            'WHERE udf_double("orders.amount") <= 80.5;'
+        )
+
+    def test_udf_project(self, db, udf_double):
+        node = UDFProject(
+            child=orders_scan(),
+            udf=udf_double,
+            input_columns=(ColumnRef("orders", "amount"),),
+            output_name="udf_out",
+        )
+        assert plan_to_sql(node, db) == (
+            'SELECT *, udf_double("orders.amount") AS "udf_out" '
+            f"FROM ({_ORDERS_SCAN}) AS p1;"
+        )
+
+    def test_aggregate_count_star(self, db):
+        agg = Aggregate(child=orders_scan(), func=AggFunc.COUNT)
+        assert plan_to_sql(agg, db) == (
+            f'SELECT COUNT(*) AS "agg" FROM ({_ORDERS_SCAN}) AS a1;'
+        )
+
+    def test_aggregate_grouped_sum(self, db):
+        agg = Aggregate(
+            child=orders_scan(),
+            func=AggFunc.SUM,
+            column=ColumnRef("orders", "amount"),
+            group_by=ColumnRef("orders", "status"),
+        )
+        assert plan_to_sql(agg, db) == (
+            'SELECT "orders.status" AS "group", SUM("orders.amount") AS "agg" '
+            f"FROM ({_ORDERS_SCAN}) AS a1 "
+            'GROUP BY "orders.status";'
+        )
+
+    def test_aggregate_without_column_rejected(self, db):
+        agg = Aggregate(child=orders_scan(), func=AggFunc.SUM)
+        with pytest.raises(PlanError, match="requires a column"):
+            plan_to_sql(agg, db)
+
+    def test_project(self, db):
+        node = Project(child=orders_scan(), columns=("orders.id", "orders.amount"))
+        assert plan_to_sql(node, db) == (
+            f'SELECT "orders.id", "orders.amount" FROM ({_ORDERS_SCAN}) AS s1;'
+        )
+
+    def test_udf_aggregate_is_simulator_only(self, db, udf_double):
+        node = UDFAggregate(
+            child=orders_scan(),
+            udf=udf_double,
+            input_columns=(ColumnRef("orders", "amount"),),
+        )
+        with pytest.raises(PlanError, match="UDFAggregate"):
+            plan_to_sql(node, db)
+
+    def test_nested_plan_aliases_are_unique(self, db, udf_double):
+        import re
+
+        node = Aggregate(
+            child=UDFFilter(
+                child=Filter(
+                    child=HashJoin(
+                        left=orders_scan(),
+                        right=Scan(table="customers"),
+                        left_key=ColumnRef("orders", "customer_id"),
+                        right_key=ColumnRef("customers", "id"),
+                    ),
+                    predicate=Conjunction(
+                        (Predicate(ColumnRef("orders", "amount"), CompareOp.GT, 0.0),)
+                    ),
+                ),
+                udf=udf_double,
+                input_columns=(ColumnRef("orders", "amount"),),
+                op=CompareOp.GEQ,
+                literal=0.0,
+            ),
+            func=AggFunc.COUNT,
+        )
+        sql = plan_to_sql(node, db)
+        aliases = re.findall(r"AS ([a-z]+[0-9]+)", sql)
+        assert len(aliases) == 5  # jl, jr, f, u, a
+        assert len(set(aliases)) == len(aliases)
+
+
+# ======================================================================
+# declarative query rendering (both UDF roles)
+class TestQueryGoldens:
+    def test_filter_role_query(self, udf_double):
+        query = Query(
+            dataset="shop",
+            tables=("orders", "customers"),
+            joins=(
+                JoinSpec(
+                    ColumnRef("orders", "customer_id"), ColumnRef("customers", "id")
+                ),
+            ),
+            filters=(
+                FilterSpec(ColumnRef("customers", "region"), CompareOp.LIKE, "no_th"),
+            ),
+            udf=UDFSpec(
+                udf=udf_double,
+                input_table="orders",
+                input_columns=("amount",),
+                role=UDFRole.FILTER,
+                op=CompareOp.LEQ,
+                literal=100.0,
+            ),
+            agg=AggSpec(),
+            query_id=1,
+        )
+        assert query_to_sql(query) == (
+            "SELECT COUNT(*)\n"
+            "FROM orders, customers\n"
+            "WHERE orders.customer_id = customers.id\n"
+            "  AND customers.region LIKE 'no\\_th%' ESCAPE '\\'\n"
+            "  AND udf_double(orders.amount) <= 100.0;"
+        )
+
+    def test_projection_role_query(self, udf_double):
+        query = Query(
+            dataset="shop",
+            tables=("orders",),
+            udf=UDFSpec(
+                udf=udf_double,
+                input_table="orders",
+                input_columns=("amount",),
+                role=UDFRole.PROJECTION,
+            ),
+            agg=AggSpec(),
+            query_id=2,
+        )
+        assert query_to_sql(query) == (
+            "SELECT COUNT(*), udf_double(orders.amount)\nFROM orders;"
+        )
+
+
+# ======================================================================
+# optional-driver validation: parse with sqlglot, execute on DuckDB
+def _golden_plans(udf):
+    yield Scan(table="customers")
+    yield Filter(
+        child=orders_scan(),
+        predicate=Conjunction(
+            (
+                Predicate(ColumnRef("orders", "amount"), CompareOp.GEQ, 30.0),
+                Predicate(ColumnRef("orders", "status"), CompareOp.LIKE, "op"),
+            )
+        ),
+    )
+    yield HashJoin(
+        left=orders_scan(),
+        right=Scan(table="customers"),
+        left_key=ColumnRef("orders", "customer_id"),
+        right_key=ColumnRef("customers", "id"),
+    )
+    yield UDFFilter(
+        child=orders_scan(),
+        udf=udf,
+        input_columns=(ColumnRef("orders", "amount"),),
+        op=CompareOp.LEQ,
+        literal=80.5,
+    )
+    yield UDFProject(
+        child=orders_scan(),
+        udf=udf,
+        input_columns=(ColumnRef("orders", "amount"),),
+        output_name="udf_out",
+    )
+    yield Aggregate(
+        child=UDFFilter(
+            child=orders_scan(),
+            udf=udf,
+            input_columns=(ColumnRef("orders", "amount"),),
+            op=CompareOp.GEQ,
+            literal=60.0,
+        ),
+        func=AggFunc.COUNT,
+    )
+    yield Project(child=orders_scan(), columns=("orders.id", "orders.amount"))
+
+
+def test_goldens_parse_with_sqlglot(handmade_db, udf_double):
+    sqlglot = pytest.importorskip("sqlglot")
+    for plan in _golden_plans(udf_double):
+        sql = plan_to_sql(plan, handmade_db)
+        parsed = sqlglot.parse_one(sql, read="duckdb")
+        assert parsed is not None, sql
+
+
+def test_goldens_execute_on_duckdb(handmade_db, udf_double):
+    pytest.importorskip("duckdb")
+    from repro.exec import DuckDBBackend, SimulatorBackend
+
+    sim = SimulatorBackend(handmade_db)
+    with DuckDBBackend(handmade_db) as backend:
+        for plan in _golden_plans(udf_double):
+            expected = sim.execute(plan.copy_tree())
+            got = backend.execute(plan.copy_tree())
+            assert got.relation.num_rows == expected.relation.num_rows, plan.kind
+            assert set(got.relation.column_names) == set(
+                expected.relation.column_names
+            ), plan.kind
+
+
+def test_udf_output_values_match_on_duckdb(handmade_db, udf_double):
+    """The registered Python UDF computes the same values inside DuckDB
+    as the in-process interpreter (NULL-in -> NULL-out included)."""
+    pytest.importorskip("duckdb")
+    from repro.exec import DuckDBBackend, SimulatorBackend
+
+    plan = UDFProject(
+        child=Scan(table="customers"),
+        udf=udf_double,
+        input_columns=(ColumnRef("customers", "score"),),
+        output_name="udf_out",
+    )
+    sim = SimulatorBackend(handmade_db).execute(plan.copy_tree())
+    with DuckDBBackend(handmade_db) as backend:
+        real = backend.execute(plan.copy_tree())
+    key = "udf_out"
+    sim_by_id = {}
+    real_by_id = {}
+    for result, out in ((sim, sim_by_id), (real, real_by_id)):
+        ids = result.relation.column("customers.id")
+        vals = result.relation.column(key)
+        for i in range(result.relation.num_rows):
+            out[ids.python_value(i)] = vals.python_value(i)
+    assert set(sim_by_id) == set(real_by_id)
+    for cid, value in sim_by_id.items():
+        other = real_by_id[cid]
+        if value is None:
+            assert other is None  # score NULL -> udf NULL on both engines
+        else:
+            assert other == pytest.approx(value)
+    assert any(v is None for v in sim_by_id.values())
+    assert math.isclose(sim_by_id[0], 2.0)
