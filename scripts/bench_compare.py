@@ -1,20 +1,30 @@
 #!/usr/bin/env python
-"""Warn-only perf regression check: fresh BENCH_*.json vs. committed.
+"""Perf regression gate: fresh BENCH_*.json vs. recorded baselines.
 
 The bench-smoke CI job regenerates every ``BENCH_*.json`` and uploads
-them as artifacts, but until now nobody *compared* them — a perf
-regression only surfaced when a human diffed artifacts by hand. This
-script diffs the fresh working-tree numbers against the committed
-baselines (``git show HEAD:BENCH_x.json``) and prints a markdown delta
-table for the job summary::
+them as artifacts; this script diffs the fresh working-tree numbers
+against the recorded baselines and prints a markdown delta table for the
+job summary::
 
-    python scripts/bench_compare.py [--threshold 0.25]
+    python scripts/bench_compare.py [--threshold 0.25] [--no-gate]
 
-Regressions beyond the threshold are flagged with GitHub ``::warning::``
-annotations. **Warn-only by design**: CI runners are noisy shared
-hardware, so the exit code is always 0 — the table and the annotations
-inform, the committed baselines stay authoritative until a human
-re-records them.
+Two severity tiers:
+
+* regressions beyond ``--threshold`` (default 25%) are flagged with
+  GitHub ``::warning::`` annotations — informational, runners are noisy;
+* regressions beyond ``--gate-threshold`` (default 30%) on a
+  *directional* metric emit ``::error::`` and **fail the run** (exit 1).
+  ``--no-gate`` downgrades them back to warnings — the escape hatch for
+  an intentional re-baselining PR or a known-noisy host.
+
+The gate compares against the last ``bench_history.jsonl`` entry when
+one exists (the freshest recorded trajectory point), falling back to the
+committed baselines (``git show HEAD:BENCH_x.json``). Metrics below the
+measurement noise floor — sub-millisecond timings, microsecond knobs
+under 1ms, sub-millisecond elapsed seconds — never gate: scheduler
+jitter on shared runners swamps them. Neither does the
+``multiproc_smoke`` artifact, whose QPS is a liveness signal on whatever
+machine ran it, not a perf trajectory.
 
 Each run also appends one JSON line — commit, timestamp, and every
 directional metric of every ``BENCH_*.json`` — to ``bench_history.jsonl``
@@ -44,6 +54,24 @@ LOWER_IS_BETTER = ("seconds", "_us", "_ms", "latency", "overhead", "samples")
 #: knob (loadtest max_wait_us, scenario duration, poll count) must never
 #: be reported as a perf regression
 NOT_A_METRIC = (".config.", "stats_poll.samples")
+
+#: benches whose numbers are liveness smoke signals, not a perf
+#: trajectory — warn, record in history, but never fail the run
+NEVER_GATE_BENCHES = ("multiproc_smoke",)
+
+
+def noise_floor(metric: str, baseline: float) -> bool:
+    """Magnitudes too small to gate: scheduler jitter on shared CI
+    runners swamps sub-millisecond timings, so a 30% swing there is
+    measurement noise, not a regression."""
+    leaf = metric.rsplit(".", 1)[-1]
+    if leaf.endswith("_ms") and baseline < 1.0:
+        return True
+    if leaf.endswith("_us") and baseline < 1000.0:
+        return True
+    if "seconds" in leaf and baseline < 1e-3:
+        return True
+    return False
 
 
 def flatten(node, prefix: str = "") -> dict[str, float]:
@@ -113,9 +141,28 @@ def committed_baseline(name: str) -> dict | None:
         return None
 
 
-def compare(threshold: float) -> list[str]:
-    """Print the delta table; return the ::warning:: annotations."""
+def last_history_entry(path: Path) -> dict | None:
+    """The newest ``bench_history.jsonl`` record, or None."""
+    try:
+        lines = [ln for ln in path.read_text().splitlines() if ln.strip()]
+        return json.loads(lines[-1]) if lines else None
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def compare(
+    threshold: float, gate_threshold: float, history_path: Path
+) -> tuple[list[str], list[str]]:
+    """Print the delta table; return ``(warnings, gate failures)``.
+
+    The warn tier always diffs against the committed baselines (the
+    human-recorded numbers); the gate tier prefers the last history
+    entry — the freshest point on the same machine's trajectory — and
+    falls back to the committed value.
+    """
+    history = last_history_entry(history_path)
     warnings: list[str] = []
+    failures: list[str] = []
     rows: list[tuple[str, str, str, str, str]] = []
     for path in sorted(glob.glob(str(ROOT / "BENCH_*.json"))):
         name = Path(path).name
@@ -127,6 +174,7 @@ def compare(threshold: float) -> list[str]:
             rows.append((bench, "(new benchmark)", "-", "-", "no baseline"))
             continue
         baseline = flatten(baseline_doc)
+        history_bench = (history or {}).get("benches", {}).get(bench, {})
         for metric in sorted(fresh):
             if metric not in baseline:
                 continue
@@ -144,7 +192,23 @@ def compare(threshold: float) -> list[str]:
                     f"{display} {marker}",
                 )
             )
-            if regressed:
+            if not regressed:
+                continue
+            gate_base = history_bench.get(metric, baseline[metric])
+            gate_display, gated = judge(
+                gate_base, fresh[metric], sign, gate_threshold
+            )
+            if (
+                gated
+                and bench not in NEVER_GATE_BENCHES
+                and not noise_floor(metric, gate_base)
+            ):
+                failures.append(
+                    f"::error file={name}::{bench}.{metric} regressed "
+                    f"{gate_display} vs recorded baseline "
+                    f"({gate_base:.4g} -> {fresh[metric]:.4g})"
+                )
+            else:
                 warnings.append(
                     f"::warning file={name}::{bench}.{metric} regressed "
                     f"{display} vs committed baseline "
@@ -152,7 +216,7 @@ def compare(threshold: float) -> list[str]:
                 )
     print("### Benchmark deltas vs. committed baselines")
     print()
-    print(f"(threshold {threshold:.0%}, warn-only)")
+    print(f"(warn past {threshold:.0%}, fail past {gate_threshold:.0%})")
     print()
     print("| benchmark | metric | baseline | fresh | delta |")
     print("|---|---|---|---|---|")
@@ -160,7 +224,7 @@ def compare(threshold: float) -> list[str]:
         print("| " + " | ".join(row) + " |")
     if not rows:
         print("| - | no BENCH_*.json found | - | - | - |")
-    return warnings
+    return warnings, failures
 
 
 def current_commit() -> str:
@@ -218,9 +282,31 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip appending this run to the history file",
     )
+    parser.add_argument(
+        "--gate-threshold",
+        type=float,
+        default=0.30,
+        help="relative regression on a directional metric that fails the "
+        "run (default 0.30)",
+    )
+    parser.add_argument(
+        "--no-gate",
+        action="store_true",
+        help="downgrade gate failures to warnings (re-baselining PRs, "
+        "known-noisy hosts)",
+    )
     args = parser.parse_args(argv)
-    warnings = compare(args.threshold)
+    warnings, failures = compare(
+        args.threshold, args.gate_threshold, Path(args.history)
+    )
     for line in warnings:
+        print(line, file=sys.stderr)
+    if args.no_gate and failures:
+        print("(--no-gate: downgrading gate failures to warnings)")
+        for line in failures:
+            print(line.replace("::error", "::warning", 1), file=sys.stderr)
+        failures = []
+    for line in failures:
         print(line, file=sys.stderr)
     if not args.no_history:
         entry = append_history(Path(args.history))
@@ -229,8 +315,10 @@ def main(argv: list[str] | None = None) -> int:
             f"(appended {sum(len(b) for b in entry['benches'].values())} "
             f"metrics for commit {entry['commit'] or '?'} to {args.history})"
         )
-    # warn-only: noisy CI hardware must not fail the job on a perf wobble
-    return 0
+    # small deltas only warn — noisy CI hardware must not fail the job on
+    # a perf wobble — but a past-gate collapse of a directional metric
+    # does fail it (``--no-gate`` to bypass)
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

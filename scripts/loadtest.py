@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import tempfile
 import threading
 import time
@@ -64,9 +65,11 @@ from repro.model import CostGNN, GNNConfig
 from repro.serve import (
     CircuitBreaker,
     DegradedFallback,
+    ModelRegistry,
     PredictionCache,
     PreparedRequestCache,
     ShardedEngine,
+    WorkerRouter,
     faults,
 )
 
@@ -170,22 +173,14 @@ def _percentiles_ms(latencies: list[float]) -> dict[str, float]:
     }
 
 
-def run_loadtest(config: LoadtestConfig) -> dict:
-    """Run one scenario; returns the result document (JSON-ready)."""
-    model = CostGNN(GNNConfig(hidden_dim=config.hidden_dim, seed=config.seed))
-    model.eval()
-    engine = ShardedEngine(
-        model,
-        shards=config.shards,
-        max_batch_size=config.max_batch_size,
-        max_wait_us=config.max_wait_us,
-        request_cache=PreparedRequestCache(),
-        prediction_cache=PredictionCache(),
-    )
-    if config.warmup:
-        templates = synthetic_graphs(config.templates, seed=config.seed)
-        for start in range(0, len(templates), config.max_batch_size):
-            engine.score(templates[start : start + config.max_batch_size])
+def _drive_traffic(config: LoadtestConfig, score, describe) -> dict:
+    """The scenario's traffic loop over any scoring backend.
+
+    ``score(batch)`` is the blocking scoring call (in-process engine or
+    worker router) and ``describe()`` the /stats snapshot the sideband
+    poller samples. Shared by the single-process and multi-process
+    scenarios so they measure exactly the same workload.
+    """
     started = time.perf_counter()
     deadline = started + config.duration_s
     latencies: list[list[float]] = [[] for _ in range(config.concurrency)]
@@ -213,7 +208,7 @@ def run_loadtest(config: LoadtestConfig) -> dict:
             else:
                 sched = time.perf_counter()
             batch = [sampler.sample(sched) for _ in range(config.submit_chunk)]
-            engine.score(batch)
+            score(batch)
             done = time.perf_counter()
             mine.extend([done - sched] * len(batch))
             counts[index] += len(batch)
@@ -221,7 +216,7 @@ def run_loadtest(config: LoadtestConfig) -> dict:
     def poller() -> None:
         while not stop_poller.is_set():
             t0 = time.perf_counter()
-            engine.describe()  # the engine section of /stats
+            describe()  # the /stats snapshot
             stats_latencies.append(time.perf_counter() - t0)
             stop_poller.wait(0.02)
 
@@ -230,32 +225,23 @@ def run_loadtest(config: LoadtestConfig) -> dict:
         for i in range(config.concurrency)
     ]
     poll_thread = threading.Thread(target=poller, name="stats-poller")
-    with engine:
-        poll_thread.start()
-        run_start = time.perf_counter()
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
-        elapsed = time.perf_counter() - run_start
-        stop_poller.set()
-        poll_thread.join()
-        description = engine.describe()
+    poll_thread.start()
+    run_start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - run_start
+    stop_poller.set()
+    poll_thread.join()
 
     total = sum(counts)
     flat = [value for worker_lat in latencies for value in worker_lat]
-    prediction = description.get("prediction_cache", {})
-    request = description.get("request_cache", {})
     result = {
-        "config": asdict(config),
         "requests": total,
         "seconds": elapsed,
         "achieved_qps": total / elapsed if elapsed else 0.0,
         **_percentiles_ms(flat),
-        "prediction_cache_hit_rate": prediction.get("hit_rate", 0.0),
-        "prepared_hits": request.get("prepared_hits", 0),
-        "prepared_misses": request.get("prepared_misses", 0),
-        "engine_stats": description["stats"],
         "stats_poll": {
             "samples": len(stats_latencies),
             **_percentiles_ms(stats_latencies),
@@ -264,6 +250,99 @@ def run_loadtest(config: LoadtestConfig) -> dict:
     if config.rate is not None:
         result["target_rate"] = config.rate
     return result
+
+
+def run_loadtest(config: LoadtestConfig) -> dict:
+    """Run one scenario; returns the result document (JSON-ready)."""
+    model = CostGNN(GNNConfig(hidden_dim=config.hidden_dim, seed=config.seed))
+    model.eval()
+    engine = ShardedEngine(
+        model,
+        shards=config.shards,
+        max_batch_size=config.max_batch_size,
+        max_wait_us=config.max_wait_us,
+        request_cache=PreparedRequestCache(),
+        prediction_cache=PredictionCache(),
+    )
+    if config.warmup:
+        templates = synthetic_graphs(config.templates, seed=config.seed)
+        for start in range(0, len(templates), config.max_batch_size):
+            engine.score(templates[start : start + config.max_batch_size])
+    with engine:
+        core = _drive_traffic(config, engine.score, engine.describe)
+        description = engine.describe()
+
+    prediction = description.get("prediction_cache", {})
+    request = description.get("request_cache", {})
+    return {
+        "config": asdict(config),
+        **core,
+        "prediction_cache_hit_rate": prediction.get("hit_rate", 0.0),
+        "prepared_hits": request.get("prepared_hits", 0),
+        "prepared_misses": request.get("prepared_misses", 0),
+        "engine_stats": description["stats"],
+    }
+
+
+def run_multiproc_loadtest(config: LoadtestConfig, workers: int) -> dict:
+    """One scenario against a :class:`WorkerRouter` of worker processes.
+
+    The model is published to a throwaway registry (the workers load it
+    from there — the same distribution path a deployment uses) and the
+    traffic loop is byte-identical to the single-process scenario, so
+    the two QPS figures compare directly. The result carries the smoke
+    signals CI gates on: ``worker_crashes`` (any respawn during a
+    healthy run is a crash), ``hung_workers`` (non-zero when shutdown
+    had to terminate a worker), and ``achieved_qps``.
+    """
+    model = CostGNN(GNNConfig(hidden_dim=config.hidden_dim, seed=config.seed))
+    model.eval()
+    registry_dir = tempfile.TemporaryDirectory(prefix="loadtest-registry-")
+    ModelRegistry(registry_dir.name).publish("loadtest", model)
+    router = WorkerRouter(
+        registry_dir.name,
+        "loadtest",
+        workers=workers,
+        shards_per_worker=1,
+        max_batch_size=config.max_batch_size,
+        max_wait_us=config.max_wait_us,
+    )
+    try:
+        if config.warmup:
+            templates = synthetic_graphs(config.templates, seed=config.seed)
+            for start in range(0, len(templates), config.max_batch_size):
+                router.score(templates[start : start + config.max_batch_size])
+        core = _drive_traffic(config, router.score, router.describe)
+        description = router.describe(include_workers=True)
+    finally:
+        hung = router.close()
+        registry_dir.cleanup()
+
+    # aggregate the per-worker engine caches into the same shape the
+    # single-process result reports
+    prepared_hits = prepared_misses = 0
+    pred_hits = pred_misses = 0
+    for stats in description.get("worker_stats", []):
+        engine = stats.get("engine", {})
+        request = engine.get("request_cache", {})
+        prepared_hits += request.get("prepared_hits", 0)
+        prepared_misses += request.get("prepared_misses", 0)
+        prediction = engine.get("prediction_cache", {})
+        pred_hits += prediction.get("hits", 0)
+        pred_misses += prediction.get("misses", 0)
+    pred_total = pred_hits + pred_misses
+    return {
+        "config": asdict(config),
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        **core,
+        "prediction_cache_hit_rate": pred_hits / pred_total if pred_total else 0.0,
+        "prepared_hits": prepared_hits,
+        "prepared_misses": prepared_misses,
+        "router_stats": description["stats"],
+        "worker_crashes": description["stats"]["respawns"],
+        "hung_workers": hung,
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -517,6 +596,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--hidden-dim", type=int, default=32)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="drive a WorkerRouter of N worker processes instead of the "
+        "in-process engine; exits non-zero on worker crash, hung "
+        "shutdown, or zero aggregate QPS (the CI multiproc-smoke gate)",
+    )
     parser.add_argument("--out", default="", help="write the result JSON here")
     parser.add_argument(
         "--chaos",
@@ -561,6 +648,36 @@ def main(argv: list[str] | None = None) -> int:
             f"hung workers {doc['hung_workers']} -> wrote {out}"
         )
         return 1 if doc["hung_workers"] else 0
+    if args.workers > 0:
+        result = run_multiproc_loadtest(config, args.workers)
+        print(
+            f"{result['requests']} requests in {result['seconds']:.2f}s over "
+            f"{args.workers} worker processes = "
+            f"{result['achieved_qps']:,.0f} req/s aggregate "
+            f"(p50 {result['p50_ms']:.2f}ms / p99 {result['p99_ms']:.2f}ms)"
+        )
+        print(
+            f"router: {result['router_stats']['spills']} spills, "
+            f"{result['router_stats']['retries']} retries, "
+            f"{result['worker_crashes']} crashes, "
+            f"{result['hung_workers']} hung at shutdown"
+        )
+        if args.out:
+            with open(args.out, "w") as fh:
+                json.dump(result, fh, indent=2)
+                fh.write("\n")
+            print(f"wrote {args.out}")
+        failures = []
+        if result["worker_crashes"]:
+            failures.append(f"{result['worker_crashes']} worker crash(es)")
+        if result["hung_workers"]:
+            failures.append(f"{result['hung_workers']} hung worker(s) at shutdown")
+        if result["achieved_qps"] <= 0:
+            failures.append("zero aggregate QPS")
+        if failures:
+            print(f"MULTIPROC SMOKE FAILED: {'; '.join(failures)}")
+            return 1
+        return 0
     result = run_loadtest(config)
     baseline = serving_baseline_rps()
     if baseline:

@@ -11,6 +11,14 @@ advice over HTTP::
     curl localhost:8080/models
     curl -X POST localhost:8080/advise -d '{"query": {...}}'
 
+With ``--workers N`` the service runs the multi-process tier instead
+(DESIGN.md §14): N worker processes behind the fingerprint-affinity
+router, fronted by the asyncio HTTP server (``/predict``, ``/healthz``,
+``/stats`` — placement advice stays on the single-process path)::
+
+    PYTHONPATH=src python scripts/serve.py --dataset movielens \
+        --workers 4 --port 8080
+
 See ``examples/serving_client.py`` for a full client round-trip.
 """
 
@@ -31,6 +39,8 @@ from repro.serve import (
     PredictionCache,
     PreparedRequestCache,
     ShardedEngine,
+    WorkerRouter,
+    make_async_server,
     make_server,
 )
 from repro.serve import faults
@@ -108,6 +118,60 @@ def build_service(args: argparse.Namespace):
     return server, registry, version
 
 
+def build_multiproc_service(args: argparse.Namespace):
+    """(async server, router, version) for ``--workers N`` serving.
+
+    The model travels through the registry — published here if needed,
+    loaded by every worker process from the shared root — which is also
+    what makes later canary promotions reach all workers.
+    """
+    injector = faults.install_from_env()
+    if injector is not None:
+        print(f"fault injection armed: {injector.spec!r} (seed={injector.seed})")
+    registry = ModelRegistry(args.registry_dir)
+    model_name = args.model or f"costgnn-{args.dataset}"
+    versions = registry.versions(model_name)
+    if not versions or args.retrain:
+        print(f"building {args.dataset} benchmark ({args.queries} queries)...")
+        bench = build_dataset_benchmark(
+            args.dataset, n_queries=args.queries, seed=args.seed
+        )
+        print(f"training {model_name} (epochs={args.epochs})...")
+        samples = prepare_dataset_samples(
+            bench, estimator_name="actual", placements=training_placements()
+        )
+        graceful = GracefulModel(
+            GNNConfig(hidden_dim=args.hidden_dim),
+            TrainConfig(epochs=args.epochs),
+        )
+        graceful.fit(samples)
+        version = registry.publish(
+            model_name,
+            graceful.model,
+            metrics={"n_training_samples": len(samples)},
+            description=f"trained by scripts/serve.py on {args.dataset}",
+        )
+        print(f"published {version.ref}")
+    else:
+        version = registry.latest(model_name)
+        print(f"serving registry model {version.ref} ({version.dtype})")
+    router = WorkerRouter(
+        registry.root,
+        model_name,
+        model_version=version.version,
+        workers=args.workers,
+        shards_per_worker=max(1, args.shards),
+        max_batch_size=args.max_batch_size,
+        max_wait_us=args.max_wait_us,
+        max_queue=args.queue_cap or None,
+    )
+    print(f"worker router: {args.workers} process(es), affinity routing on")
+    server = make_async_server(
+        router, host=args.host, port=args.port, model_ref=version.ref
+    )
+    return server, router, version
+
+
 def _raise_keyboard_interrupt(signum, frame):
     """SIGTERM → the same clean-drain path as ctrl-c."""
     raise KeyboardInterrupt
@@ -172,12 +236,36 @@ def main(argv: list[str] | None = None) -> None:
     )
     parser.add_argument("--strategy", default="conservative")
     parser.add_argument("--estimator", default="actual")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes for the multi-process tier (0 = classic "
+        "single-process service with placement advice)",
+    )
     args = parser.parse_args(argv)
 
     if args.deadline_ms > 0:
         # the HTTP layer reads the env per request, so the flag is just
         # a spelling of the env knob that wins over an inherited value
         os.environ["REPRO_DEADLINE_MS"] = str(args.deadline_ms)
+    if args.workers > 0:
+        server, router, version = build_multiproc_service(args)
+        server.serve_in_background()
+        print(f"serving {version.ref} at {server.url} (SIGTERM/ctrl-c to stop)")
+        previous = signal.signal(signal.SIGTERM, _raise_keyboard_interrupt)
+        try:
+            while True:
+                signal.pause()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            signal.signal(signal.SIGTERM, previous)
+            server.drain()
+            hung = router.close()
+            if hung:
+                print(f"warning: {hung} worker(s) needed a hard kill")
+        return
     server, _, version = build_service(args)
     print(f"serving {version.ref} at {server.url} (SIGTERM/ctrl-c to stop)")
     serve_until_signalled(server)

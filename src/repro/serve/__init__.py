@@ -13,6 +13,11 @@ optimization time*; this package is that serving surface (DESIGN.md §9):
 * :class:`AdvisorService` — multi-client ``suggest_placement`` sessions
   scoring every placement alternative in one micro-batch;
 * :mod:`repro.serve.http` — a stdlib JSON front end over all of it;
+* :class:`WorkerRouter` / :mod:`repro.serve.worker` — N worker
+  *processes* behind a fingerprint-affinity consistent-hash router with
+  epoch-fenced promotion and supervisor respawn (DESIGN.md §14), fronted
+  by :class:`AsyncServingServer`, an asyncio HTTP/1.1 server that holds
+  thousands of connections;
 * :mod:`repro.serve.resilience` / :mod:`repro.serve.faults` — deadlines,
   circuit breaker, degraded fallback, health states, and the
   deterministic fault-injection registry behind the chaos harness
@@ -48,16 +53,20 @@ from repro.serve.engine import (
 )
 from repro.serve.faults import FaultInjector, InjectedFault, WorkerCrash
 from repro.serve.http import ServingServer, make_server
+from repro.serve.http_async import AsyncServingServer, make_async_server
 from repro.serve.registry import ModelRegistry, ModelVersion
 from repro.serve.resilience import (
     CircuitBreaker,
     DegradedFallback,
     HealthMonitor,
 )
+from repro.serve.router import RouterOutcome, RouterStats, WorkerRouter
+from repro.serve.worker import WorkerConfig
 
 __all__ = [
     "AdvisorService",
     "AdvisorSession",
+    "AsyncServingServer",
     "CircuitBreaker",
     "DegradedFallback",
     "EngineStats",
@@ -69,11 +78,15 @@ __all__ = [
     "ModelVersion",
     "PredictionCache",
     "PreparedRequestCache",
+    "RouterOutcome",
+    "RouterStats",
     "ScoreOutcome",
     "ServingServer",
     "SessionStats",
     "ShardedEngine",
     "WorkerCrash",
+    "WorkerConfig",
+    "WorkerRouter",
     "decision_to_json",
     "default_queue_cap",
     "default_shards",
@@ -81,6 +94,7 @@ __all__ = [
     "feedback_record_to_json",
     "graph_from_json",
     "graph_to_json",
+    "make_async_server",
     "make_server",
     "payload_fingerprint",
     "query_from_json",

@@ -1,0 +1,480 @@
+"""Asyncio HTTP front end over the multi-process serving tier.
+
+The PR 3 front end (:mod:`repro.serve.http`) is a
+``ThreadingHTTPServer``: one OS thread per connection, which caps the
+number of held connections at the thread budget. This module replaces it
+for the multi-worker deployment with a hand-rolled asyncio HTTP/1.1
+server (stdlib only, like everything else here): one event loop holds
+thousands of keep-alive connections, and the blocking hop into the
+:class:`~repro.serve.router.WorkerRouter` happens on a bounded thread
+pool — admission past the pool's capacity is shed *before* any work is
+queued, with the same structured 503 + ``Retry-After`` body the sync
+server sends.
+
+The DESIGN.md §12 contracts carry over verbatim:
+
+* structured errors: ``{"error": {"code", "message"}}``, same code
+  vocabulary and status mapping (overloaded/draining → 503 +
+  ``Retry-After``, deadline_exceeded → 504, bad_request → 400,
+  unprocessable → 422, internal → 500 with the detail only in the log);
+* per-request deadlines via ``X-Deadline-Ms`` (falling back to
+  ``$REPRO_DEADLINE_MS``), started when the request arrives so decode
+  time counts against the client budget;
+* ``/healthz`` state machine: ready/degraded answer 200,
+  starting/draining answer 503 + ``Retry-After`` — degraded here means
+  some (but not all) workers are down while the supervisor respawns;
+* body-size cap ``MAX_BODY_BYTES``, per-item error discipline on
+  ``/predict``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.exceptions import (
+    DeadlineExceeded,
+    EngineClosed,
+    EngineOverloaded,
+    ReproError,
+    ServingError,
+)
+from repro.serve.cache import payload_fingerprint
+from repro.serve.codec import graph_from_json
+from repro.serve.http import MAX_BODY_BYTES, RETRY_AFTER_S, default_deadline_ms
+from repro.serve.resilience import deadline_from_ms
+from repro.serve.router import WorkerRouter
+
+logger = logging.getLogger("repro.serve")
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    422: "Unprocessable Entity",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: caps header section size per request (anti-slowloris, like the cap on
+#: bodies; a legitimate client sends a handful of short headers)
+MAX_HEADER_BYTES = 16 * 1024
+
+
+class AsyncServingServer:
+    """One event loop, N worker processes, bounded blocking hops.
+
+    ``router`` is the scoring backend — a
+    :class:`~repro.serve.router.WorkerRouter` in production, anything
+    with ``score_resilient``/``describe`` in tests. The server owns a
+    thread pool of ``forward_threads`` for the blocking decode+score
+    hop; ``max_inflight`` requests may hold pool slots or wait for them,
+    and everything beyond that is shed immediately with the structured
+    overloaded 503 (the router's own per-worker admission queues sit
+    behind this first gate).
+    """
+
+    def __init__(
+        self,
+        router: WorkerRouter,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        forward_threads: int = 8,
+        max_inflight: int = 256,
+        model_ref: str = "",
+    ):
+        self.router = router
+        self.host = host
+        self.port = port
+        self.model_ref = model_ref or getattr(router, "model_name", "")
+        self.max_inflight = max_inflight
+        self.started = time.time()
+        self._pool = ThreadPoolExecutor(
+            max_workers=forward_threads, thread_name_prefix="async-forward"
+        )
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._state = "starting"
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: asyncio.Server | None = None
+        self._thread: threading.Thread | None = None
+        self._bound = threading.Event()
+        self._bind_error: BaseException | None = None
+
+    # -- lifecycle ------------------------------------------------------
+    def serve_in_background(self) -> threading.Thread:
+        """Run the event loop on a daemon thread; returns once bound."""
+        self._thread = threading.Thread(
+            target=self._run_loop, name="serving-http-async", daemon=True
+        )
+        self._thread.start()
+        if not self._bound.wait(timeout=30.0):
+            raise ServingError("async server did not bind within 30s")
+        if self._bind_error is not None:
+            raise ServingError(f"async server failed to bind: {self._bind_error}")
+        return self._thread
+
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self._start())
+            self._bound.set()
+            loop.run_forever()
+            # drain: cancel lingering connection tasks, then close
+            pending = [t for t in asyncio.all_tasks(loop) if not t.done()]
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+        except Exception as exc:
+            self._bind_error = exc
+            self._bound.set()
+        finally:
+            loop.close()
+
+    async def _start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._state = "ready"
+
+    def drain(self) -> None:
+        """Flip to draining, stop accepting, stop the loop, free the pool.
+
+        The router is *not* closed here — its lifecycle belongs to the
+        caller (the CLI closes it after the HTTP layer has drained, so
+        in-flight scoring completes before workers get their shutdown).
+        """
+        self._state = "draining"
+        loop = self._loop
+        if loop is not None and loop.is_running():
+
+            def _shutdown() -> None:
+                if self._server is not None:
+                    self._server.close()
+                loop.stop()
+
+            loop.call_soon_threadsafe(_shutdown)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        self._pool.shutdown(wait=True)
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # -- health ---------------------------------------------------------
+    def health_state(self) -> str:
+        if self._state in ("starting", "draining"):
+            return self._state
+        describe = self.router.describe()
+        alive = describe.get("alive", describe.get("workers", 1))
+        total = describe.get("workers", 1)
+        if alive == 0:
+            return "starting"  # nothing can answer; stop routing here
+        return "degraded" if alive < total else "ready"
+
+    # -- connection handling --------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except asyncio.IncompleteReadError:
+                    return
+                except asyncio.LimitOverrunError:
+                    await self._respond_error(
+                        writer, 431, "bad_request", "header line too long"
+                    )
+                    return
+                if request is None:
+                    return
+                method, path, http_version, headers, body = request
+                keep_alive = (
+                    http_version == "HTTP/1.1"
+                    and headers.get("connection", "").lower() != "close"
+                )
+                try:
+                    status, payload, retry_after = await self._dispatch(
+                        method, path, headers, body
+                    )
+                except Exception as exc:
+                    status, payload, retry_after = _map_exception(exc, path)
+                await self._respond(
+                    writer, status, payload, retry_after, keep_alive
+                )
+                if not keep_alive:
+                    return
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        request_line = await reader.readline()
+        if not request_line:
+            return None
+        parts = request_line.decode("latin1").strip().split()
+        if len(parts) != 3:
+            raise ServingError(f"malformed request line {request_line[:64]!r}")
+        method, path, http_version = parts
+        headers: dict[str, str] = {}
+        header_bytes = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            header_bytes += len(line)
+            if header_bytes > MAX_HEADER_BYTES:
+                raise ServingError("request headers too large")
+            name, _, value = line.decode("latin1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0) or 0)
+        if length > MAX_BODY_BYTES:
+            raise ServingError(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        body = await reader.readexactly(length) if length > 0 else b""
+        return method, path, http_version, headers, body
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: dict,
+        retry_after: int | None,
+        keep_alive: bool,
+    ) -> None:
+        body = json.dumps(payload).encode()
+        head = [
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        if retry_after is not None:
+            head.append(f"Retry-After: {retry_after}")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + body)
+        await writer.drain()
+
+    async def _respond_error(
+        self, writer: asyncio.StreamWriter, status: int, code: str, message: str
+    ) -> None:
+        await self._respond(
+            writer,
+            status,
+            {"error": {"code": code, "message": message}},
+            None,
+            keep_alive=False,
+        )
+
+    # -- routing --------------------------------------------------------
+    async def _dispatch(
+        self, method: str, path: str, headers: dict, body: bytes
+    ):
+        """``(status, payload, retry_after)`` for one parsed request."""
+        if method == "GET":
+            if path == "/healthz":
+                return self._healthz()
+            if path == "/stats":
+                return 200, self._stats(), None
+            return (
+                404,
+                {"error": {"code": "not_found", "message": f"unknown path {path!r}"}},
+                None,
+            )
+        if method != "POST":
+            return (
+                405,
+                {"error": {"code": "bad_request", "message": f"unsupported {method}"}},
+                None,
+            )
+        if path != "/predict":
+            return (
+                404,
+                {"error": {"code": "not_found", "message": f"unknown path {path!r}"}},
+                None,
+            )
+        if self._state == "draining":
+            raise EngineClosed("server is draining")
+        deadline = _deadline_from_headers(headers)
+        if not body:
+            raise ServingError("request body required")
+        # first admission gate: shed *before* queueing pool work, so an
+        # overload burst costs a JSON 503 each, never a thread or a queue
+        # slot — the router's per-worker bounded queues are gate two
+        with self._inflight_lock:
+            if self._inflight >= self.max_inflight:
+                raise EngineOverloaded(
+                    f"front end at capacity ({self.max_inflight} in flight)"
+                )
+            self._inflight += 1
+        loop = asyncio.get_running_loop()
+        try:
+            payload = await loop.run_in_executor(
+                self._pool, self._predict_blocking, body, deadline
+            )
+        finally:
+            with self._inflight_lock:
+                self._inflight -= 1
+        return 200, payload, None
+
+    def _healthz(self):
+        state = self.health_state()
+        describe = self.router.describe()
+        payload = {
+            "status": state,
+            "model": describe.get("model", self.model_ref),
+            "uptime_seconds": time.time() - self.started,
+            "workers": describe.get("workers"),
+            "alive": describe.get("alive"),
+            "epoch": describe.get("epoch"),
+        }
+        if state in ("ready", "degraded"):
+            return 200, payload, None
+        return 503, payload, RETRY_AFTER_S
+
+    def _stats(self) -> dict:
+        stats = self.router.describe()
+        stats["http"] = {
+            "inflight": self._inflight,
+            "max_inflight": self.max_inflight,
+            "state": self._state,
+            "uptime_seconds": time.time() - self.started,
+        }
+        return stats
+
+    # -- blocking scoring hop (runs on the pool) ------------------------
+    def _predict_blocking(self, raw: bytes, deadline: float | None) -> dict:
+        graphs = self._decode_graphs(raw)
+        if deadline is not None and time.monotonic() >= deadline:
+            raise DeadlineExceeded("deadline expired while decoding")
+        outcome = self.router.score_resilient(graphs, deadline=deadline)
+        answered = [v is not None for v in outcome.values]
+        if not any(answered):
+            raise outcome.first_error() or ServingError("scoring failed")
+        response: dict = {
+            "runtimes": [
+                float(v) if v is not None else None for v in outcome.values
+            ]
+        }
+        errors = [
+            _item_error(i, outcome.statuses[i], outcome.errors[i])
+            for i in range(len(graphs))
+            if not answered[i]
+        ]
+        if errors:
+            response["errors"] = errors
+        if outcome.degraded:
+            response["degraded"] = True
+        return response
+
+    def _decode_graphs(self, raw: bytes) -> list:
+        """Decode a ``/predict`` body, via the router's payload tier.
+
+        A repeated body skips ``json.loads`` + codec decode and returns
+        the *same* graph objects, which keeps the router's fingerprint
+        memo (and through affinity, each worker's caches) hot.
+        """
+        cache = getattr(self.router, "fp_cache", None)
+        fp = None
+        if cache is not None:
+            fp = payload_fingerprint(raw)
+            cached = cache.lookup_payload(fp)
+            if cached is not None and cached[0] == "predict":
+                return cached[1]
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ServingError(f"invalid JSON body: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ServingError("JSON body must be an object")
+        raw_graphs = payload.get("graphs")
+        if not isinstance(raw_graphs, list) or not raw_graphs:
+            raise ServingError('"graphs" must be a non-empty list')
+        graphs = [graph_from_json(g) for g in raw_graphs]
+        if cache is not None and fp is not None:
+            cache.remember_payload(fp, ("predict", graphs))
+        return graphs
+
+
+def _deadline_from_headers(headers: dict) -> float | None:
+    header = headers.get("x-deadline-ms")
+    if header is not None:
+        try:
+            budget = float(header)
+        except ValueError as exc:
+            raise ServingError(f"invalid X-Deadline-Ms {header!r}") from exc
+        if budget <= 0:
+            raise ServingError("X-Deadline-Ms must be > 0")
+        return deadline_from_ms(budget)
+    return deadline_from_ms(default_deadline_ms())
+
+
+def _item_error(index: int, status: str, err: BaseException | None) -> dict:
+    # same per-item leak discipline as the sync server: library errors
+    # describe the request; anything else stays in the server log
+    if isinstance(err, (ServingError, ReproError)):
+        message = str(err)
+    else:
+        message = "internal error"
+        logger.error("request item %d failed: %r", index, err)
+    code = {"shed_overload": "overloaded", "shed_deadline": "deadline_exceeded"}
+    return {"index": index, "code": code.get(status, "error"), "message": message}
+
+
+def _map_exception(exc: BaseException, path: str):
+    """Status mapping mirror of the sync server's ``_map_exception``."""
+    if isinstance(exc, (EngineOverloaded, EngineClosed)):
+        code = "overloaded" if isinstance(exc, EngineOverloaded) else "draining"
+        return (
+            503,
+            {"error": {"code": code, "message": str(exc)}},
+            RETRY_AFTER_S,
+        )
+    if isinstance(exc, DeadlineExceeded):
+        return 504, {"error": {"code": "deadline_exceeded", "message": str(exc)}}, None
+    if isinstance(exc, ServingError):
+        return 400, {"error": {"code": "bad_request", "message": str(exc)}}, None
+    if isinstance(exc, ReproError):
+        return 422, {"error": {"code": "unprocessable", "message": str(exc)}}, None
+    logger.exception("unhandled error serving %s", path, exc_info=exc)
+    return (
+        500,
+        {"error": {"code": "internal", "message": "internal server error"}},
+        None,
+    )
+
+
+def make_async_server(
+    router: WorkerRouter,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    forward_threads: int = 8,
+    max_inflight: int = 256,
+    model_ref: str = "",
+) -> AsyncServingServer:
+    """An :class:`AsyncServingServer` (``port=0`` picks a free port)."""
+    return AsyncServingServer(
+        router,
+        host=host,
+        port=port,
+        forward_threads=forward_threads,
+        max_inflight=max_inflight,
+        model_ref=model_ref,
+    )

@@ -1,0 +1,355 @@
+"""Serving worker process: one :class:`ShardedEngine` behind a socket.
+
+The single-process serving tier is GIL-bound: shard threads only overlap
+inside BLAS kernels, so the miss path tops out at roughly one core of
+forward passes no matter how many shards are configured. This module is
+the process half of the DESIGN.md §14 answer — a worker *process* that
+
+* loads its model from the shared :class:`~repro.serve.registry
+  .ModelRegistry` (registry-backed model distribution: every worker of a
+  deployment reads the same published artifact, and a promotion is one
+  ``swap`` frame away from any of them),
+* hosts a :class:`~repro.serve.engine.ShardedEngine` with both
+  fingerprint-keyed caches attached, and
+* serves a tiny length-prefixed frame protocol on a loopback socket for
+  the router (:mod:`repro.serve.router`) to dispatch into.
+
+Frame protocol (pickle over ``127.0.0.1`` — the peers are our own
+processes on the same host, spawned by the same supervisor; nothing
+foreign ever reaches this port):
+
+* every frame is a 4-byte big-endian length followed by a pickled dict;
+* requests carry ``op`` + ``id``; responses echo ``id``;
+* ``score`` items arrive as ``(fingerprint, graph-or-None)`` pairs — a
+  ``None`` graph means "you have seen this fingerprint before"; the
+  worker keeps a bounded fingerprint → graph store so repeat templates
+  travel as 16-byte keys instead of re-pickled graphs. Unknown
+  fingerprints are reported back (``unknown``) and the router re-sends
+  them in full — a worker restart can never wedge repeat traffic.
+
+Epoch discipline: the worker's epoch is ``base_epoch + model_version -
+1``, where ``base_epoch`` comes from the spawn config. A worker spawned
+*after* a promotion starts at the promoted epoch, so epochs stay
+comparable across the whole deployment and the router can pin that no
+response carries a predecessor epoch once a promotion has committed.
+Every ``score`` response is tagged with the epoch read *before* the
+engine ran, a conservative lower bound under a concurrent swap.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import socket
+import struct
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.exceptions import ServingError
+
+_HEADER = struct.Struct(">I")
+
+#: refuses absurd frames before allocating for them (a desynced stream
+#: would otherwise read garbage as a multi-GB length)
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+
+# -- frame protocol (shared with the router) ---------------------------
+def send_frame(sock: socket.socket, payload: dict) -> None:
+    """Write one length-prefixed pickled frame."""
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(blob) > MAX_FRAME_BYTES:
+        raise ServingError(f"frame of {len(blob)} bytes exceeds {MAX_FRAME_BYTES}")
+    sock.sendall(_HEADER.pack(len(blob)) + blob)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> dict | None:
+    """Read one frame; ``None`` on a clean EOF at a frame boundary."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ServingError(f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
+    blob = _recv_exact(sock, length)
+    if blob is None:
+        return None  # torn mid-frame: the peer died; treat as EOF
+    return pickle.loads(blob)
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Everything a spawned worker needs (must stay picklable)."""
+
+    worker_id: int
+    registry_root: str
+    model_name: str
+    model_version: int
+    #: epoch the configured model version corresponds to — respawns
+    #: after a promotion start at the promoted epoch, not at 1
+    base_epoch: int = 1
+    shards: int = 1
+    max_batch_size: int = 64
+    max_wait_us: float = 500.0
+    max_queue: int | None = None
+    #: bound on the fingerprint → graph store backing fp-only items
+    graph_store_cap: int = 16384
+
+
+class _GraphStore:
+    """Bounded LRU of decoded graphs, keyed by content fingerprint."""
+
+    def __init__(self, cap: int):
+        self.cap = cap
+        self._lock = threading.Lock()
+        self._graphs: OrderedDict[str, object] = OrderedDict()
+
+    def resolve(self, items: list[tuple[str, object | None]]):
+        """``(graphs, unknown)``: graphs aligned with items (``None`` at
+        unknown positions), plus the indices the router must re-send."""
+        graphs: list[object | None] = [None] * len(items)
+        unknown: list[int] = []
+        with self._lock:
+            for i, (fp, graph) in enumerate(items):
+                if graph is not None:
+                    self._graphs[fp] = graph
+                    self._graphs.move_to_end(fp)
+                    graphs[i] = graph
+                    continue
+                known = self._graphs.get(fp)
+                if known is None:
+                    unknown.append(i)
+                else:
+                    self._graphs.move_to_end(fp)
+                    graphs[i] = known
+            while len(self._graphs) > self.cap:
+                self._graphs.popitem(last=False)
+        return graphs, unknown
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._graphs)
+
+
+class ServingWorker:
+    """The in-process half of a worker: engine + frame dispatch.
+
+    Instantiable inside a test process too — ``worker_main`` wraps it
+    for the spawned-process entry point.
+    """
+
+    def __init__(self, config: WorkerConfig):
+        # imports deferred so the frame protocol half of this module is
+        # importable without paying the numpy/model import chain
+        from repro.serve.cache import PredictionCache, PreparedRequestCache
+        from repro.serve.engine import ShardedEngine
+        from repro.serve.registry import ModelRegistry
+
+        self.config = config
+        self.registry = ModelRegistry(config.registry_root)
+        model = self.registry.load(config.model_name, config.model_version)
+        self.engine = ShardedEngine(
+            model,
+            shards=config.shards,
+            max_batch_size=config.max_batch_size,
+            max_wait_us=config.max_wait_us,
+            request_cache=PreparedRequestCache(),
+            prediction_cache=PredictionCache(),
+            max_queue=config.max_queue,
+        )
+        self.store = _GraphStore(config.graph_store_cap)
+        self._stop = threading.Event()
+        self._listener: socket.socket | None = None
+        self.port = 0
+
+    # -- epoch ---------------------------------------------------------
+    def epoch(self) -> int:
+        return self.config.base_epoch + self.engine.model_version - 1
+
+    # -- op handlers ----------------------------------------------------
+    def handle(self, request: dict) -> dict | None:
+        """One response frame per request frame (``None`` = no reply)."""
+        op = request.get("op")
+        rid = request.get("id")
+        try:
+            if op == "score":
+                return {"id": rid, **self._score(request)}
+            if op == "ping":
+                return {
+                    "id": rid,
+                    "ok": True,
+                    "epoch": self.epoch(),
+                    "queued": self.engine.queue_depth(),
+                    "pid": os.getpid(),
+                }
+            if op == "stats":
+                return {
+                    "id": rid,
+                    "ok": True,
+                    "epoch": self.epoch(),
+                    "pid": os.getpid(),
+                    "graph_store": len(self.store),
+                    "engine": self.engine.describe(),
+                }
+            if op == "swap":
+                return {"id": rid, **self._swap(request)}
+            if op == "shutdown":
+                self._stop.set()
+                return {"id": rid, "ok": True}
+            if op == "crash":
+                # test hook: die exactly like a segfaulting worker —
+                # no reply, no cleanup, the router sees a raw EOF
+                os._exit(2)
+            raise ServingError(f"unknown worker op {op!r}")
+        except Exception as exc:
+            return {
+                "id": rid,
+                "ok": False,
+                "error": {"type": type(exc).__name__, "message": str(exc)},
+            }
+
+    def _score(self, request: dict) -> dict:
+        items = request["items"]
+        graphs, unknown = self.store.resolve(items)
+        unknown_set = set(unknown)
+        known = [i for i in range(len(items)) if i not in unknown_set]
+        contexts = request.get("contexts")
+        deadline_ms = request.get("deadline_ms")
+        deadline = (
+            time.monotonic() + deadline_ms / 1e3 if deadline_ms is not None else None
+        )
+        # the conservative lower bound: a swap landing mid-score may
+        # produce newer values, never older ones
+        epoch = self.epoch()
+        values: list = [None] * len(items)
+        statuses: list = ["unknown_graph"] * len(items)
+        errors: list = [None] * len(items)
+        if known:
+            outcome = self.engine.score_resilient(
+                [graphs[i] for i in known],
+                [contexts[i] for i in known] if contexts is not None else None,
+                deadline=deadline,
+            )
+            for pos, i in enumerate(known):
+                values[i] = outcome.values[pos]
+                statuses[i] = outcome.statuses[pos]
+                err = outcome.errors[pos]
+                if err is not None:
+                    errors[i] = {"type": type(err).__name__, "message": str(err)}
+        return {
+            "ok": True,
+            "values": values,
+            "statuses": statuses,
+            "errors": errors,
+            "unknown": unknown,
+            "epoch": epoch,
+        }
+
+    def _swap(self, request: dict) -> dict:
+        """Promotion fence: load the published version, swap, bump.
+
+        ``swap_model`` swaps every shard and *then* invalidates the
+        prediction cache (DESIGN.md §11), so by the time this response
+        reaches the router no predecessor-epoch entry is readable in
+        this process — the router commits its own epoch only after all
+        workers have acked.
+        """
+        name = request.get("name", self.config.model_name)
+        version = int(request["version"])
+        model = self.registry.load(name, version)
+        self.engine.swap_model(model)
+        return {"ok": True, "epoch": self.epoch(), "version": version}
+
+    # -- socket serving -------------------------------------------------
+    def bind(self) -> int:
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(64)
+        self._listener.settimeout(0.25)  # poll the stop flag
+        self.port = self._listener.getsockname()[1]
+        return self.port
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        try:
+            while not self._stop.is_set():
+                request = recv_frame(conn)
+                if request is None:
+                    return
+                response = self.handle(request)
+                if response is not None:
+                    send_frame(conn, response)
+        except (OSError, EOFError, pickle.UnpicklingError):
+            return  # router went away; the supervisor owns recovery
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def serve_forever(self) -> None:
+        """Accept router connections until ``shutdown``; then drain."""
+        assert self._listener is not None, "bind() before serve_forever()"
+        threads: list[threading.Thread] = []
+        try:
+            while not self._stop.is_set():
+                try:
+                    conn, _ = self._listener.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                thread = threading.Thread(
+                    target=self._serve_connection, args=(conn,), daemon=True
+                )
+                thread.start()
+                threads.append(thread)
+        finally:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+            for thread in threads:
+                thread.join(timeout=1.0)
+            self.engine.close()
+
+
+def worker_main(config: WorkerConfig, ready_conn) -> None:
+    """Spawned-process entry point (must be importable under spawn).
+
+    Binds first, then reports ``{"port", "pid"}`` through the readiness
+    pipe — or ``{"error"}`` if the model cannot be loaded — so the
+    router's spawn either gets a connectable port or a reason, never a
+    silent hang.
+    """
+    try:
+        worker = ServingWorker(config)
+        port = worker.bind()
+    except Exception as exc:  # pragma: no cover - exercised via router
+        try:
+            ready_conn.send(
+                {"error": f"{type(exc).__name__}: {exc}", "pid": os.getpid()}
+            )
+        finally:
+            ready_conn.close()
+        return
+    try:
+        ready_conn.send({"port": port, "pid": os.getpid(), "epoch": worker.epoch()})
+    finally:
+        ready_conn.close()
+    worker.serve_forever()

@@ -80,7 +80,8 @@ def test_lint_format_scope_covers_grown_trees(workflow):
     serving (PR 3), the feedback tree and every script (PR 4), the model
     layer behind the serving fast path (PR 5), the resilience layer and
     its chaos suite (PR 6), the execution backends and their test suites
-    (PR 7)."""
+    (PR 7), the multi-process serving tier and the loadtest perf suite
+    (PR 8)."""
     runs = job_run_lines(workflow["jobs"]["lint"])
     format_step = next(
         (
@@ -102,7 +103,9 @@ def test_lint_format_scope_covers_grown_trees(workflow):
         "tests/test_resilience.py",
         "tests/test_exec_backend.py",
         "tests/test_sql_render.py",
+        "tests/test_multiproc.py",
         "benchmarks/test_perf_chaos.py",
+        "benchmarks/test_perf_loadtest.py",
         "benchmarks/test_perf_realbench.py",
     ):
         assert target in scope, f"ruff format scope lost {target}"
@@ -150,9 +153,10 @@ def test_bench_compare_appends_perf_history():
 
 
 def test_bench_smoke_compares_against_baselines(workflow):
-    """The smoke job must diff fresh numbers against the committed
-    BENCH_*.json baselines — warn-only, so noisy runners inform without
-    failing the job."""
+    """The smoke job must diff fresh numbers against the recorded
+    baselines — small deltas warn (noisy runners), past-gate collapses
+    of directional metrics fail the job, and the pipe through ``tee``
+    must not swallow the gate's exit code."""
     job = workflow["jobs"]["bench-smoke"]
     runs = job_run_lines(job)
     assert "scripts/bench_compare.py" in runs
@@ -162,10 +166,50 @@ def test_bench_smoke_compares_against_baselines(workflow):
         if "bench_compare" in str(step.get("run", ""))
     ]
     assert compare_steps
-    assert "warn-only" in str(compare_steps[0].get("name", "")).lower()
+    assert "pipefail" in str(compare_steps[0].get("run", ""))
     script = (ROOT / "scripts" / "bench_compare.py").read_text()
-    assert "return 0" in script  # warn-only: the job never fails on perf
-    assert "::warning" in script  # but regressions are annotated
+    assert "::warning" in script  # small regressions annotate...
+    assert "::error" in script  # ...past-gate regressions fail
+    assert "--no-gate" in script  # with a documented escape hatch
+    assert "1 if failures else 0" in script
+
+
+def test_bench_smoke_runs_multiproc_smoke(workflow):
+    """The multiproc-smoke step must drive the worker-router tier and
+    fail on the liveness signals loadtest.py encodes in its exit code
+    (worker crash, hung shutdown, zero aggregate QPS)."""
+    runs = job_run_lines(workflow["jobs"]["bench-smoke"])
+    scope = " ".join(runs.split())
+    assert "scripts/loadtest.py --workers 2" in scope
+    assert "BENCH_multiproc_smoke.json" in scope
+    # the row is a per-machine liveness signal: uploaded as an artifact
+    # (the BENCH_*.json glob), never committed, never perf-gated
+    assert "BENCH_multiproc_smoke.json" in (ROOT / ".gitignore").read_text()
+    script = (ROOT / "scripts" / "bench_compare.py").read_text()
+    assert "multiproc_smoke" in script
+
+
+def test_ci_cancels_superseded_runs_and_bounds_jobs(workflow):
+    """Every push to a ref supersedes its running pipeline, and no job
+    may hang a runner indefinitely."""
+    group = workflow["concurrency"]
+    assert group["cancel-in-progress"] is True
+    assert "github.ref" in group["group"]
+    for name, job in workflow["jobs"].items():
+        assert isinstance(job.get("timeout-minutes"), int), (
+            f"job {name} must set timeout-minutes"
+        )
+
+
+def test_every_setup_python_step_caches_pip(workflow):
+    for name, job in workflow["jobs"].items():
+        for step in job["steps"]:
+            if "setup-python" not in str(step.get("uses", "")):
+                continue
+            with_block = step.get("with", {})
+            assert with_block.get("cache") == "pip", (
+                f"job {name}: setup-python must enable pip caching"
+            )
 
 
 def test_bench_compare_judges_negative_baselines_by_absolute_delta():
@@ -201,6 +245,28 @@ def test_bench_compare_judges_negative_baselines_by_absolute_delta():
     assert module.direction("scenarios.repeat50.config.duration_s") == 0
     assert module.direction("scenarios.repeat50.seconds") == 0
     assert module.direction("scenarios.repeat50.stats_poll.samples") == 0
+
+
+def test_bench_compare_gate_noise_floor_and_exemptions():
+    """The gate must not fire where the measurement can't support it:
+    sub-millisecond timings (scheduler jitter), microsecond knobs under
+    1ms, sub-millisecond elapsed times — and never on the per-machine
+    multiproc smoke row."""
+    path = ROOT / "scripts" / "bench_compare.py"
+    spec = importlib.util.spec_from_file_location("bench_compare_gate", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert module.noise_floor("scenarios.open_loop.p50_ms", 0.4)
+    assert not module.noise_floor("scenarios.repetitive.p99_ms", 3.0)
+    assert module.noise_floor("x.startup_us", 200.0)
+    assert not module.noise_floor("x.startup_us", 5000.0)
+    assert module.noise_floor("x.seconds", 5e-4)
+    assert not module.noise_floor("x.seconds", 0.5)
+    assert "multiproc_smoke" in module.NEVER_GATE_BENCHES
+    # gate failures surface as ::error and a non-zero exit; --no-gate
+    # and small deltas stay on the warning tier
+    script = path.read_text()
+    assert script.index("::warning") and script.index("::error")
 
 
 def test_bench_script_is_ci_safe():
