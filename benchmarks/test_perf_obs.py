@@ -1,0 +1,148 @@
+"""Observability overhead benchmark: the <5% gate (DESIGN.md §15).
+
+Runs the repetitive-traffic loadtest scenario (90% repeats — the
+paper's motivating shape and the hot path the instrumentation must not
+tax) twice: once with observability enabled, once with ``REPRO_OBS``
+forced off via :func:`repro.obs.metrics.set_enabled`.  Both runs take
+the *same* code path (``score_resilient``), so the measured difference
+is exactly the cost of the clock reads, histogram observes, and span
+bookkeeping.  Writes ``BENCH_obs.json``:
+
+* ``overhead.overhead_fraction`` — the gated directional metric:
+  ``1 - rps_enabled / rps_disabled``, best-of-N each side; must stay
+  under 0.05 (host-relative ratio, so it gates cross-host);
+* ``trace`` — a traced run's per-stage breakdown (mean/p50/share per
+  stage plus top-level span coverage), the per-request attribution
+  view the raw throughput numbers cannot give.
+
+Marked ``perf`` and therefore excluded from the default pytest run;
+invoke via ``scripts/bench.sh benchmarks/test_perf_obs.py``.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs import metrics
+
+pytestmark = pytest.mark.perf
+
+ROOT = Path(__file__).resolve().parent.parent
+BENCH_PATH = ROOT / "BENCH_obs.json"
+
+#: the acceptance gate: instrumentation may cost at most this fraction
+#: of repetitive-traffic throughput
+MAX_OVERHEAD = 0.05
+#: best-of-N per side — saturated-single-core scheduling luck swings
+#: QPS run to run, the same reason the other perf suites report best-of
+RUNS = 3
+
+
+def _load_loadtest_module():
+    """Import scripts/loadtest.py (scripts/ is not a package)."""
+    path = ROOT / "scripts" / "loadtest.py"
+    spec = importlib.util.spec_from_file_location("loadtest_obs_script", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules["loadtest_obs_script"] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_obs_overhead_under_five_percent():
+    lt = _load_loadtest_module()
+    config = lt.LoadtestConfig(
+        duration_s=1.5,
+        repeat_ratio=0.9,
+        shards=4,
+        concurrency=2,
+        submit_chunk=512,
+        max_batch_size=128,
+    )
+
+    def best_qps() -> float:
+        return max(
+            lt.run_loadtest(config)["achieved_qps"] for _ in range(RUNS)
+        )
+
+    # interleaving would be fairer against slow drift, but the registry
+    # gate is process-global: flip once per side, restore afterwards
+    previous = metrics.set_enabled(True)
+    try:
+        rps_enabled = best_qps()
+        metrics.set_enabled(False)
+        rps_disabled = best_qps()
+    finally:
+        metrics.set_enabled(previous)
+
+    overhead = 1.0 - rps_enabled / rps_disabled
+
+    # attribution view: a traced run of the same workload (throughput
+    # is irrelevant here — tracing every 8th burst is not free traffic)
+    traced = lt.run_loadtest(
+        lt.LoadtestConfig(
+            duration_s=1.0,
+            repeat_ratio=0.9,
+            shards=4,
+            concurrency=2,
+            submit_chunk=256,
+            max_batch_size=128,
+            trace_sample=8,
+        )
+    )
+    trace = traced.get("trace")
+
+    doc = {
+        "cpu_count": os.cpu_count(),
+        "notes": (
+            f"overhead_fraction = 1 - rps_enabled/rps_disabled over the "
+            f"repetitive (90 percent repeat) scenario, best-of-{RUNS} per "
+            f"side; gated at {MAX_OVERHEAD:.0%}. The raw rps_* figures are "
+            f"host-absolute and deliberately not gated. trace holds a "
+            f"sampled run's per-stage attribution."
+        ),
+        "overhead": {
+            "rps_enabled": rps_enabled,
+            "rps_disabled": rps_disabled,
+            "overhead_fraction": overhead,
+        },
+        "trace": trace,
+    }
+    BENCH_PATH.write_text(json.dumps(doc, indent=2) + "\n")
+
+    print()
+    print("=" * 78)
+    print("Observability overhead (written to BENCH_obs.json)")
+    print("=" * 78)
+    print(
+        f"  enabled  {rps_enabled:8,.0f} req/s\n"
+        f"  disabled {rps_disabled:8,.0f} req/s\n"
+        f"  overhead {overhead:+.2%} (budget {MAX_OVERHEAD:.0%})"
+    )
+    if trace:
+        print(
+            f"  trace: {trace['sampled']} sampled, mean e2e "
+            f"{trace['e2e_ms']:.2f}ms, span coverage "
+            f"{trace['span_coverage']:.1%}"
+        )
+        for name, row in trace["stages"].items():
+            print(
+                f"    {name:<20} {row['ms']:>8.3f}ms mean  "
+                f"{row['share']:>6.1%} of e2e"
+            )
+
+    assert rps_enabled > 0 and rps_disabled > 0
+    assert overhead < MAX_OVERHEAD, (
+        f"observability costs {overhead:.2%} of repetitive-traffic QPS "
+        f"(budget {MAX_OVERHEAD:.0%})"
+    )
+    # the traced run produced a usable attribution table
+    assert trace is not None and trace["sampled"] > 0
+    assert trace["stages"], "traced run recorded no stages"
+    # top-level spans tile the request: the attribution is trustworthy
+    assert trace["span_coverage"] > 0.5

@@ -25,6 +25,7 @@ selection=(
     benchmarks/test_perf_serving.py
     benchmarks/test_perf_feedback.py
     benchmarks/test_perf_loadtest.py
+    benchmarks/test_perf_obs.py
     benchmarks/test_perf_chaos.py
     benchmarks/test_perf_realbench.py
 )

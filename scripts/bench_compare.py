@@ -53,7 +53,9 @@ LOWER_IS_BETTER = ("seconds", "_us", "_ms", "latency", "overhead", "samples")
 #: path fragments that are configuration/run-shape, not perf: a changed
 #: knob (loadtest max_wait_us, scenario duration, poll count) must never
 #: be reported as a perf regression
-NOT_A_METRIC = (".config.", "stats_poll.samples")
+#: (BENCH_obs's ``trace.*`` table is per-request attribution from a
+#: handful of sampled traces — diagnostic, not a perf trajectory)
+NOT_A_METRIC = (".config.", "stats_poll.samples", "trace.")
 
 #: benches whose numbers are liveness smoke signals, not a perf
 #: trajectory — warn, record in history, but never fail the run

@@ -60,6 +60,7 @@ import numpy as np
 
 from repro.core import encoding as enc
 from repro.core.joint_graph import JointGraph
+from repro.obs import tracing
 from repro.feedback import FeedbackLog, FeedbackRecord
 from repro.model import CostGNN, GNNConfig
 from repro.serve import (
@@ -97,6 +98,10 @@ class LoadtestConfig:
     #: warm-cache protocol as the committed BENCH_serving baseline
     #: (which reports best-of-N over a warmed engine)
     warmup: bool = True
+    #: trace every Nth burst per worker (0 = off); traced runs go
+    #: through ``score_resilient`` so the span taxonomy applies, and the
+    #: result gains a per-stage breakdown table
+    trace_sample: int = 0
     hidden_dim: int = 32
     seed: int = 0
 
@@ -191,6 +196,7 @@ def _drive_traffic(config: LoadtestConfig, score, describe) -> dict:
     def worker(index: int) -> None:
         sampler = WorkloadSampler(config, index, started)
         mine = latencies[index]
+        bursts = 0
         if config.rate is not None:
             interval = config.submit_chunk * config.concurrency / config.rate
             next_sched = started + (index / config.concurrency) * interval
@@ -208,7 +214,12 @@ def _drive_traffic(config: LoadtestConfig, score, describe) -> dict:
             else:
                 sched = time.perf_counter()
             batch = [sampler.sample(sched) for _ in range(config.submit_chunk)]
-            score(batch)
+            bursts += 1
+            if config.trace_sample > 0 and bursts % config.trace_sample == 0:
+                with tracing.trace_request():
+                    score(batch)
+            else:
+                score(batch)
             done = time.perf_counter()
             mine.extend([done - sched] * len(batch))
             counts[index] += len(batch)
@@ -220,6 +231,8 @@ def _drive_traffic(config: LoadtestConfig, score, describe) -> dict:
             stats_latencies.append(time.perf_counter() - t0)
             stop_poller.wait(0.02)
 
+    if config.trace_sample > 0:
+        tracing.clear_recent()
     threads = [
         threading.Thread(target=worker, args=(i,), name=f"loadgen-{i}")
         for i in range(config.concurrency)
@@ -249,7 +262,45 @@ def _drive_traffic(config: LoadtestConfig, score, describe) -> dict:
     }
     if config.rate is not None:
         result["target_rate"] = config.rate
+    if config.trace_sample > 0:
+        result["trace"] = _trace_summary(tracing.recent_traces(64))
     return result
+
+
+def _trace_summary(traces) -> dict | None:
+    """Per-stage attribution over sampled traces (the BENCH_obs table).
+
+    ``share`` is each stage's mean as a fraction of mean end-to-end
+    latency; ``span_coverage`` is the fraction the *top-level* spans
+    tile (they should approach 1.0 — the 10% acceptance gate).
+    """
+    if not traces:
+        return None
+    stages: dict[str, list[float]] = {}
+    totals, top_level = [], []
+    for trace in traces:
+        totals.append(trace.total_seconds())
+        top_level.append(trace.top_level_seconds())
+        for name, seconds in trace.breakdown().items():
+            stages.setdefault(name, []).append(seconds)
+    mean_total = float(np.mean(totals))
+    e2e_ms = mean_total * 1e3
+    doc: dict = {
+        "sampled": len(traces),
+        "e2e_ms": e2e_ms,
+        "span_coverage": (
+            float(np.mean(top_level)) / mean_total if mean_total else 0.0
+        ),
+        "stages": {},
+    }
+    for name, values in sorted(stages.items()):
+        arr = np.asarray(values, dtype=np.float64) * 1e3
+        doc["stages"][name] = {
+            "ms": float(arr.mean()),
+            "p50": float(np.percentile(arr, 50)),
+            "share": float(arr.mean()) / e2e_ms if e2e_ms else 0.0,
+        }
+    return doc
 
 
 def run_loadtest(config: LoadtestConfig) -> dict:
@@ -268,8 +319,9 @@ def run_loadtest(config: LoadtestConfig) -> dict:
         templates = synthetic_graphs(config.templates, seed=config.seed)
         for start in range(0, len(templates), config.max_batch_size):
             engine.score(templates[start : start + config.max_batch_size])
+    score = engine.score if config.trace_sample == 0 else engine.score_resilient
     with engine:
-        core = _drive_traffic(config, engine.score, engine.describe)
+        core = _drive_traffic(config, score, engine.describe)
         description = engine.describe()
 
     prediction = description.get("prediction_cache", {})
@@ -312,7 +364,8 @@ def run_multiproc_loadtest(config: LoadtestConfig, workers: int) -> dict:
             templates = synthetic_graphs(config.templates, seed=config.seed)
             for start in range(0, len(templates), config.max_batch_size):
                 router.score(templates[start : start + config.max_batch_size])
-        core = _drive_traffic(config, router.score, router.describe)
+        score = router.score if config.trace_sample == 0 else router.score_resilient
+        core = _drive_traffic(config, score, router.describe)
         description = router.describe(include_workers=True)
     finally:
         hung = router.close()
@@ -567,6 +620,21 @@ def run_chaos(config: LoadtestConfig, names: list[str]) -> dict:
     }
 
 
+def _print_trace_table(trace: dict | None) -> None:
+    if not trace:
+        return
+    print(
+        f"trace sample: {trace['sampled']} requests, "
+        f"mean e2e {trace['e2e_ms']:.2f}ms, "
+        f"top-level span coverage {trace['span_coverage']:.1%}"
+    )
+    for name, row in trace["stages"].items():
+        print(
+            f"  {name:<20} {row['ms']:>8.3f}ms mean "
+            f"{row['p50']:>8.3f}ms p50  {row['share']:>6.1%} of e2e"
+        )
+
+
 def serving_baseline_rps() -> float | None:
     """The committed micro-batched baseline (PR 3's BENCH_serving.json)."""
     path = ROOT / "BENCH_serving.json"
@@ -593,6 +661,13 @@ def main(argv: list[str] | None = None) -> int:
         type=float,
         default=None,
         help="open-loop arrival rate in req/s (default: closed-loop saturation)",
+    )
+    parser.add_argument(
+        "--trace-sample",
+        type=int,
+        default=0,
+        help="trace every Nth burst and report a per-stage latency "
+        "breakdown (0 = off); writes BENCH_obs.json unless --out is given",
     )
     parser.add_argument("--hidden-dim", type=int, default=32)
     parser.add_argument("--seed", type=int, default=0)
@@ -627,9 +702,12 @@ def main(argv: list[str] | None = None) -> int:
         max_batch_size=args.max_batch_size,
         submit_chunk=args.submit_chunk,
         rate=args.rate,
+        trace_sample=args.trace_sample,
         hidden_dim=args.hidden_dim,
         seed=args.seed,
     )
+    if args.trace_sample > 0 and not args.out:
+        args.out = "BENCH_obs.json"
     if args.chaos is not None:
         names = args.chaos or list(CHAOS_SCENARIOS)
         unknown = [n for n in names if n not in CHAOS_SCENARIOS]
@@ -694,6 +772,7 @@ def main(argv: list[str] | None = None) -> int:
         f"prediction-cache hit rate {result['prediction_cache_hit_rate']:.1%}, "
         f"stats-poll p95 {result['stats_poll']['p95_ms']:.2f}ms"
     )
+    _print_trace_table(result.get("trace"))
     if baseline:
         print(
             f"vs committed batched baseline {baseline:,.0f} req/s: "

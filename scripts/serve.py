@@ -228,6 +228,14 @@ def main(argv: list[str] | None = None) -> None:
         "none); clients override per call with an X-Deadline-Ms header",
     )
     parser.add_argument(
+        "--slow-ms",
+        type=float,
+        default=-1.0,
+        help="arm the slow-request log: requests slower than this emit "
+        "one JSON line with their span breakdown (negative = "
+        "$REPRO_SLOW_MS or off)",
+    )
+    parser.add_argument(
         "--shards",
         type=int,
         default=0,
@@ -249,10 +257,14 @@ def main(argv: list[str] | None = None) -> None:
         # the HTTP layer reads the env per request, so the flag is just
         # a spelling of the env knob that wins over an inherited value
         os.environ["REPRO_DEADLINE_MS"] = str(args.deadline_ms)
+    if args.slow_ms >= 0:
+        # same pattern: tracing reads the env per request
+        os.environ["REPRO_SLOW_MS"] = str(args.slow_ms)
     if args.workers > 0:
         server, router, version = build_multiproc_service(args)
         server.serve_in_background()
         print(f"serving {version.ref} at {server.url} (SIGTERM/ctrl-c to stop)")
+        print(f"metrics at {server.url}/metrics, stats at {server.url}/stats")
         previous = signal.signal(signal.SIGTERM, _raise_keyboard_interrupt)
         try:
             while True:
@@ -268,6 +280,7 @@ def main(argv: list[str] | None = None) -> None:
         return
     server, _, version = build_service(args)
     print(f"serving {version.ref} at {server.url} (SIGTERM/ctrl-c to stop)")
+    print(f"metrics at {server.url}/metrics, stats at {server.url}/stats")
     serve_until_signalled(server)
 
 

@@ -33,6 +33,7 @@ import numpy as np
 from repro.core.joint_graph import JointGraph
 from repro.eval.resultstore import SCHEMA_VERSION, feedback_dir, fingerprint
 from repro.exceptions import FeedbackError
+from repro.obs import tracing
 
 _CHUNK_RE = re.compile(r"^chunk_(\d{8})_[0-9a-f]+\.pkl$")
 
@@ -344,6 +345,10 @@ class FeedbackLog:
         from repro.serve import faults
 
         faults.fire("feedback.flush")
+        with tracing.span("feedback.flush"):
+            return self._write_chunk_inner(records)
+
+    def _write_chunk_inner(self, records: list[FeedbackRecord]) -> Path:
         fp = fingerprint(
             "feedback_chunk",
             self._next_seq,

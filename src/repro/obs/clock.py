@@ -1,0 +1,39 @@
+"""The one timing clock for the serving stack.
+
+Before this seam existed the stack mixed two clocks:
+``EngineStats.busy_seconds`` was measured with ``time.perf_counter``
+while deadlines, breaker latency, and queue-wait arithmetic used
+``time.monotonic``.  Both are monotonic, but their epochs differ and
+CPython documents no relationship between them, so a delta computed
+from one cannot be compared with a timestamp taken from the other.
+One near-miss was enough: a span that starts on ``perf_counter`` can
+never be checked against a ``deadline_from_ms`` budget.
+
+The documented choice is ``time.monotonic``:
+
+* deadlines are *absolute* monotonic timestamps
+  (:func:`repro.serve.resilience.deadline_from_ms`), so any duration
+  that might ever be compared against a deadline must come from the
+  same clock;
+* on Linux both clocks resolve to ``CLOCK_MONOTONIC`` granularity
+  (~ns), so nothing is lost for the micro-batch timings this repo
+  cares about.
+
+Every duration in ``repro.serve``/``repro.obs`` — busy-seconds, span
+timings, breaker probe latency, queue wait — reads this module's
+:func:`monotonic` and nothing else.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["monotonic", "now"]
+
+#: the process-wide duration clock (seconds, float)
+monotonic = time.monotonic
+
+
+def now() -> float:
+    """Seconds on the process-wide monotonic clock."""
+    return monotonic()

@@ -53,6 +53,7 @@ from repro.exceptions import (
 from repro.model.batching import make_batch_prepared
 from repro.model.gnn import CostGNN
 from repro.model.prepared import PreparedGraphCache, default_graph_cache
+from repro.obs import clock, metrics, tracing
 from repro.serve import faults
 from repro.serve.cache import PredictionCache, PreparedRequestCache
 from repro.serve.resilience import (
@@ -127,8 +128,9 @@ class EngineStats:
 class _Request:
     graph: JointGraph
     future: Future
-    enqueued: float = field(default_factory=time.monotonic)
-    #: absolute ``time.monotonic()`` deadline; expired requests are shed
+    enqueued: float = field(default_factory=clock.monotonic)
+    #: absolute monotonic deadline (:mod:`repro.obs.clock`); expired
+    #: requests are shed
     #: from the batch *before* the forward pass is paid for them
     deadline: float | None = None
 
@@ -291,7 +293,7 @@ class MicroBatchEngine:
                 # full or the *oldest* request has waited max_wait_us.
                 deadline = self._queue[0].enqueued + self.max_wait_s
                 while len(self._queue) < self.max_batch_size and not self._closed:
-                    remaining = deadline - time.monotonic()
+                    remaining = deadline - clock.monotonic()
                     if remaining <= 0:
                         break
                     self._wake.wait(remaining)
@@ -321,7 +323,7 @@ class MicroBatchEngine:
     def _process(self, requests: list[_Request], reason: str) -> None:
         # shed expired requests *before* paying the forward: nobody is
         # waiting for these answers any more
-        now = time.monotonic()
+        now = clock.monotonic()
         live: list[_Request] = []
         for request in requests:
             if request.deadline is not None and now >= request.deadline:
@@ -334,7 +336,10 @@ class MicroBatchEngine:
         if not live:
             return
         requests = live
-        start = time.perf_counter()
+        if metrics.enabled():
+            for request in requests:
+                tracing.observe_stage("queue.wait", now - request.enqueued)
+        start = clock.monotonic()
         try:
             runtimes = self._predict_joint([r.graph for r in requests])
         except Exception:
@@ -357,7 +362,9 @@ class MicroBatchEngine:
         stats.batches += 1
         stats.predictions += len(requests)
         stats.max_batch_observed = max(stats.max_batch_observed, len(requests))
-        stats.busy_seconds += time.perf_counter() - start
+        elapsed = clock.monotonic() - start
+        stats.busy_seconds += elapsed
+        tracing.observe_stage("model.forward", elapsed)
         if reason == "size":
             stats.size_flushes += 1
         elif reason == "timeout":
@@ -547,7 +554,7 @@ class ShardedEngine:
                     continue
                 shard.revive()
                 self._restarts += 1
-                self._last_restart = time.monotonic()
+                self._last_restart = clock.monotonic()
                 health = self.health
                 if health is not None:
                     health.note_restart()
@@ -628,11 +635,12 @@ class ShardedEngine:
         cache = self.prediction_cache
         token = cache.token() if cache is not None else None
         version = self._model_version
+        lookup_started = clock.monotonic()
         fps = self.request_cache.fingerprints(graphs)
         keys: list[tuple[int, str, str, float]] = [
             (version, fp, ctx[0], float(ctx[1])) for fp, ctx in zip(fps, contexts)
         ]
-        if deadline is not None and time.monotonic() >= deadline:
+        if deadline is not None and clock.monotonic() >= deadline:
             exc = DeadlineExceeded("deadline expired before scoring began")
             return ScoreOutcome([None] * n, ["shed_deadline"] * n, [exc] * n)
         if cache is not None:
@@ -640,6 +648,7 @@ class ShardedEngine:
                 if value is not None:
                     values[i] = value
                     statuses[i] = "ok"
+        tracing.observe_stage("cache.lookup", clock.monotonic() - lookup_started)
         miss = [i for i in range(n) if statuses[i] is None]
         if not miss:
             return ScoreOutcome(values, statuses, errors)
@@ -652,7 +661,9 @@ class ShardedEngine:
         if breaker is not None and not breaker.allow():
             self._fill_degraded(reps, graphs, values, statuses, errors, None)
         else:
+            wait_started = clock.monotonic()
             self._score_primary(reps, graphs, keys, deadline, values, statuses, errors)
+            tracing.observe_stage("engine.wait", clock.monotonic() - wait_started)
             # primary-path errors fall through to the degraded tier only
             # once the breaker agrees the GNN path is unhealthy — a bad
             # input on a healthy engine stays an honest error
@@ -715,7 +726,7 @@ class ShardedEngine:
         # all resolve together while the first one is awaited, so a
         # per-leader clock started at wait time would read ~0 for the
         # rest and hide a brownout from the breaker
-        submitted = time.monotonic()
+        submitted = clock.monotonic()
         for i, shard_future in zip(leaders, shard_futures):
             key = keys[i]
             value: float | None = None
@@ -756,7 +767,7 @@ class ShardedEngine:
                 values[i] = value
                 statuses[i] = "ok"
                 if breaker is not None:
-                    breaker.record_success(time.monotonic() - submitted)
+                    breaker.record_success(clock.monotonic() - submitted)
             else:
                 errors[i] = err
                 statuses[i] = self._shed_status(err)
@@ -836,6 +847,25 @@ class ShardedEngine:
         default_exc: BaseException | None,
     ) -> None:
         """Answer ``indices`` from the fallback tier (in place)."""
+        fallback_started = clock.monotonic()
+        try:
+            self._fill_degraded_inner(
+                indices, graphs, values, statuses, errors, default_exc
+            )
+        finally:
+            tracing.observe_stage(
+                "degraded.fallback", clock.monotonic() - fallback_started
+            )
+
+    def _fill_degraded_inner(
+        self,
+        indices: list[int],
+        graphs: list[JointGraph],
+        values: list,
+        statuses: list,
+        errors: list,
+        default_exc: BaseException | None,
+    ) -> None:
         fb = self.fallback
         if fb is None:
             exc = default_exc or ServingError(

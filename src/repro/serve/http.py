@@ -30,6 +30,7 @@ prepared/prediction tiers stay hot too (DESIGN.md §11).
 
 from __future__ import annotations
 
+import itertools
 import json
 import logging
 import os
@@ -44,6 +45,7 @@ from repro.exceptions import (
     ReproError,
     ServingError,
 )
+from repro.obs import clock, export, metrics, tracing
 from repro.serve import faults
 from repro.serve.advisor_service import AdvisorService
 from repro.serve.cache import payload_fingerprint
@@ -67,6 +69,27 @@ MAX_FEEDBACK_RECORDS = 1024
 
 #: seconds a shed client should wait before retrying (the 503 header)
 RETRY_AFTER_S = 1
+
+#: request-metric route labels stay bounded: anything else is "other"
+KNOWN_ROUTES = frozenset(
+    ("/healthz", "/stats", "/models", "/metrics", "/predict", "/advise", "/feedback")
+)
+
+HTTP_REQUESTS = metrics.counter(
+    "repro_http_requests_total",
+    "HTTP requests by route and status code",
+    labelnames=("route", "status"),
+)
+HTTP_SECONDS = metrics.histogram(
+    "repro_http_request_seconds",
+    "End-to-end HTTP request latency by route",
+    labelnames=("route",),
+)
+
+
+def metric_route(path: str) -> str:
+    route = path.split("?", 1)[0]
+    return route if route in KNOWN_ROUTES else "other"
 
 
 def default_deadline_ms() -> float | None:
@@ -111,6 +134,8 @@ class ServingServer(ThreadingHTTPServer):
         if getattr(service.engine, "health", "missing") is None:
             service.engine.health = self.health
         self.started = time.time()
+        #: feeds the every-Nth trace sampler (REPRO_TRACE_SAMPLE)
+        self.request_seq = itertools.count(1)
         self.health.mark_ready()
 
     def drain(self) -> None:
@@ -129,6 +154,27 @@ class ServingServer(ThreadingHTTPServer):
         feedback = self.service.feedback
         if feedback is not None:
             feedback.flush()
+
+    def cache_section(self) -> dict:
+        """Per-tier cache counters for the /stats ``caches`` section."""
+        caches: dict = {}
+        request_cache = getattr(self.engine, "request_cache", None)
+        if request_cache is not None:
+            caches["request"] = request_cache.stats()
+        prediction_cache = getattr(self.engine, "prediction_cache", None)
+        if prediction_cache is not None:
+            caches["prediction"] = prediction_cache.stats()
+        return caches
+
+    def render_metrics(self) -> str:
+        """Prometheus text: live registry + scrape-time engine samples."""
+        return metrics.render(
+            export.serving_samples(
+                engine=self.engine,
+                health=self.health,
+                feedback=self.service.feedback,
+            )
+        )
 
     @property
     def url(self) -> str:
@@ -150,6 +196,33 @@ class ServingHandler(BaseHTTPRequestHandler):
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         pass  # keep pytest/CLI output clean; stats cover observability
 
+    def _begin(self) -> None:
+        """Start per-request observability state (id, trace, clock)."""
+        self._obs_started = clock.monotonic()
+        self._obs_status = 0
+        self._request_id = (
+            self.headers.get("X-Request-Id") or tracing.new_request_id()
+        )
+        self._trace = tracing.maybe_trace(
+            self.headers.get("X-Trace-Id"),
+            self._request_id,
+            next(self.server.request_seq),
+        )
+        self._trace_token = tracing.push(self._trace)
+
+    def _finish(self) -> None:
+        elapsed = clock.monotonic() - self._obs_started
+        route = metric_route(self.path)
+        if metrics.enabled():
+            HTTP_REQUESTS.labels(route, str(self._obs_status or 0)).inc()
+            HTTP_SECONDS.labels(route).observe(elapsed)
+        trace = self._trace
+        if trace is not None:
+            tracing.pop(self._trace_token)
+            self._trace = None
+            tracing.finish(trace)
+            tracing.maybe_log_slow(trace, route=route, status=self._obs_status or 0)
+
     def _send_json(
         self, payload: dict, status: int = 200, retry_after: int | None = None
     ) -> None:
@@ -157,10 +230,22 @@ class ServingHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        self._send_obs_headers()
         if retry_after is not None:
             self.send_header("Retry-After", str(retry_after))
         self.end_headers()
         self.wfile.write(body)
+        self._obs_status = status
+
+    def _send_obs_headers(self) -> None:
+        # every response is joinable to server logs (X-Request-Id) and,
+        # when traced, to its span breakdown (X-Trace-Id)
+        request_id = getattr(self, "_request_id", None)
+        if request_id:
+            self.send_header("X-Request-Id", request_id)
+        trace = getattr(self, "_trace", None)
+        if trace is not None:
+            self.send_header("X-Trace-Id", trace.trace_id)
 
     def _send_error_json(
         self,
@@ -173,11 +258,15 @@ class ServingHandler(BaseHTTPRequestHandler):
 
         ``message`` is client-safe by contract — internal exception text
         never travels here (see ``_map_exception``), only the log line.
+        The request id rides in the body too, so a client-side error
+        report alone is enough to find the server's matching log line.
         """
+        error = {"code": code, "message": message}
+        request_id = getattr(self, "_request_id", None)
+        if request_id:
+            error["request_id"] = request_id
         self._send_json(
-            {"error": {"code": code, "message": message}},
-            status=status,
-            retry_after=retry_after,
+            {"error": error}, status=status, retry_after=retry_after
         )
 
     def _map_exception(self, exc: BaseException) -> None:
@@ -198,7 +287,12 @@ class ServingHandler(BaseHTTPRequestHandler):
         elif isinstance(exc, ReproError):
             self._send_error_json(422, "unprocessable", str(exc))
         else:
-            logger.exception("unhandled error serving %s", self.path, exc_info=exc)
+            logger.exception(
+                "unhandled error serving %s (request %s)",
+                self.path,
+                getattr(self, "_request_id", "-"),
+                exc_info=exc,
+            )
             self._send_error_json(500, "internal", "internal server error")
 
     def _deadline(self) -> float | None:
@@ -254,6 +348,13 @@ class ServingHandler(BaseHTTPRequestHandler):
 
     # -- routes --------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - stdlib handler name
+        self._begin()
+        try:
+            self._route_get()
+        finally:
+            self._finish()
+
+    def _route_get(self) -> None:
         server = self.server
         if self.path == "/healthz":
             model_ref = server.model_ref
@@ -274,12 +375,24 @@ class ServingHandler(BaseHTTPRequestHandler):
             # balancers stop routing here
             retry = RETRY_AFTER_S if health.http_status() == 503 else None
             self._send_json(payload, status=health.http_status(), retry_after=retry)
+        elif self.path == "/metrics":
+            body = server.render_metrics().encode()
+            self.send_response(200)
+            self.send_header(
+                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+            )
+            self.send_header("Content-Length", str(len(body)))
+            self._send_obs_headers()
+            self.end_headers()
+            self.wfile.write(body)
+            self._obs_status = 200
         elif self.path == "/stats":
             # every section is a snapshot read: the engine reports queue
             # depths and per-shard counters without its dispatch lock,
             # so /stats stays responsive while the workers are saturated
             stats = server.service.describe()
             stats["health"] = server.health.describe()
+            stats["caches"] = server.cache_section()
             if server.loop is not None:
                 stats["feedback_loop"] = server.loop.describe()
             if server.registry is not None:
@@ -294,6 +407,13 @@ class ServingHandler(BaseHTTPRequestHandler):
             self._send_error_json(404, "not_found", f"unknown path {self.path!r}")
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib handler name
+        self._begin()
+        try:
+            self._route_post()
+        finally:
+            self._finish()
+
+    def _route_post(self) -> None:
         try:
             if self.server.health.state() == "draining":
                 raise EngineClosed("server is draining")
@@ -304,7 +424,7 @@ class ServingHandler(BaseHTTPRequestHandler):
             deadline = self._deadline()
             raw = self._read_raw()
             faults.fire("decode")
-            if deadline is not None and time.monotonic() >= deadline:
+            if deadline is not None and clock.monotonic() >= deadline:
                 raise DeadlineExceeded("deadline expired while decoding")
             if self.path == "/predict":
                 self._handle_predict(raw, deadline)
@@ -334,15 +454,16 @@ class ServingHandler(BaseHTTPRequestHandler):
     def _handle_predict(self, raw: bytes, deadline: float | None = None) -> None:
         # repeat bodies (same bytes) skip json.loads + codec decode and
         # return the same graph objects, keeping downstream caches hot
-        graphs, remember = self._cached_payload(raw, "predict")
-        if graphs is None:
-            payload = self._parse(raw)
-            raw_graphs = payload.get("graphs")
-            if not isinstance(raw_graphs, list) or not raw_graphs:
-                raise ServingError('"graphs" must be a non-empty list')
-            graphs = [graph_from_json(g) for g in raw_graphs]
-            if remember is not None:
-                remember(graphs)
+        with tracing.span("http.decode"):
+            graphs, remember = self._cached_payload(raw, "predict")
+            if graphs is None:
+                payload = self._parse(raw)
+                raw_graphs = payload.get("graphs")
+                if not isinstance(raw_graphs, list) or not raw_graphs:
+                    raise ServingError('"graphs" must be a non-empty list')
+                graphs = [graph_from_json(g) for g in raw_graphs]
+                if remember is not None:
+                    remember(graphs)
         engine = self.server.engine
         resilient = getattr(engine, "score_resilient", None)
         if resilient is not None:
@@ -381,26 +502,27 @@ class ServingHandler(BaseHTTPRequestHandler):
         self._send_json(response)
 
     def _handle_advise(self, raw: bytes, deadline: float | None = None) -> None:
-        parsed, remember = self._cached_payload(raw, "advise")
-        if parsed is None:
-            payload = self._parse(raw)
-            raw_query = payload.get("query")
-            if not isinstance(raw_query, dict):
-                raise ServingError('"query" must be an object')
-            query = query_from_json(raw_query)
-            true_selectivity = payload.get("true_selectivity")
-            if true_selectivity is not None:
-                try:
-                    true_selectivity = float(true_selectivity)
-                except (TypeError, ValueError) as exc:
-                    raise ServingError(
-                        f"invalid true_selectivity {true_selectivity!r}"
-                    ) from exc
-            client = str(payload.get("client", "anonymous"))
-            strategy = payload.get("strategy")
-            parsed = (query, true_selectivity, client, strategy)
-            if remember is not None:
-                remember(parsed)
+        with tracing.span("http.decode"):
+            parsed, remember = self._cached_payload(raw, "advise")
+            if parsed is None:
+                payload = self._parse(raw)
+                raw_query = payload.get("query")
+                if not isinstance(raw_query, dict):
+                    raise ServingError('"query" must be an object')
+                query = query_from_json(raw_query)
+                true_selectivity = payload.get("true_selectivity")
+                if true_selectivity is not None:
+                    try:
+                        true_selectivity = float(true_selectivity)
+                    except (TypeError, ValueError) as exc:
+                        raise ServingError(
+                            f"invalid true_selectivity {true_selectivity!r}"
+                        ) from exc
+                client = str(payload.get("client", "anonymous"))
+                strategy = payload.get("strategy")
+                parsed = (query, true_selectivity, client, strategy)
+                if remember is not None:
+                    remember(parsed)
         query, true_selectivity, client, strategy = parsed
         session = self.server.service.session(client)
         decision = session.suggest_placement(

@@ -30,6 +30,7 @@ The DESIGN.md §12 contracts carry over verbatim:
 from __future__ import annotations
 
 import asyncio
+import itertools
 import json
 import logging
 import threading
@@ -43,9 +44,17 @@ from repro.exceptions import (
     ReproError,
     ServingError,
 )
+from repro.obs import clock, export, metrics, tracing
 from repro.serve.cache import payload_fingerprint
 from repro.serve.codec import graph_from_json
-from repro.serve.http import MAX_BODY_BYTES, RETRY_AFTER_S, default_deadline_ms
+from repro.serve.http import (
+    HTTP_REQUESTS,
+    HTTP_SECONDS,
+    MAX_BODY_BYTES,
+    RETRY_AFTER_S,
+    default_deadline_ms,
+    metric_route,
+)
 from repro.serve.resilience import deadline_from_ms
 from repro.serve.router import WorkerRouter
 
@@ -96,6 +105,8 @@ class AsyncServingServer:
         self.model_ref = model_ref or getattr(router, "model_name", "")
         self.max_inflight = max_inflight
         self.started = time.time()
+        #: feeds the every-Nth trace sampler (REPRO_TRACE_SAMPLE)
+        self._req_seq = itertools.count(1)
         self._pool = ThreadPoolExecutor(
             max_workers=forward_threads, thread_name_prefix="async-forward"
         )
@@ -208,15 +219,35 @@ class AsyncServingServer:
                     http_version == "HTTP/1.1"
                     and headers.get("connection", "").lower() != "close"
                 )
+                started = clock.monotonic()
+                request_id = (
+                    headers.get("x-request-id") or tracing.new_request_id()
+                )
+                trace = tracing.maybe_trace(
+                    headers.get("x-trace-id"), request_id, next(self._req_seq)
+                )
                 try:
                     status, payload, retry_after = await self._dispatch(
-                        method, path, headers, body
+                        method, path, headers, body, trace=trace
                     )
                 except Exception as exc:
-                    status, payload, retry_after = _map_exception(exc, path)
+                    status, payload, retry_after = _map_exception(
+                        exc, path, request_id
+                    )
+                if isinstance(payload, dict) and isinstance(
+                    payload.get("error"), dict
+                ):
+                    payload["error"].setdefault("request_id", request_id)
                 await self._respond(
-                    writer, status, payload, retry_after, keep_alive
+                    writer,
+                    status,
+                    payload,
+                    retry_after,
+                    keep_alive,
+                    request_id=request_id,
+                    trace_id=trace.trace_id if trace is not None else None,
                 )
+                self._observe_request(path, status, started, trace)
                 if not keep_alive:
                     return
         except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
@@ -256,21 +287,43 @@ class AsyncServingServer:
         self,
         writer: asyncio.StreamWriter,
         status: int,
-        payload: dict,
+        payload: dict | str,
         retry_after: int | None,
         keep_alive: bool,
+        request_id: str | None = None,
+        trace_id: str | None = None,
     ) -> None:
-        body = json.dumps(payload).encode()
+        if isinstance(payload, str):
+            # /metrics hands back pre-rendered Prometheus text
+            body = payload.encode()
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(payload).encode()
+            content_type = "application/json"
         head = [
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
             f"Connection: {'keep-alive' if keep_alive else 'close'}",
         ]
+        if request_id:
+            head.append(f"X-Request-Id: {request_id}")
+        if trace_id:
+            head.append(f"X-Trace-Id: {trace_id}")
         if retry_after is not None:
             head.append(f"Retry-After: {retry_after}")
         writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + body)
         await writer.drain()
+
+    def _observe_request(self, path, status, started, trace) -> None:
+        elapsed = clock.monotonic() - started
+        route = metric_route(path)
+        if metrics.enabled():
+            HTTP_REQUESTS.labels(route, str(status)).inc()
+            HTTP_SECONDS.labels(route).observe(elapsed)
+        if trace is not None:
+            tracing.finish(trace)
+            tracing.maybe_log_slow(trace, route=route, status=status)
 
     async def _respond_error(
         self, writer: asyncio.StreamWriter, status: int, code: str, message: str
@@ -285,7 +338,7 @@ class AsyncServingServer:
 
     # -- routing --------------------------------------------------------
     async def _dispatch(
-        self, method: str, path: str, headers: dict, body: bytes
+        self, method: str, path: str, headers: dict, body: bytes, trace=None
     ):
         """``(status, payload, retry_after)`` for one parsed request."""
         if method == "GET":
@@ -293,6 +346,8 @@ class AsyncServingServer:
                 return self._healthz()
             if path == "/stats":
                 return 200, self._stats(), None
+            if path == "/metrics":
+                return 200, self.render_metrics(), None
             return (
                 404,
                 {"error": {"code": "not_found", "message": f"unknown path {path!r}"}},
@@ -325,9 +380,13 @@ class AsyncServingServer:
                 )
             self._inflight += 1
         loop = asyncio.get_running_loop()
+        # contextvars do not cross run_in_executor: hand the trace over
+        # explicitly, with the hop's start time so the pool-queue wait
+        # lands in queue.wait
+        submitted = clock.monotonic()
         try:
             payload = await loop.run_in_executor(
-                self._pool, self._predict_blocking, body, deadline
+                self._pool, self._predict_blocking, body, deadline, trace, submitted
             )
         finally:
             with self._inflight_lock:
@@ -357,12 +416,32 @@ class AsyncServingServer:
             "state": self._state,
             "uptime_seconds": time.time() - self.started,
         }
+        fp_cache = getattr(self.router, "fp_cache", None)
+        if fp_cache is not None:
+            stats["caches"] = {"frontend": fp_cache.stats()}
         return stats
 
+    def render_metrics(self) -> str:
+        """Prometheus text: live registry + scrape-time router samples."""
+        return metrics.render(export.router_samples(self.router))
+
     # -- blocking scoring hop (runs on the pool) ------------------------
-    def _predict_blocking(self, raw: bytes, deadline: float | None) -> dict:
-        graphs = self._decode_graphs(raw)
-        if deadline is not None and time.monotonic() >= deadline:
+    def _predict_blocking(
+        self,
+        raw: bytes,
+        deadline: float | None,
+        trace=None,
+        submitted: float | None = None,
+    ) -> dict:
+        with tracing.activate(trace):
+            if submitted is not None:
+                tracing.observe_stage("queue.wait", clock.monotonic() - submitted)
+            return self._predict_traced(raw, deadline)
+
+    def _predict_traced(self, raw: bytes, deadline: float | None) -> dict:
+        with tracing.span("http.decode"):
+            graphs = self._decode_graphs(raw)
+        if deadline is not None and clock.monotonic() >= deadline:
             raise DeadlineExceeded("deadline expired while decoding")
         outcome = self.router.score_resilient(graphs, deadline=deadline)
         answered = [v is not None for v in outcome.values]
@@ -438,7 +517,7 @@ def _item_error(index: int, status: str, err: BaseException | None) -> dict:
     return {"index": index, "code": code.get(status, "error"), "message": message}
 
 
-def _map_exception(exc: BaseException, path: str):
+def _map_exception(exc: BaseException, path: str, request_id: str = "-"):
     """Status mapping mirror of the sync server's ``_map_exception``."""
     if isinstance(exc, (EngineOverloaded, EngineClosed)):
         code = "overloaded" if isinstance(exc, EngineOverloaded) else "draining"
@@ -453,7 +532,9 @@ def _map_exception(exc: BaseException, path: str):
         return 400, {"error": {"code": "bad_request", "message": str(exc)}}, None
     if isinstance(exc, ReproError):
         return 422, {"error": {"code": "unprocessable", "message": str(exc)}}, None
-    logger.exception("unhandled error serving %s", path, exc_info=exc)
+    logger.exception(
+        "unhandled error serving %s (request %s)", path, request_id, exc_info=exc
+    )
     return (
         500,
         {"error": {"code": "internal", "message": "internal server error"}},

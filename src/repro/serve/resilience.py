@@ -5,7 +5,8 @@ supervisor in :mod:`repro.serve.engine`, turn "a request was submitted"
 into "every admitted request gets exactly one of: an answer, a flagged
 degraded answer, or a clean structured rejection — promptly":
 
-* :class:`Deadline` helpers — absolute ``time.monotonic()`` deadlines
+* :class:`Deadline` helpers — absolute monotonic deadlines (on the
+  :mod:`repro.obs.clock` seam, like every duration in the stack)
   carried from the HTTP header through the shard queue, so expired work
   is shed *before* a forward pass is paid for it;
 * :class:`CircuitBreaker` — a classic closed/open/half-open breaker over
@@ -26,7 +27,6 @@ degraded answer, or a clean structured rejection — promptly":
 from __future__ import annotations
 
 import threading
-import time
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -36,6 +36,7 @@ from repro.core import encoding as enc
 from repro.core.joint_graph import JointGraph
 from repro.exceptions import ServingError
 from repro.model.gbm import GBMConfig, GBMRegressor
+from repro.obs import clock
 
 # -- deadlines ---------------------------------------------------------
 
@@ -44,18 +45,18 @@ def deadline_from_ms(budget_ms: float | None) -> float | None:
     """Relative millisecond budget → absolute monotonic deadline."""
     if budget_ms is None:
         return None
-    return time.monotonic() + max(0.0, float(budget_ms)) / 1e3
+    return clock.monotonic() + max(0.0, float(budget_ms)) / 1e3
 
 
 def deadline_expired(deadline: float | None) -> bool:
-    return deadline is not None and time.monotonic() >= deadline
+    return deadline is not None and clock.monotonic() >= deadline
 
 
 def deadline_remaining(deadline: float | None, default: float) -> float:
     """Seconds left on ``deadline`` (``default`` when none was set)."""
     if deadline is None:
         return default
-    return max(0.0, deadline - time.monotonic())
+    return max(0.0, deadline - clock.monotonic())
 
 
 # -- circuit breaker ---------------------------------------------------
@@ -98,6 +99,7 @@ class CircuitBreaker:
         self._opened_at = 0.0
         self._probes_left = 0
         self.trips = 0
+        self.probes = 0
 
     @property
     def state(self) -> str:
@@ -106,7 +108,7 @@ class CircuitBreaker:
 
     def _state_locked(self) -> str:
         if self._state == "open" and (
-            time.monotonic() - self._opened_at >= self.cooldown_s
+            clock.monotonic() - self._opened_at >= self.cooldown_s
         ):
             self._state = "half_open"
             self._probes_left = self.half_open_probes
@@ -120,6 +122,7 @@ class CircuitBreaker:
                 return True
             if state == "half_open" and self._probes_left > 0:
                 self._probes_left -= 1
+                self.probes += 1
                 return True
             return False
 
@@ -157,7 +160,7 @@ class CircuitBreaker:
 
     def _trip_locked(self) -> None:
         self._state = "open"
-        self._opened_at = time.monotonic()
+        self._opened_at = clock.monotonic()
         self._outcomes.clear()
         self.trips += 1
 
@@ -170,6 +173,7 @@ class CircuitBreaker:
                 "window": len(self._outcomes),
                 "window_failures": failures,
                 "trips": self.trips,
+                "probes": self.probes,
                 "max_error_rate": self.max_error_rate,
                 "max_latency_s": self.max_latency_s,
                 "cooldown_s": self.cooldown_s,
@@ -327,7 +331,7 @@ class HealthMonitor:
     def note_restart(self) -> None:
         with self._lock:
             self._restarts += 1
-            self._last_restart = time.monotonic()
+            self._last_restart = clock.monotonic()
 
     @property
     def restarts(self) -> int:
@@ -342,7 +346,7 @@ class HealthMonitor:
                 return "starting"
             recently_restarted = (
                 self._last_restart > 0.0
-                and time.monotonic() - self._last_restart < self.restart_grace_s
+                and clock.monotonic() - self._last_restart < self.restart_grace_s
             )
         if recently_restarted:
             return "degraded"

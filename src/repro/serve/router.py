@@ -48,6 +48,7 @@ from repro.exceptions import (
     ServingError,
     WorkerCrashed,
 )
+from repro.obs import clock, tracing
 from repro.serve.cache import PreparedRequestCache
 from repro.serve.worker import (
     WorkerConfig,
@@ -255,6 +256,7 @@ class _WorkerHandle:
 @dataclass
 class RouterStats:
     dispatched: int = 0
+    affinity: int = 0
     spills: int = 0
     retries: int = 0
     respawns: int = 0
@@ -540,6 +542,8 @@ class WorkerRouter:
             if loads[wid] - min_load > self.spill_threshold:
                 wid = least_loaded
                 self.stats.spills += 1
+            else:
+                self.stats.affinity += 1
             groups.setdefault(wid, []).append(i)
         return groups
 
@@ -572,9 +576,10 @@ class WorkerRouter:
         workers: list = [None] * n
         if n == 0:
             return RouterOutcome(values, statuses, errors, epochs, workers)
+        dispatch_started = clock.monotonic()
         fps = self.fp_cache.fingerprints(graphs)
         deadline_ms = (
-            max((deadline - time.monotonic()) * 1e3, 0.0)
+            max((deadline - clock.monotonic()) * 1e3, 0.0)
             if deadline is not None
             else None
         )
@@ -587,6 +592,10 @@ class WorkerRouter:
                 handle, idxs, graphs, fps, contexts, deadline_ms
             )
             dispatches.append((handle, idxs, sent))
+        tracing.observe_stage(
+            "router.dispatch", clock.monotonic() - dispatch_started
+        )
+        gather_started = clock.monotonic()
         retry: list[int] = []
         for handle, idxs, future in dispatches:
             if future is None:
@@ -607,6 +616,7 @@ class WorkerRouter:
                 retry, graphs, fps, contexts, deadline_ms,
                 values, statuses, errors, epochs, workers,
             )
+        tracing.observe_stage("wire.roundtrip", clock.monotonic() - gather_started)
         return RouterOutcome(values, statuses, errors, epochs, workers)
 
     def _send_group(self, handle, idxs, graphs, fps, contexts, deadline_ms):
@@ -620,6 +630,9 @@ class WorkerRouter:
             "contexts": [contexts[i] for i in idxs] if contexts is not None else None,
             "deadline_ms": deadline_ms,
         }
+        wire_trace = tracing.to_wire(tracing.current())
+        if wire_trace is not None:
+            payload["trace"] = wire_trace
         handle.note_dispatch(len(idxs))
         try:
             return handle.client.request(payload)
@@ -658,6 +671,7 @@ class WorkerRouter:
                 workers[i] = handle.worker_id
             return
         handle.mark_known([fps[i] for i in idxs])
+        self._note_worker_trace(handle, response)
         epoch = response.get("epoch")
         unknown_local: list[int] = []
         for pos, i in enumerate(idxs):
@@ -684,7 +698,11 @@ class WorkerRouter:
                 ),
                 "deadline_ms": deadline_ms,
             }
+            wire_trace = tracing.to_wire(tracing.current())
+            if wire_trace is not None:
+                payload["trace"] = wire_trace
             response = handle.client.call(payload, timeout=timeout)
+            self._note_worker_trace(handle, response)
             epoch = response.get("epoch")
             for pos, i in enumerate(unknown_local):
                 status = response["statuses"][pos]
@@ -697,6 +715,29 @@ class WorkerRouter:
                     errors[i] = _wire_error(response["errors"][pos])
                 epochs[i] = epoch
                 workers[i] = handle.worker_id
+
+    def _note_worker_trace(self, handle, response: dict) -> None:
+        """Nest a worker's span breakdown under the current trace.
+
+        The worker's stages (``worker.engine`` plus the engine-internal
+        spans it measured) happened *inside* this router's
+        ``wire.roundtrip`` span, so they are recorded nested — detail,
+        not additional wall clock.  The echoed ``trace_id`` is tagged so
+        tests can pin that resend/retry frames kept the original trace.
+        """
+        trace = tracing.current()
+        if trace is None:
+            return
+        stages = response.get("stages")
+        if stages:
+            for name, seconds in stages.items():
+                trace.record(name, seconds, nested=True)
+        echoed = response.get("trace_id")
+        if echoed:
+            trace.tag("worker.trace_id", echoed)
+        if response.get("epoch") is not None:
+            trace.tag("worker.epoch", response["epoch"])
+        trace.tag("worker.id", handle.worker_id)
 
     def _retry_once(
         self, idxs, graphs, fps, contexts, deadline_ms,

@@ -43,11 +43,11 @@ import pickle
 import socket
 import struct
 import threading
-import time
 from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.exceptions import ServingError
+from repro.obs import clock, metrics, tracing
 
 _HEADER = struct.Struct(">I")
 
@@ -88,7 +88,12 @@ def recv_frame(sock: socket.socket) -> dict | None:
     blob = _recv_exact(sock, length)
     if blob is None:
         return None  # torn mid-frame: the peer died; treat as EOF
-    return pickle.loads(blob)
+    if not metrics.enabled():
+        return pickle.loads(blob)
+    started = clock.monotonic()
+    frame = pickle.loads(blob)
+    tracing.observe_stage("frame.decode", clock.monotonic() - started)
+    return frame
 
 
 @dataclass(frozen=True)
@@ -229,8 +234,12 @@ class ServingWorker:
         known = [i for i in range(len(items)) if i not in unknown_set]
         contexts = request.get("contexts")
         deadline_ms = request.get("deadline_ms")
+        # optional, backward compatible: absent on untraced requests and
+        # ignored by workers that predate it (read via .get like every
+        # other optional field)
+        trace_ctx = request.get("trace")
         deadline = (
-            time.monotonic() + deadline_ms / 1e3 if deadline_ms is not None else None
+            clock.monotonic() + deadline_ms / 1e3 if deadline_ms is not None else None
         )
         # the conservative lower bound: a swap landing mid-score may
         # produce newer values, never older ones
@@ -238,19 +247,37 @@ class ServingWorker:
         values: list = [None] * len(items)
         statuses: list = ["unknown_graph"] * len(items)
         errors: list = [None] * len(items)
+        local_trace = None
+        engine_seconds = 0.0
         if known:
-            outcome = self.engine.score_resilient(
-                [graphs[i] for i in known],
-                [contexts[i] for i in known] if contexts is not None else None,
-                deadline=deadline,
-            )
+            started = clock.monotonic()
+            if trace_ctx is not None and metrics.enabled():
+                # run the engine under a worker-local trace so its span
+                # breakdown (cache.lookup, engine.wait, ...) rides back
+                # on the response instead of dying with this process
+                with tracing.trace_request(
+                    trace_id=trace_ctx.get("trace_id"),
+                    request_id=trace_ctx.get("request_id"),
+                ) as local_trace:
+                    outcome = self.engine.score_resilient(
+                        [graphs[i] for i in known],
+                        [contexts[i] for i in known] if contexts is not None else None,
+                        deadline=deadline,
+                    )
+            else:
+                outcome = self.engine.score_resilient(
+                    [graphs[i] for i in known],
+                    [contexts[i] for i in known] if contexts is not None else None,
+                    deadline=deadline,
+                )
+            engine_seconds = clock.monotonic() - started
             for pos, i in enumerate(known):
                 values[i] = outcome.values[pos]
                 statuses[i] = outcome.statuses[pos]
                 err = outcome.errors[pos]
                 if err is not None:
                     errors[i] = {"type": type(err).__name__, "message": str(err)}
-        return {
+        response = {
             "ok": True,
             "values": values,
             "statuses": statuses,
@@ -258,6 +285,16 @@ class ServingWorker:
             "unknown": unknown,
             "epoch": epoch,
         }
+        if trace_ctx is not None:
+            # echo the id so the router can pin that a resent/retried
+            # frame kept its original trace, and ship the breakdown
+            stages = {"worker.engine": engine_seconds}
+            if local_trace is not None:
+                for name, seconds in local_trace.breakdown().items():
+                    stages[name] = stages.get(name, 0.0) + seconds
+            response["trace_id"] = trace_ctx.get("trace_id")
+            response["stages"] = stages
+        return response
 
     def _swap(self, request: dict) -> dict:
         """Promotion fence: load the published version, swap, bump.

@@ -81,7 +81,7 @@ def test_lint_format_scope_covers_grown_trees(workflow):
     layer behind the serving fast path (PR 5), the resilience layer and
     its chaos suite (PR 6), the execution backends and their test suites
     (PR 7), the multi-process serving tier and the loadtest perf suite
-    (PR 8)."""
+    (PR 8), the observability layer and its suites (PR 9)."""
     runs = job_run_lines(workflow["jobs"]["lint"])
     format_step = next(
         (
@@ -104,8 +104,11 @@ def test_lint_format_scope_covers_grown_trees(workflow):
         "tests/test_exec_backend.py",
         "tests/test_sql_render.py",
         "tests/test_multiproc.py",
+        "tests/test_obs.py",
+        "src/repro/obs",
         "benchmarks/test_perf_chaos.py",
         "benchmarks/test_perf_loadtest.py",
+        "benchmarks/test_perf_obs.py",
         "benchmarks/test_perf_realbench.py",
     ):
         assert target in scope, f"ruff format scope lost {target}"
@@ -236,6 +239,14 @@ def test_bench_compare_judges_negative_baselines_by_absolute_delta():
     assert module.direction("x.speedup") == 1
     assert module.direction("x.overhead_fraction") == -1
     assert module.direction("x.batch_size") == 0
+    # BENCH_obs: the overhead ratio is the gated metric; the raw rps
+    # figures are host-absolute and the trace table is per-request
+    # attribution from a handful of samples — neither is a trajectory
+    assert module.direction("overhead.overhead_fraction") == -1
+    assert module.direction("overhead.rps_enabled") == 0
+    assert module.direction("overhead.rps_disabled") == 0
+    assert module.direction("trace.e2e_ms") == 0
+    assert module.direction("trace.stages.model.forward.ms") == 0
     # the loadtest's headline metrics must be tracked...
     assert module.direction("scenarios.repeat50.achieved_qps") == 1
     assert module.direction("scenarios.repeat50.p99_ms") == -1

@@ -199,10 +199,16 @@ class TestFeedbackLog:
             tmp_path, capacity=100, chunk_records=50, flush_age_s=0.05
         )
         log.extend(make_records(3))
+        # the chunk lands on disk (os.replace) a beat before the flusher
+        # hands off its in-flight batch, so poll for the settled state
+        # rather than racing that window
         deadline = time.monotonic() + 5.0
-        while log.stats()["disk_chunks"] == 0 and time.monotonic() < deadline:
-            time.sleep(0.01)
         stats = log.stats()
+        while (
+            stats["disk_chunks"] == 0 or stats["pending_records"]
+        ) and time.monotonic() < deadline:
+            time.sleep(0.01)
+            stats = log.stats()
         assert stats["disk_chunks"] == 1
         assert stats["pending_records"] == 0
         assert len(log.replay()) == 3
