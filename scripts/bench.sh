@@ -28,6 +28,7 @@ selection=(
     benchmarks/test_perf_obs.py
     benchmarks/test_perf_chaos.py
     benchmarks/test_perf_realbench.py
+    benchmarks/test_perf_runner.py
 )
 if [ "$#" -gt 0 ]; then
     selection=("$@")

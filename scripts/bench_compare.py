@@ -59,7 +59,7 @@ NOT_A_METRIC = (".config.", "stats_poll.samples", "trace.")
 
 #: benches whose numbers are liveness smoke signals, not a perf
 #: trajectory — warn, record in history, but never fail the run
-NEVER_GATE_BENCHES = ("multiproc_smoke",)
+NEVER_GATE_BENCHES = ("multiproc_smoke", "runner_smoke")
 
 
 def noise_floor(metric: str, baseline: float) -> bool:

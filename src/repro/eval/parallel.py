@@ -1,4 +1,4 @@
-"""Process-parallel experiment execution (DESIGN.md §7).
+"""Process-parallel experiment execution (DESIGN.md §7, §16).
 
 Fold and ablation runs are embarrassingly parallel: each task trains and
 evaluates models from deterministic inputs (configs + seeds + stored
@@ -7,19 +7,42 @@ time, never results. ``REPRO_JOBS`` selects the worker count (default:
 all cores); results always come back in task order, so a parallel run
 merges exactly like the serial one.
 
-Workers are plain ``multiprocessing`` pool processes. Each worker owns
-its process-wide prepared-graph/batch caches (``repro.model.prepared``),
-so topology reuse still happens within a worker without any cross-
-process locking; cross-task artifacts (benchmarks, prepared samples)
-flow through the on-disk :mod:`repro.eval.resultstore` instead.
+Since PR 10 the fan-out rides the crash-safe work queue of
+:mod:`repro.eval.runner` instead of a bare ``multiprocessing.Pool``:
+each item becomes a durable task claimed under a heartbeat-renewed
+lease, so
+
+* a worker killed mid-task (OOM, SIGKILL) loses only *that* task — the
+  lease expires, a peer reclaims it, and every already-completed result
+  survives;
+* a task that keeps failing is quarantined with its traceback and
+  surfaced as a structured :class:`TaskFailure` instead of silently
+  aborting the whole map;
+* ``KeyboardInterrupt`` terminates and reaps the runner processes
+  before propagating — no orphan workers, no hung shutdown.
+
+Each worker process still owns its process-wide prepared-graph/batch
+caches (``repro.model.prepared``), so topology reuse happens within a
+worker without cross-process locking; cross-task artifacts (benchmarks,
+prepared samples) flow through the on-disk
+:mod:`repro.eval.resultstore`.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 import os
+import shutil
+import tempfile
+from dataclasses import dataclass
 
-__all__ = ["resolve_jobs", "parallel_map"]
+from repro.exceptions import ReproError
+
+__all__ = [
+    "ParallelTaskError",
+    "TaskFailure",
+    "parallel_map",
+    "resolve_jobs",
+]
 
 
 def resolve_jobs(jobs: int | None = None) -> int:
@@ -31,32 +54,125 @@ def resolve_jobs(jobs: int | None = None) -> int:
         try:
             return max(1, int(env))
         except ValueError:
-            raise ValueError(
-                f"REPRO_JOBS must be an integer, got {env!r}"
-            ) from None
+            raise ValueError(f"REPRO_JOBS must be an integer, got {env!r}") from None
     return os.cpu_count() or 1
 
 
-def _pool_context():
-    """Fork keeps workers cheap (inherited imports + numpy state); fall
-    back to spawn where fork is unavailable."""
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context(
-        "fork" if "fork" in methods else "spawn"
-    )
+@dataclass
+class TaskFailure:
+    """One item's terminal failure, in place of its result.
+
+    ``crashed`` distinguishes a task that kept killing its worker
+    process (lease-expiry quarantine) from one that raised
+    (``error``/``traceback`` carry the exception text).
+    """
+
+    index: int
+    error: str
+    traceback: str = ""
+    crashed: bool = False
+
+    def __bool__(self) -> bool:  # a failure is never a truthy result
+        return False
 
 
-def parallel_map(fn, items, jobs: int | None = None) -> list:
+class ParallelTaskError(ReproError):
+    """Raised when ``parallel_map`` items failed terminally.
+
+    ``failures`` holds one :class:`TaskFailure` per failed item; every
+    other item completed and its result was simply discarded by the
+    raise — pass ``on_error="return"`` to receive results and failures
+    together instead.
+    """
+
+    def __init__(self, failures: list[TaskFailure], total: int):
+        self.failures = failures
+        self.total = total
+        first = failures[0]
+        detail = first.error or ("worker process crashed" if first.crashed else "")
+        super().__init__(
+            f"{len(failures)}/{total} parallel task(s) failed terminally; "
+            f"first (item {first.index}): {detail}\n{first.traceback}"
+        )
+
+
+def parallel_map(
+    fn,
+    items,
+    jobs: int | None = None,
+    on_error: str = "raise",
+    max_attempts: int = 1,
+    max_reclaims: int = 2,
+    lease_seconds: float = 8.0,
+    timeout: float | None = None,
+) -> list:
     """``[fn(x) for x in items]`` across worker processes, order kept.
 
     ``fn`` must be a module-level callable and every item picklable.
     With one job (or one item) this degrades to the serial loop — no
-    pool, no pickling — so serial and parallel runs share one code path.
+    queue, no pickling — so serial and parallel runs share one code
+    path.
+
+    Failure semantics (``on_error``):
+
+    * ``"raise"`` (default) — if any item fails terminally, raise
+      :class:`ParallelTaskError` *after* the sweep terminates (completed
+      items are never interrupted by another item's failure);
+    * ``"return"`` — failed items yield :class:`TaskFailure` in their
+      result slot, completed items their results.
+
+    A raising task is quarantined after ``max_attempts`` attempts (1 by
+    default: a deterministic bug should surface, not retry); a task
+    whose worker *dies* is reclaimed by a peer when its ``lease_seconds``
+    lease expires, up to ``max_reclaims`` times before it is quarantined
+    as crash-poison.
     """
+    if on_error not in ("raise", "return"):
+        raise ValueError(f"on_error must be 'raise' or 'return', got {on_error!r}")
     items = list(items)
+    if not items:
+        return []
     n_jobs = min(resolve_jobs(jobs), len(items))
     if n_jobs <= 1:
         return [fn(item) for item in items]
-    ctx = _pool_context()
-    with ctx.Pool(processes=n_jobs) as pool:
-        return pool.map(fn, items, chunksize=1)
+
+    from repro.eval.runner import Sweep, SweepConfig, run_sweep_local
+
+    root = tempfile.mkdtemp(prefix="repro-pmap-")
+    try:
+        sweep = Sweep.create(
+            root,
+            config=SweepConfig(
+                lease_seconds=lease_seconds,
+                heartbeat_seconds=max(0.05, lease_seconds / 4.0),
+                max_attempts=max_attempts,
+                max_reclaims=max_reclaims,
+            ),
+            description=f"parallel_map({getattr(fn, '__name__', fn)!r})",
+        )
+        sweep.add_call_tasks(fn, items)
+        run_sweep_local(sweep, n_runners=n_jobs, timeout=timeout)
+        results, raw_failures = sweep.collect()
+        failures = [
+            TaskFailure(
+                index=f["index"],
+                error=f.get("last_error", "") or f.get("reason", ""),
+                traceback=f.get("traceback", ""),
+                crashed="crash" in f.get("reason", ""),
+            )
+            for f in raw_failures
+        ]
+        if failures and on_error == "raise":
+            raise ParallelTaskError(failures, total=len(items))
+        out: list = []
+        by_index = {f.index: f for f in failures}
+        for index in range(len(items)):
+            if index in results:
+                out.append(results[index])
+            elif index in by_index:
+                out.append(by_index[index])
+            else:  # pragma: no cover - collect() covers every task
+                out.append(TaskFailure(index=index, error="task result missing"))
+        return out
+    finally:
+        shutil.rmtree(root, ignore_errors=True)

@@ -22,6 +22,13 @@ old entry simply becomes unreachable. The store also provides:
   without unpickling anything;
 * **stats()/gc(max_bytes)** — store-wide accounting and
   least-recently-used eviction (loads bump the entry mtime).
+
+The store is also the substrate of the distributed experiment runner
+(:mod:`repro.eval.runner`, DESIGN.md §16): runner processes — possibly
+on separate hosts sharing the store directory — exchange results purely
+through fingerprinted entries, and the claim/lease protocol is built on
+the low-level file primitives exported here (:func:`exclusive_create`,
+:func:`atomic_write_json`, :func:`read_json`).
 """
 
 from __future__ import annotations
@@ -129,6 +136,70 @@ def fingerprint(*parts) -> str:
     """SHA-256 over the canonical serialized parts + SCHEMA_VERSION."""
     payload = repr(("schema", SCHEMA_VERSION, canonical(tuple(parts))))
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# low-level file primitives shared with the distributed runner: every
+# cross-process handshake in this repo is either an O_EXCL claim (one
+# winner) or an atomic temp-file + os.replace publish (torn writes are
+# invisible), so the two idioms live here, next to the store they guard
+def exclusive_create(path: Path, data: bytes) -> bool:
+    """Create ``path`` with ``O_EXCL`` holding ``data``; False if it
+    already exists (some other process won the claim)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    try:
+        fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    try:
+        os.write(fd, data)
+    finally:
+        os.close(fd)
+    return True
+
+
+def atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Publish ``data`` at ``path`` via temp file + ``os.replace``."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+    os.replace(tmp, path)
+
+
+def atomic_write_json(path: Path, obj) -> None:
+    atomic_write_bytes(path, json.dumps(obj, sort_keys=True).encode("utf-8"))
+
+
+def read_json(path: Path):
+    """Parse a JSON file; ``None`` when missing, truncated, or torn —
+    concurrent readers must treat a vanishing sidecar as absent, never
+    as an error."""
+    try:
+        with open(path, "rb") as fh:
+            return json.loads(fh.read().decode("utf-8"))
+    except (OSError, ValueError):
+        return None
+
+
+def _tmp_writer_pid(name: str) -> int | None:
+    """The pid encoded in a ``.tmp<pid>``/``.metatmp<pid>`` suffix."""
+    digits = name.rpartition("tmp")[2]
+    if digits.isdigit():
+        return int(digits)
+    return None
+
+
+def _pid_alive(pid: int) -> bool:
+    """Is ``pid`` a live process on this host? (Permission errors mean
+    the process exists but belongs to someone else — alive.)"""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):
+        return True
+    return True
 
 
 # ----------------------------------------------------------------------
@@ -327,20 +398,42 @@ class ResultStore:
         return path
 
     # -- maintenance ---------------------------------------------------
+    #: a temp file whose writer is still alive is only swept past this
+    #: age — a wedged writer, not an in-flight store()
+    WEDGED_WRITER_SECONDS = 3600.0
+
     def _sweep_stale_tmp(self, max_age_seconds: float = 3600.0) -> int:
-        """Delete orphaned temp files from killed runs. Fresh ones are
-        spared — they may be another process's in-flight write."""
+        """Delete orphaned temp files from killed runs.
+
+        The temp suffix encodes the writer's pid, so liveness decides:
+        a *live* writer's file is never removed before
+        :data:`WEDGED_WRITER_SECONDS` no matter how aggressive the
+        sweep (``clear()`` passes ``max_age_seconds=0``), while a dead
+        writer's orphan goes once it is older than ``max_age_seconds``.
+        (Pid liveness is a same-host signal; on a store shared across
+        hosts the age bound is the only guard, which is why the default
+        stays a conservative hour.)
+        """
         if not self.root.is_dir():
             return 0
-        cutoff = time.time() - max_age_seconds
+        now = time.time()
         removed = 0
         for path in self.root.iterdir():
             if ".tmp" not in path.suffix and ".metatmp" not in path.suffix:
                 continue
             try:
-                if path.stat().st_mtime < cutoff:
-                    path.unlink()
-                    removed += 1
+                age = now - path.stat().st_mtime
+            except OSError:
+                continue  # deleted by a concurrent sweep — already gone
+            pid = _tmp_writer_pid(path.suffix)
+            if pid is not None and _pid_alive(pid):
+                if age <= self.WEDGED_WRITER_SECONDS:
+                    continue  # another live process's in-progress write
+            elif age <= max_age_seconds:
+                continue
+            try:
+                path.unlink()
+                removed += 1
             except OSError:
                 pass
         return removed

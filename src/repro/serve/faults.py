@@ -1,19 +1,27 @@
-"""Deterministic fault injection for the serving tier (DESIGN.md §12).
+"""Deterministic fault injection for the serving tier (DESIGN.md §12)
+and the distributed experiment runner (DESIGN.md §16).
 
 Robustness claims are only as good as the failures they were tested
 against, so the resilience layer is built around *named fault sites* —
 fixed points in the serving stack where tests, ``scripts/loadtest.py
---chaos``, and operators (via ``$REPRO_FAULTS``) can script failures:
+--chaos``, ``scripts/sweep.py --chaos``, and operators (via
+``$REPRO_FAULTS``) can script failures:
 
-===================  ==================================================
-site                 where it fires
-===================  ==================================================
-``decode``           HTTP body decoding, before any parsing work
-``forward``          inside the GNN forward (``_predict_joint``)
-``registry.load``    :meth:`ModelRegistry.load`, before deserializing
-``feedback.flush``   :meth:`FeedbackLog` chunk writes (disk failures)
-``shard.worker``     the shard worker loop (thread death)
-===================  ==================================================
+====================  =================================================
+site                  where it fires
+====================  =================================================
+``decode``            HTTP body decoding, before any parsing work
+``forward``           inside the GNN forward (``_predict_joint``)
+``registry.load``     :meth:`ModelRegistry.load`, before deserializing
+``feedback.flush``    :meth:`FeedbackLog` chunk writes (disk failures)
+``shard.worker``      the shard worker loop (thread death)
+``store.write``       runner result publishing to the resultstore
+``task.claim``        runner claim scans over the sweep's task files
+``runner.heartbeat``  lease renewal beats (a delay here freezes the
+                      holder past its lease — the reclaim scenario)
+``runner.task``       task execution in :meth:`Runner.execute` (a
+                      ``crash`` kills the runner process like an OOM)
+====================  =================================================
 
 A spec is a ``;``-separated list of rules plus an optional seed::
 
@@ -49,7 +57,17 @@ from repro.exceptions import ServingError
 
 #: the sites the serving stack instruments; specs naming anything else
 #: are rejected so a typo cannot silently disable a chaos scenario
-KNOWN_SITES = ("decode", "forward", "registry.load", "feedback.flush", "shard.worker")
+KNOWN_SITES = (
+    "decode",
+    "forward",
+    "registry.load",
+    "feedback.flush",
+    "shard.worker",
+    "store.write",
+    "task.claim",
+    "runner.heartbeat",
+    "runner.task",
+)
 
 _KINDS = ("error", "delay", "crash")
 

@@ -81,7 +81,8 @@ def test_lint_format_scope_covers_grown_trees(workflow):
     layer behind the serving fast path (PR 5), the resilience layer and
     its chaos suite (PR 6), the execution backends and their test suites
     (PR 7), the multi-process serving tier and the loadtest perf suite
-    (PR 8), the observability layer and its suites (PR 9)."""
+    (PR 8), the observability layer and its suites (PR 9), the
+    distributed runner and its suites (PR 10)."""
     runs = job_run_lines(workflow["jobs"]["lint"])
     format_step = next(
         (
@@ -110,6 +111,10 @@ def test_lint_format_scope_covers_grown_trees(workflow):
         "benchmarks/test_perf_loadtest.py",
         "benchmarks/test_perf_obs.py",
         "benchmarks/test_perf_realbench.py",
+        "src/repro/eval/runner.py",
+        "src/repro/eval/parallel.py",
+        "tests/test_runner.py",
+        "benchmarks/test_perf_runner.py",
     ):
         assert target in scope, f"ruff format scope lost {target}"
         assert (ROOT / target).exists()
@@ -190,6 +195,25 @@ def test_bench_smoke_runs_multiproc_smoke(workflow):
     assert "BENCH_multiproc_smoke.json" in (ROOT / ".gitignore").read_text()
     script = (ROOT / "scripts" / "bench_compare.py").read_text()
     assert "multiproc_smoke" in script
+
+
+def test_bench_smoke_runs_runner_smoke(workflow):
+    """The runner-smoke step must drive the distributed experiment
+    runner under the `quick` chaos scenario — sweep.py exits non-zero
+    on lost tasks, missing lease reclaims, or chaos/serial result
+    divergence — and its BENCH row must stay a per-machine liveness
+    signal (gitignored, never perf-gated)."""
+    runs = job_run_lines(workflow["jobs"]["bench-smoke"])
+    scope = " ".join(runs.split())
+    assert "scripts/sweep.py start" in scope
+    assert "--runners 2 --chaos quick" in scope
+    assert "BENCH_runner_smoke.json" in scope
+    assert "BENCH_runner_smoke.json" in (ROOT / ".gitignore").read_text()
+    script = (ROOT / "scripts" / "bench_compare.py").read_text()
+    assert "runner_smoke" in script
+    # the chaos scenario book must keep the CI scenario it runs
+    sweep_script = (ROOT / "scripts" / "sweep.py").read_text()
+    assert '"quick"' in sweep_script and "CHAOS_SCENARIOS" in sweep_script
 
 
 def test_ci_cancels_superseded_runs_and_bounds_jobs(workflow):

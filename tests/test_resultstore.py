@@ -12,6 +12,10 @@ from __future__ import annotations
 import json
 import os
 import pickle
+import subprocess
+import sys
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -37,6 +41,14 @@ from repro.eval.resultstore import (
     fingerprint,
 )
 from repro.storage.generator import GeneratorConfig
+
+
+# ----------------------------------------------------------------------
+def _dead_pid() -> int:
+    """A pid guaranteed dead (spawned, exited, and reaped)."""
+    proc = subprocess.Popen([sys.executable, "-c", "pass"])
+    proc.wait()
+    return proc.pid
 
 
 # ----------------------------------------------------------------------
@@ -268,16 +280,89 @@ class TestResultStore:
     def test_gc_and_clear_sweep_orphaned_tmp_files(self, tmp_path):
         store = ResultStore(tmp_path)
         store.store("bench", store.fingerprint(1), [1])
-        stale = tmp_path / "folds_deadbeef.tmp999"
+        dead_pid = _dead_pid()
+        stale = tmp_path / f"folds_deadbeef.tmp{dead_pid}"
         stale.write_bytes(b"partial write from a killed run")
         os.utime(stale, (1_000_000, 1_000_000))  # hours old
-        fresh = tmp_path / "folds_cafe.tmp1000"
+        fresh = tmp_path / f"folds_cafe.tmp{dead_pid}"
         fresh.write_bytes(b"maybe in-flight")
         store.gc(max_bytes=10**9)  # evicts nothing, sweeps stale tmp
         assert not stale.exists()
         assert fresh.exists()  # young files may be another process's write
-        store.clear()  # clear-all is explicit: every tmp goes
+        store.clear()  # clear-all is explicit: dead writers' tmp goes
         assert not fresh.exists()
+
+    def test_sweep_never_removes_live_writer_tmp(self, tmp_path):
+        """Two-process pin: a *live* process's in-progress temp file
+        survives even a clear-all sweep; once the writer dies its
+        orphan is swept."""
+        store = ResultStore(tmp_path)
+        writer = subprocess.Popen(
+            [sys.executable, "-c", "import time; time.sleep(60)"]
+        )
+        try:
+            inflight = tmp_path / f"folds_beef.tmp{writer.pid}"
+            inflight.write_bytes(b"another process's in-progress write")
+            assert store._sweep_stale_tmp(max_age_seconds=0.0) == 0
+            store.clear()
+            assert inflight.exists()  # live writer: never swept young
+        finally:
+            writer.kill()
+            writer.wait()
+        assert store._sweep_stale_tmp(max_age_seconds=0.0) == 1
+        assert not inflight.exists()  # dead writer: orphan swept
+
+    def test_live_but_wedged_writer_tmp_swept_after_bound(self, tmp_path):
+        store = ResultStore(tmp_path)
+        wedged = tmp_path / f"folds_dead.tmp{os.getpid()}"  # we are alive
+        wedged.write_bytes(b"wedged hours ago")
+        old = time.time() - store.WEDGED_WRITER_SECONDS - 10
+        os.utime(wedged, (old, old))
+        assert store._sweep_stale_tmp(max_age_seconds=0.0) == 1
+        assert not wedged.exists()
+
+    def test_gc_tolerates_concurrent_entry_deletion(self, tmp_path, monkeypatch):
+        """An entry deleted between the entries() scan and the unlink —
+        a concurrent gc/clear in another process — is skipped, not an
+        error."""
+        store = ResultStore(tmp_path)
+        for i in range(3):
+            store.store("bench", store.fingerprint(i), list(range(50)))
+        real_entries = ResultStore.entries
+        raced = {"done": False}
+
+        def racing_entries(self):
+            out = real_entries(self)
+            if not raced["done"] and out:
+                raced["done"] = True  # concurrent process wins the race
+                out[0].path.unlink()
+                ResultStore._meta_path(out[0].path).unlink()
+            return out
+
+        monkeypatch.setattr(ResultStore, "entries", racing_entries)
+        report = store.gc(max_bytes=0)  # must not raise on the gone entry
+        assert raced["done"]
+        assert store.stats()["entries"] == 0
+        assert len(report["evicted"]) == 3
+
+    def test_entries_tolerates_vanishing_file(self, tmp_path, monkeypatch):
+        """A .pkl deleted between glob and stat() is skipped."""
+        store = ResultStore(tmp_path)
+        store.store("bench", store.fingerprint(1), [1])
+        store.store("bench", store.fingerprint(2), [2])
+        victim = store.path("bench", store.fingerprint(1))
+        real_stat = Path.stat
+        raced = {"done": False}
+
+        def racing_stat(self, **kwargs):
+            if self == victim and not raced["done"]:
+                raced["done"] = True
+                os.unlink(self)  # concurrent delete between glob and stat
+            return real_stat(self, **kwargs)
+
+        monkeypatch.setattr(Path, "stat", racing_stat)
+        entries = store.entries()
+        assert [e.fingerprint for e in entries] == [store.fingerprint(2)]
 
     def test_default_store_follows_env(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "a"))

@@ -1,0 +1,407 @@
+"""Distributed runner tests: claims, leases, retries, quarantine, chaos.
+
+The durability contract under test (DESIGN.md §16): a sweep always
+terminates with every task either done or explicitly quarantined —
+never silently lost — no matter which runner processes crash, freeze
+past their lease, or keep raising. Results are fingerprint-addressed
+and idempotent, so a frozen runner finishing *after* its task was
+reclaimed and completed by a peer is harmless.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.eval.parallel import ParallelTaskError, TaskFailure, parallel_map
+from repro.eval.runner import (
+    Runner,
+    Sweep,
+    SweepConfig,
+    TaskSpec,
+    demo_sweep_tasks,
+    register_task_kind,
+    run_demo_task,
+    run_sweep_local,
+)
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+# ----------------------------------------------------------------------
+def _demo_sweep(root, n=2, config: SweepConfig | None = None, **demo_kwargs):
+    demo_kwargs.setdefault("reps", 3)
+    demo_kwargs.setdefault("size", 1_000)
+    sweep = Sweep.create(root, config=config or SweepConfig())
+    sweep.add_tasks(demo_sweep_tasks(n, **demo_kwargs))
+    return sweep
+
+
+def _serial_demo(sweep):
+    return {s.index: run_demo_task(s.params) for s in sweep.tasks()}
+
+
+class TestSweepBasics:
+    def test_create_open_round_trip(self, tmp_path):
+        sweep = _demo_sweep(tmp_path / "s", n=3)
+        reopened = Sweep.open(tmp_path / "s")
+        assert reopened.manifest()["sweep_id"] == sweep.manifest()["sweep_id"]
+        assert [s.task_id for s in reopened.tasks()] == ["t00000", "t00001", "t00002"]
+        assert reopened.config == SweepConfig()
+
+    def test_create_refuses_existing_sweep(self, tmp_path):
+        _demo_sweep(tmp_path / "s")
+        with pytest.raises(FileExistsError):
+            Sweep.create(tmp_path / "s")
+
+    def test_open_requires_manifest(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            Sweep.open(tmp_path / "nope")
+
+    def test_add_tasks_dedupes_by_fingerprint(self, tmp_path):
+        sweep = Sweep.create(tmp_path / "s")
+        specs = demo_sweep_tasks(2)
+        assert sweep.add_tasks(specs, dedupe=True) == 2
+        # same fingerprints again, plus one genuinely new task
+        more = demo_sweep_tasks(3)
+        renumbered = [
+            TaskSpec(
+                task_id=f"t{10 + s.index:05d}",
+                index=10 + s.index,
+                kind=s.kind,
+                fingerprint=s.fingerprint,
+                params=s.params,
+            )
+            for s in more
+        ]
+        assert sweep.add_tasks(renumbered, dedupe=True) == 1
+        assert len(sweep.tasks()) == 3
+
+    def test_status_counts_lifecycle(self, tmp_path):
+        sweep = _demo_sweep(tmp_path / "s", n=2)
+        status = sweep.status()
+        assert (status.total, status.pending, status.done) == (2, 2, 0)
+        assert not status.terminal and status.lost == 2
+        Runner(sweep, runner_id="r0").run()
+        status = sweep.status()
+        assert status.terminal and status.done == 2 and status.lost == 0
+
+    def test_backoff_is_capped_exponential(self):
+        config = SweepConfig(backoff_base_seconds=0.1, backoff_cap_seconds=1.0)
+        assert config.backoff(1) == pytest.approx(0.1)
+        assert config.backoff(2) == pytest.approx(0.2)
+        assert config.backoff(3) == pytest.approx(0.4)
+        assert config.backoff(30) == pytest.approx(1.0)
+
+
+class TestClaimProtocol:
+    def test_claims_are_exclusive(self, tmp_path):
+        sweep = _demo_sweep(tmp_path / "s", n=2)
+        a, b = Runner(sweep, runner_id="a"), Runner(sweep, runner_id="b")
+        spec_a, _ = a.claim()
+        spec_b, _ = b.claim()
+        assert spec_a.task_id != spec_b.task_id
+        assert Runner(sweep, runner_id="c").claim() is None  # all leased
+
+    def test_release_requires_token(self, tmp_path):
+        sweep = _demo_sweep(tmp_path / "s", n=1)
+        runner = Runner(sweep, runner_id="a")
+        spec, token = runner.claim()
+        assert not runner._release(spec.task_id, "not-the-token")
+        assert sweep._lease_path(spec.task_id).exists()
+        assert runner._release(spec.task_id, token)
+        assert not sweep._lease_path(spec.task_id).exists()
+
+    def test_expired_lease_is_reclaimed(self, tmp_path):
+        config = SweepConfig(lease_seconds=0.15, heartbeat_seconds=10.0)
+        sweep = _demo_sweep(tmp_path / "s", n=1, config=config)
+        a, b = Runner(sweep, runner_id="a"), Runner(sweep, runner_id="b")
+        spec_a, _ = a.claim()
+        assert b.claim() is None  # live lease blocks peers
+        time.sleep(0.25)  # a is frozen; its lease expires un-renewed
+        spec_b, token_b = b.claim()
+        assert spec_b.task_id == spec_a.task_id
+        assert b.reclaimed == 1
+        assert sweep.attempts(spec_a.task_id)["reclaims"] == 1
+        assert b.execute(spec_b, token_b)
+        assert sweep.status().terminal
+
+    def test_crash_poison_quarantined_after_max_reclaims(self, tmp_path):
+        config = SweepConfig(lease_seconds=0.1, heartbeat_seconds=10.0, max_reclaims=1)
+        sweep = _demo_sweep(tmp_path / "s", n=1, config=config)
+        # two consecutive expiries without progress cross max_reclaims=1
+        for runner_id in ("a", "b"):
+            claimed = Runner(sweep, runner_id=runner_id).claim()
+            assert claimed is not None
+            time.sleep(0.2)
+        assert Runner(sweep, runner_id="c").claim() is None
+        status = sweep.status()
+        assert status.terminal and status.quarantined == 1
+        record = sweep.quarantine_record("t00000")
+        assert record["reason"].startswith("crash-poison")
+        assert record["reclaims"] == 2
+        sidecar = sweep.quarantine_dir / record["traceback_file"]
+        assert "lease" in sidecar.read_text()
+
+
+# ----------------------------------------------------------------------
+def _flaky_kind(sweep, spec):
+    marker = Path(spec.params["marker"])
+    n = int(marker.read_text()) if marker.exists() else 0
+    if n < int(spec.params["fail_times"]):
+        marker.write_text(str(n + 1))
+        raise ValueError(f"transient failure {n}")
+    return {"ok": True, "observed_failures": n}
+
+
+register_task_kind("flaky_test", _flaky_kind)
+
+
+def _flaky_sweep(root, fail_times: int, config: SweepConfig) -> Sweep:
+    sweep = Sweep.create(root, config=config)
+    params = {"marker": str(root / "fails.txt"), "fail_times": fail_times}
+    sweep.add_tasks(
+        [TaskSpec(task_id="t00000", index=0, kind="flaky_test",
+                  fingerprint="f" * 16, params=params)]
+    )
+    return sweep
+
+
+class TestRetriesAndQuarantine:
+    def test_transient_failures_retry_with_backoff(self, tmp_path):
+        config = SweepConfig(max_attempts=3, backoff_base_seconds=0.02,
+                             backoff_cap_seconds=0.05)
+        sweep = _flaky_sweep(tmp_path / "s", fail_times=2, config=config)
+        runner = Runner(sweep, runner_id="a", poll_interval=0.01)
+        claimed = runner.claim()
+        before = time.time()
+        assert runner.execute(*claimed) is False  # first attempt raises
+        attempts = sweep.attempts("t00000")
+        assert attempts["error_attempts"] == 1
+        assert attempts["next_retry_at"] > before  # backoff stamped
+        assert not sweep._lease_path("t00000").exists()  # released
+        status = Runner(sweep, runner_id="b", poll_interval=0.01).run()
+        assert status.terminal and status.done == 1
+        result = sweep.load_result(sweep.tasks()[0])
+        assert result == {"ok": True, "observed_failures": 2}
+        assert sweep.attempts("t00000")["error_attempts"] == 2
+
+    def test_poison_task_quarantined_with_traceback(self, tmp_path):
+        config = SweepConfig(max_attempts=2, backoff_base_seconds=0.01)
+        sweep = _flaky_sweep(tmp_path / "s", fail_times=99, config=config)
+        status = Runner(sweep, runner_id="a", poll_interval=0.01).run()
+        assert status.terminal
+        assert status.quarantined == 1 and status.done == 0
+        record = sweep.quarantine_record("t00000")
+        assert record["reason"] == "poison: failed 2 attempts"
+        assert "ValueError" in record["last_error"]
+        sidecar = sweep.quarantine_dir / record["traceback_file"]
+        assert "transient failure" in sidecar.read_text()
+        # collect() surfaces the quarantine as a structured failure
+        results, failures = sweep.collect()
+        assert results == {} and len(failures) == 1
+        assert "ValueError" in failures[0]["traceback"]
+
+
+class TestFrozenRunnerDeterminism:
+    """Satellite: lease expiry must be deterministic and late writers
+    harmless — whoever finishes, the stored result is the same bytes."""
+
+    def test_late_writer_after_reclaim_is_harmless(self, tmp_path):
+        config = SweepConfig(lease_seconds=0.15, heartbeat_seconds=10.0)
+        sweep = _demo_sweep(tmp_path / "s", n=1, config=config)
+        a, b = Runner(sweep, runner_id="a"), Runner(sweep, runner_id="b")
+        spec, token_a = a.claim()
+        time.sleep(0.25)  # a freezes past its lease
+        spec_b, token_b = b.claim()  # b reclaims and completes
+        assert b.execute(spec_b, token_b)
+        expected = run_demo_task(spec.params)
+        assert sweep.load_result(spec) == expected
+        # a thaws and finishes its stale execution: same fingerprint,
+        # identical os.replace — the result stays valid either way
+        assert a.execute(spec, token_a)
+        assert sweep.load_result(spec) == expected
+        status = sweep.status()
+        assert status.terminal and status.done == 1 and status.lost == 0
+        assert status.reclaims == 1
+
+    def test_injected_heartbeat_freeze_forces_reclaim(self, tmp_path):
+        """A heartbeat frozen by an injected delay loses the lease mid-
+        task; peers reclaim, everyone finishes idempotently, and the
+        sweep result equals the serial reference."""
+        config = SweepConfig(lease_seconds=0.2, heartbeat_seconds=0.05, max_reclaims=50)
+        sweep = _demo_sweep(tmp_path / "s", n=2, config=config, sleep_s=0.5)
+        expected = _serial_demo(sweep)
+        from repro.eval.runner import ChaosPlan
+
+        report = run_sweep_local(
+            sweep,
+            n_runners=2,
+            chaos=ChaosPlan(kills=0, fault_spec="runner.heartbeat:delay:1.0:0.5"),
+            timeout=60.0,
+        )
+        assert report.lost == 0 and report.quarantined == 0
+        assert report.reclaims > 0  # every long task outlived its lease
+        results, failures = sweep.collect()
+        assert not failures
+        assert results == expected
+
+
+class TestRunSweepLocal:
+    def test_two_runner_sweep_matches_serial(self, tmp_path):
+        sweep = _demo_sweep(tmp_path / "s", n=6)
+        expected = _serial_demo(sweep)
+        report = run_sweep_local(sweep, n_runners=2, timeout=60.0)
+        assert report.lost == 0 and report.done == 6
+        results, failures = sweep.collect()
+        assert not failures and results == expected
+
+    def test_resume_completes_partial_sweep(self, tmp_path):
+        sweep = _demo_sweep(tmp_path / "s", n=4)
+        partial = Runner(sweep, runner_id="a", max_tasks=2).run()
+        assert partial.done == 2 and not partial.terminal
+        done_before = {s.task_id for s in sweep.tasks() if sweep.is_done(s.task_id)}
+        # a fresh process (simulated: fresh Sweep handle) resumes
+        resumed = Sweep.open(tmp_path / "s")
+        report = run_sweep_local(resumed, n_runners=2, timeout=60.0)
+        assert report.lost == 0
+        assert resumed.status().done == 4
+        for task_id in done_before:  # earlier results survived the resume
+            assert resumed.is_done(task_id)
+        results, failures = resumed.collect()
+        assert not failures and set(results) == {0, 1, 2, 3}
+
+
+# ----------------------------------------------------------------------
+def _boom(x):
+    if x == 2:
+        raise ValueError(f"bad item {x}")
+    return x * 10
+
+
+def _crash_once(arg):
+    marker, x = arg
+    if x == 1 and not Path(marker).exists():
+        Path(marker).write_text("crashed")
+        os.kill(os.getpid(), signal.SIGKILL)  # no cleanup, like an OOM
+    return x * 100
+
+
+def _always_crash(arg):
+    marker, x = arg
+    if x == 0:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return x
+
+
+class TestParallelMapCrashSemantics:
+    """Satellite: per-task errors are isolated, crashed workers lose
+    only their in-flight task, KeyboardInterrupt tears down cleanly."""
+
+    def test_task_error_raises_structured_failure(self):
+        with pytest.raises(ParallelTaskError) as excinfo:
+            parallel_map(_boom, range(4), jobs=2)
+        err = excinfo.value
+        assert err.total == 4 and len(err.failures) == 1
+        assert err.failures[0].index == 2
+        assert "bad item 2" in err.failures[0].error
+        assert "ValueError" in err.failures[0].traceback
+
+    def test_task_error_isolated_in_return_mode(self):
+        out = parallel_map(_boom, range(4), jobs=2, on_error="return")
+        assert out[0] == 0 and out[1] == 10 and out[3] == 30
+        assert isinstance(out[2], TaskFailure) and not out[2]
+        assert out[2].index == 2 and not out[2].crashed
+
+    def test_worker_crash_loses_only_inflight_task(self, tmp_path):
+        marker = tmp_path / "crashed.txt"
+        items = [(str(marker), x) for x in range(4)]
+        out = parallel_map(_crash_once, items, jobs=2, lease_seconds=0.5)
+        assert out == [0, 100, 200, 300]  # the crashed task was reclaimed
+        assert marker.exists()  # and the crash really happened
+
+    def test_poison_crash_surfaces_as_crashed_failure(self, tmp_path):
+        items = [(str(tmp_path), x) for x in range(3)]
+        out = parallel_map(
+            _always_crash,
+            items,
+            jobs=2,
+            lease_seconds=0.3,
+            max_reclaims=1,
+            on_error="return",
+        )
+        assert isinstance(out[0], TaskFailure) and out[0].crashed
+        assert out[1] == 1 and out[2] == 2
+
+    def test_keyboard_interrupt_terminates_cleanly(self, tmp_path):
+        """SIGINT mid-sweep must exit promptly (terminated + reaped
+        runners), not hang until the 30s tasks finish."""
+        script = tmp_path / "kbd.py"
+        ready = tmp_path / "ready.txt"
+        script.write_text(
+            "import os, sys, time\n"
+            f"sys.path.insert(0, {str(REPO / 'src')!r})\n"
+            "from repro.eval.parallel import parallel_map\n"
+            "def slow(x):\n"
+            "    time.sleep(30)\n"
+            "    return x\n"
+            "if __name__ == '__main__':\n"
+            f"    open({str(ready)!r}, 'w').write(str(os.getpid()))\n"
+            "    parallel_map(slow, range(4), jobs=2, lease_seconds=120)\n"
+        )
+        env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+        proc = subprocess.Popen(
+            [sys.executable, str(script)],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+        )
+        try:
+            deadline = time.time() + 30
+            while not ready.exists() and time.time() < deadline:
+                time.sleep(0.05)
+            assert ready.exists(), "driver never started"
+            time.sleep(1.5)  # let runners claim their first tasks
+            started = time.time()
+            proc.send_signal(signal.SIGINT)
+            proc.wait(timeout=20)
+            assert time.time() - started < 20
+            assert proc.returncode != 0  # KeyboardInterrupt propagated
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+
+# ----------------------------------------------------------------------
+class TestFoldsSweep:
+    def test_folds_sweep_matches_serial_run(self, tmp_path, monkeypatch):
+        """A distributed fold sweep produces the records the serial
+        driver produces, and warms the exact same cache entry."""
+        from repro.eval.experiments import folds_fingerprint, run_folds
+        from repro.eval.resultstore import default_store
+        from repro.eval.runner import folds_sweep_tasks, merge_folds
+        from tests.test_resultstore import _strip_timings, _tiny_scale
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        scale = _tiny_scale()
+        serial = run_folds(scale, jobs=1)
+        default_store().clear(kind="folds")
+
+        sweep = Sweep.create(
+            tmp_path / "sweep",
+            config=SweepConfig(lease_seconds=30.0, heartbeat_seconds=1.0),
+            payload_config=scale,
+        )
+        assert sweep.add_tasks(folds_sweep_tasks(scale), dedupe=True) == 2
+        report = run_sweep_local(sweep, n_runners=2, timeout=600.0)
+        assert report.lost == 0 and report.quarantined == 0
+        runs = merge_folds(sweep, scale)
+        assert _strip_timings(runs) == _strip_timings(serial)
+        assert default_store().load("folds", folds_fingerprint(scale)) is not None
